@@ -1,0 +1,82 @@
+// Ablation A1 -- Section 5's "access methods with iterative logs enhanced
+// by probabilistic data structures that allows for more efficient reads ...
+// at the expense of additional space".
+//
+// Sweep the LSM's Bloom bits/key: read amplification (especially for
+// misses) falls as auxiliary filter space grows -- buying R with M.
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "methods/lsm/lsm_tree.h"
+#include "workload/distribution.h"
+
+namespace rum {
+namespace {
+
+using bench::Banner;
+using bench::Fmt;
+using bench::FmtU;
+using bench::Table;
+
+void Sweep(CompactionPolicy policy, const char* label) {
+  Banner(label);
+  Table table({"bits/key", "filter KB", "MO", "hit blk/q", "miss blk/q",
+               "RO(mixed)"});
+  const size_t kN = 60000;
+  for (size_t bits : {0u, 2u, 4u, 6u, 8u, 10u, 12u, 16u}) {
+    Options options;
+    options.block_size = 4096;
+    options.lsm.memtable_entries = 2048;
+    options.lsm.bloom_bits_per_key = bits;
+    options.lsm.policy = policy;
+    LsmTree tree(options);
+    Rng load_rng(4);
+    for (size_t i = 0; i < kN; ++i) {
+      (void)tree.Insert(load_rng.NextBelow(1u << 20) * 2, i);
+    }
+    uint64_t filter_bytes = tree.stats().space_aux;
+    double mo = tree.stats().space_amplification();
+
+    tree.ResetStats();
+    Rng rng(5);
+    Rng replay(4);  // Same seed as the loader: replays inserted keys.
+    const int kQ = 3000;
+    for (int i = 0; i < kQ; ++i) {
+      (void)tree.Get(replay.NextBelow(1u << 20) * 2);  // All hits.
+    }
+    double hit_blocks =
+        static_cast<double>(tree.stats().blocks_read) / kQ;
+    tree.ResetStats();
+    for (int i = 0; i < kQ; ++i) {
+      (void)tree.Get(rng.NextBelow(1u << 20) * 2 + 1);  // All misses.
+    }
+    double miss_blocks =
+        static_cast<double>(tree.stats().blocks_read) / kQ;
+    tree.ResetStats();
+    for (int i = 0; i < kQ; ++i) {
+      Key k = rng.NextBelow(1u << 21);
+      (void)tree.Get(k);
+    }
+    double ro = tree.stats().read_amplification();
+    table.AddRow({FmtU(bits), Fmt("%.0f", filter_bytes / 1024.0),
+                  Fmt("%.3f", mo), Fmt("%.2f", hit_blocks),
+                  Fmt("%.3f", miss_blocks),
+                  ro == 0 ? "-" : Fmt("%.1f", ro)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace rum
+
+int main() {
+  rum::bench::Banner(
+      "A1: Bloom bits/key vs LSM read cost -- spending M to buy R");
+  rum::Sweep(rum::CompactionPolicy::kLeveled, "Levelled LSM");
+  rum::Sweep(rum::CompactionPolicy::kTiered, "Tiered LSM");
+  std::printf(
+      "\nExpected shape: miss cost collapses toward zero blocks within the\n"
+      "first ~8 bits/key while filter space (MO) grows linearly; the\n"
+      "effect is larger for tiered (more runs to exclude).\n");
+  return 0;
+}

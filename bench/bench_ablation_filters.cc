@@ -1,0 +1,141 @@
+// Ablation A6 -- the probabilistic building blocks of Section 5 compared:
+// classic Bloom filter, cache-line blocked Bloom filter, and the updatable
+// quotient filter.
+//
+// The paper's Section 4 argues tunable access methods must be cache-aware,
+// and Section 5 wants *updatable* probabilistic structures. This bench
+// quantifies what each property costs: false-positive rate, space, bytes
+// touched per probe, and whether deletes are supported.
+#include <functional>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "methods/sketch/blocked_bloom.h"
+#include "methods/sketch/bloom_filter.h"
+#include "methods/sketch/quotient_filter.h"
+#include "workload/distribution.h"
+
+namespace rum {
+namespace {
+
+using bench::Banner;
+using bench::Fmt;
+using bench::FmtU;
+using bench::Table;
+
+constexpr size_t kKeys = 1u << 15;
+constexpr size_t kProbes = 60000;
+
+double MeasureFp(const std::function<bool(Key)>& may_contain) {
+  size_t fp = 0;
+  for (Key k = 0; k < kProbes; ++k) {
+    if (may_contain(10 * kKeys + k)) ++fp;
+  }
+  return static_cast<double>(fp) / kProbes;
+}
+
+void Compare() {
+  Banner("Filter families at matched space budgets");
+  Table table({"filter", "bits/key", "space KB", "fp rate", "B/probe",
+               "deletes"});
+  for (size_t bits : {6u, 8u, 10u, 12u}) {
+    {
+      RumCounters counters;
+      BloomFilter bloom(kKeys, bits, &counters);
+      for (Key k = 0; k < kKeys; ++k) bloom.Add(k);
+      CounterSnapshot before = counters.snapshot();
+      double fp = MeasureFp([&](Key k) { return bloom.MayContain(k); });
+      double per_probe =
+          static_cast<double>(counters.snapshot().bytes_read_aux -
+                              before.bytes_read_aux) /
+          kProbes;
+      table.AddRow({"bloom", FmtU(bits),
+                    Fmt("%.1f", bloom.space_bytes() / 1024.0),
+                    Fmt("%.5f", fp), Fmt("%.2f", per_probe), "no"});
+    }
+    {
+      RumCounters counters;
+      BlockedBloomFilter blocked(kKeys, bits, &counters);
+      for (Key k = 0; k < kKeys; ++k) blocked.Add(k);
+      CounterSnapshot before = counters.snapshot();
+      double fp = MeasureFp([&](Key k) { return blocked.MayContain(k); });
+      double per_probe =
+          static_cast<double>(counters.snapshot().bytes_read_aux -
+                              before.bytes_read_aux) /
+          kProbes;
+      table.AddRow({"blocked-bloom", FmtU(bits),
+                    Fmt("%.1f", blocked.space_bytes() / 1024.0),
+                    Fmt("%.5f", fp), Fmt("%.2f", per_probe),
+                    "no (1 line/op)"});
+    }
+    {
+      // Match the space budget: slots x (r+3) bits ~ kKeys x bits at ~50%
+      // load -> quotient bits = log2(2 * kKeys), remainder = 2*bits - 3.
+      RumCounters counters;
+      size_t remainder = bits * 2 > 3 ? bits * 2 - 3 : 1;
+      QuotientFilter qf(16, remainder, &counters);  // 65536 slots.
+      for (Key k = 0; k < kKeys; ++k) {
+        (void)qf.Insert(k);
+      }
+      CounterSnapshot before = counters.snapshot();
+      double fp = MeasureFp([&](Key k) { return qf.MayContain(k); });
+      double per_probe =
+          static_cast<double>(counters.snapshot().bytes_read_aux -
+                              before.bytes_read_aux) /
+          kProbes;
+      table.AddRow({"quotient", FmtU(bits),
+                    Fmt("%.1f", qf.space_bytes() / 1024.0),
+                    Fmt("%.5f", fp), Fmt("%.2f", per_probe), "YES"});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: at matched space, all three sit within a small\n"
+      "factor in false-positive rate. The blocked filter touches exactly\n"
+      "one cache line per probe (vs ~7 scattered bits); the quotient\n"
+      "filter pays clustered probes and ~2x space for the one property the\n"
+      "others lack -- deletability -- which is what Section 5's updatable\n"
+      "approximate indexes need.\n");
+}
+
+void DeleteCycle() {
+  Banner("Quotient filter under insert/delete churn (Bloom cannot do this)");
+  Table table({"phase", "elements", "load", "fp rate"});
+  RumCounters counters;
+  QuotientFilter qf(15, 12, &counters);
+  Rng rng(41);
+  std::vector<Key> live;
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 6000; ++i) {
+      Key k = rng.Next();
+      if (qf.Insert(k)) live.push_back(k);
+    }
+    for (int i = 0; i < 3000 && !live.empty(); ++i) {
+      size_t idx = static_cast<size_t>(rng.NextBelow(live.size()));
+      (void)qf.Delete(live[idx]);
+      live[idx] = live.back();
+      live.pop_back();
+    }
+    double fp = MeasureFp([&](Key k) { return qf.MayContain(k); });
+    table.AddRow({"round " + FmtU(round + 1), FmtU(qf.element_count()),
+                  Fmt("%.3f", qf.load_factor()), Fmt("%.5f", fp)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: the false-positive rate tracks the live load and\n"
+      "does NOT ratchet upward across churn rounds -- deletes really\n"
+      "remove fingerprints. A Bloom filter under the same churn would\n"
+      "saturate monotonically.\n");
+}
+
+}  // namespace
+}  // namespace rum
+
+int main() {
+  rum::bench::Banner(
+      "A6: probabilistic structures -- Bloom vs blocked Bloom vs quotient "
+      "filter");
+  rum::Compare();
+  rum::DeleteCycle();
+  return 0;
+}

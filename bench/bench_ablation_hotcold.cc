@@ -1,0 +1,131 @@
+// Ablation A7 -- Section 5's "dynamic RUM balance": the hot/cold store's
+// payoff as a function of workload skew.
+//
+// Under uniform access nothing is hot and the store degenerates to its
+// cold LSM (plus sketch overhead). As Zipf skew grows, the CountMin
+// sketch concentrates the hot table on the true heavy hitters and device
+// reads collapse -- most of a hash index's read performance for a bounded
+// memory overhead. The same sweep also runs the absorbed-bitmap wrapper to
+// show the other Section-5 composition (updatable filters buying U).
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "methods/factory.h"
+#include "methods/approx/update_absorber.h"
+#include "methods/hotcold/hot_cold.h"
+#include "workload/distribution.h"
+
+namespace rum {
+namespace {
+
+using bench::Banner;
+using bench::Fmt;
+using bench::FmtU;
+using bench::Table;
+
+void SkewSweep() {
+  Banner("Hot/cold store vs plain LSM across workload skew");
+  Table table({"zipf theta", "store", "blk/get", "MO", "hot keys",
+               "promotions"});
+  const size_t kN = 60000;
+  const int kGets = 20000;
+  for (double theta : {0.0, 0.6, 0.9, 0.99, 1.2}) {
+    for (bool hot_cold : {false, true}) {
+      Options options;
+      options.block_size = 4096;
+      options.hot_cold.hot_capacity = 2048;
+      options.hot_cold.promote_estimate = 3;
+      std::unique_ptr<AccessMethod> store =
+          MakeAccessMethod(hot_cold ? "hot-cold" : "lsm-leveled", options);
+      std::vector<Entry> entries = MakeSortedEntries(kN);
+      (void)store->BulkLoad(entries);
+      (void)store->Flush();
+      store->ResetStats();
+      KeyGenerator keys(theta == 0.0 ? KeyDistribution::kUniform
+                                     : KeyDistribution::kZipfian,
+                        kN, 7, theta == 0.0 ? 0.99 : theta);
+      for (int i = 0; i < kGets; ++i) {
+        (void)store->Get(keys.Next());
+      }
+      CounterSnapshot snap = store->stats();
+      double blk = static_cast<double>(snap.blocks_read) / kGets;
+      std::string hot_info = "-";
+      std::string promo = "-";
+      if (hot_cold) {
+        auto* hc = static_cast<HotColdStore*>(store.get());
+        hot_info = FmtU(hc->hot_count());
+        promo = FmtU(hc->promotions());
+      }
+      char theta_label[16];
+      std::snprintf(theta_label, sizeof(theta_label),
+                    theta == 0.0 ? "uniform" : "%.2f", theta);
+      table.AddRow({theta_label, hot_cold ? "hot-cold" : "lsm-leveled",
+                    Fmt("%.3f", blk),
+                    Fmt("%.3f", snap.space_amplification()), hot_info,
+                    promo});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: at uniform access the two stores read the same\n"
+      "number of blocks (the hot table admits nothing useful); as skew\n"
+      "grows, the hot/cold store's device reads collapse toward zero while\n"
+      "its memory overhead stays bounded by the hot capacity.\n");
+}
+
+void AbsorberSweep() {
+  Banner("Update absorber over a direct-mode bitmap: delta capacity sweep");
+  Table table({"delta cap", "ins aux B/op", "pending", "get blk/q"});
+  const Key kDomain = 1u << 18;
+  const int kInserts = 8000;
+  const int kGets = 500;
+  for (size_t delta : {1u, 256u, 1024u, 4096u}) {
+    Options options;
+    options.block_size = 4096;
+    options.bitmap.cardinality = 128;
+    options.bitmap.key_domain = kDomain;
+    options.absorber.delta_entries = delta;
+    std::unique_ptr<AccessMethod> store =
+        MakeAccessMethod("absorbed-bitmap", options);
+    Rng rng(15);
+    for (int i = 0; i < kInserts; ++i) {
+      (void)store->Insert(rng.Next() % kDomain, i);
+    }
+    double ins_bytes =
+        static_cast<double>(store->stats().bytes_written_aux) / kInserts;
+    auto* absorber = static_cast<UpdateAbsorber*>(store.get());
+    size_t pending = absorber->pending_updates();
+    // Drain before the read phase so every configuration reads the same
+    // fully-indexed bitmap (otherwise read cost would just reflect how
+    // much data had reached the base yet).
+    (void)store->Flush();
+    store->ResetStats();
+    for (int i = 0; i < kGets; ++i) {
+      (void)store->Get(rng.Next() % kDomain);
+    }
+    double get_blk =
+        static_cast<double>(store->stats().blocks_read) / kGets;
+    table.AddRow({FmtU(delta), Fmt("%.1f", ins_bytes), FmtU(pending),
+                  Fmt("%.2f", get_blk)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: a delta of 1 degenerates to direct updates (every\n"
+      "insert drains immediately); growing the delta cuts the per-insert\n"
+      "bitmap maintenance, and because drains apply in key order, larger\n"
+      "batches also *cluster* the heap -- each bin's rows land on few\n"
+      "blocks, so post-drain reads get cheaper too. Buffering buys U and,\n"
+      "through clustering, some R; the price is the delta's memory and the\n"
+      "filter probes on every read.\n");
+}
+
+}  // namespace
+}  // namespace rum
+
+int main() {
+  rum::bench::Banner(
+      "A7: dynamic RUM balance -- hot/cold steering and update absorption");
+  rum::SkewSweep();
+  rum::AbsorberSweep();
+  return 0;
+}

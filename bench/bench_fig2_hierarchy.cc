@@ -1,0 +1,87 @@
+// Experiment E4 -- the paper's Figure 2: RUM overheads across a memory
+// hierarchy. "The RO_n read and UO_n update overheads at memory level n can
+// be reduced by storing more data at the previous level n-1, which results,
+// at least, in a higher MO_{n-1}."
+//
+// A B+-Tree runs a skewed point-query + update workload through an LRU
+// cache (level n-1) stacked on the simulated device (level n). Sweeping the
+// cache capacity shows RO_n and UO_n falling as MO_{n-1} grows.
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "methods/btree/btree.h"
+#include "storage/block_device.h"
+#include "storage/caching_device.h"
+#include "workload/distribution.h"
+
+namespace rum {
+namespace {
+
+using bench::Banner;
+using bench::Fmt;
+using bench::FmtU;
+using bench::Table;
+
+void Sweep() {
+  Banner(
+      "Figure 2 measured: level-(n-1) cache capacity vs level-n overheads");
+  Table table({"cache pages", "MO(n-1) KB", "RO(n) blk/get", "UO(n) blk/upd",
+               "hit rate"});
+  const size_t kN = 100000;
+  for (size_t cache_pages :
+       {0u, 32u, 128u, 512u, 2048u, 8192u}) {
+    RumCounters device_counters;
+    BlockDevice bottom(4096, &device_counters);
+    CachingDevice cache(&bottom, cache_pages);
+
+    Options options;
+    options.block_size = 4096;
+    BTree tree(options, &cache);
+    std::vector<Entry> entries = MakeSortedEntries(kN);
+    (void)tree.BulkLoad(entries);
+    (void)cache.FlushAll();
+    device_counters.ResetTraffic();
+    cache.ResetLevelStats();
+
+    KeyGenerator keys(KeyDistribution::kZipfian, kN, 9, 0.99);
+    Rng rng(10);
+    const int kGets = 20000;
+    const int kUpdates = 4000;
+    for (int i = 0; i < kGets; ++i) {
+      (void)tree.Get(keys.Next());
+    }
+    uint64_t reads_after_gets = device_counters.snapshot().blocks_read;
+    for (int i = 0; i < kUpdates; ++i) {
+      (void)tree.Update(keys.Next(), rng.Next());
+    }
+    (void)cache.FlushAll();
+    uint64_t device_writes = device_counters.snapshot().blocks_written;
+
+    double ro = static_cast<double>(reads_after_gets) / kGets;
+    double uo = static_cast<double>(device_writes) / kUpdates;
+    double mo_kb = static_cast<double>(cache.level_stats().space_aux) /
+                   1024.0;
+    double hit_rate =
+        cache.hits() + cache.misses() == 0
+            ? 0
+            : static_cast<double>(cache.hits()) /
+                  static_cast<double>(cache.hits() + cache.misses());
+    table.AddRow({FmtU(cache_pages), Fmt("%.0f", mo_kb), Fmt("%.3f", ro),
+                  Fmt("%.3f", uo), Fmt("%.3f", hit_rate)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape (paper Fig. 2): RO_n and UO_n fall monotonically as\n"
+      "MO_(n-1) -- the space spent one level up -- grows.\n");
+}
+
+}  // namespace
+}  // namespace rum
+
+int main() {
+  rum::bench::Banner(
+      "E4: Figure 2 of the paper -- the RUM tradeoff across a memory "
+      "hierarchy");
+  rum::Sweep();
+  return 0;
+}

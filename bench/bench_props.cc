@@ -1,0 +1,134 @@
+// Experiment E1 -- the paper's Propositions 1-3 (Section 2).
+//
+// For each structure that minimizes exactly one RUM overhead, measure all
+// three overheads across a size sweep and confirm:
+//   Prop 1 (MagicArray): RO = 1.0 => UO = 2.0 (ChangeKey) and MO -> inf.
+//   Prop 2 (PureLog):    UO = 1.0 => RO and MO grow with every update.
+//   Prop 3 (DenseArray): MO = 1.0 => RO = N (scan) and UO = 1.0.
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "methods/extremes/dense_array.h"
+#include "methods/extremes/magic_array.h"
+#include "methods/extremes/pure_log.h"
+#include "workload/distribution.h"
+
+namespace rum {
+namespace {
+
+using bench::Banner;
+using bench::Fmt;
+using bench::FmtU;
+using bench::Table;
+
+void BenchMagicArray() {
+  Banner("Prop 1: MagicArray (min RO=1.0 => UO=2.0, MO unbounded)");
+  Table table({"N", "domain", "RO(get)", "UO(change)", "MO", "paper"});
+  for (size_t n : {1u << 10, 1u << 12, 1u << 14, 1u << 16}) {
+    Options options;
+    options.extremes.magic_array_domain = 1u << 20;
+    MagicArray array(options);
+    std::vector<Entry> entries = MakeSortedEntries(n, 0, 4);
+    (void)array.BulkLoad(entries);
+    array.ResetStats();
+    Rng rng(1);
+    for (size_t i = 0; i < 2000; ++i) {
+      (void)array.Get(rng.NextBelow(n) * 4);
+    }
+    double ro = array.stats().read_amplification();
+    array.ResetStats();
+    for (size_t i = 0; i < 1000; ++i) {
+      Key victim = rng.NextBelow(n) * 4;
+      if (array.Get(victim).ok()) {
+        // Paper's "change a value": move it to a new position.
+        (void)array.ChangeKey(victim, victim + 1);
+        (void)array.ChangeKey(victim + 1, victim);
+      }
+    }
+    CounterSnapshot snap = array.stats();
+    // Measure UO of the ChangeKey ops alone (the gets above added reads).
+    double uo = snap.write_amplification();
+    double mo = snap.space_amplification();
+    table.AddRow({FmtU(n), FmtU(1u << 20), Fmt("%.3f", ro), Fmt("%.3f", uo),
+                  Fmt("%.1f", mo),
+                  "RO=1.0 UO=2.0 MO=" + Fmt("%.1f", (1u << 20) / double(n))});
+  }
+  table.Print();
+}
+
+void BenchPureLog() {
+  Banner("Prop 2: PureLog (min UO=1.0 => RO, MO grow with updates)");
+  Table table(
+      {"updates", "live", "UO", "entries-read/miss", "MO", "paper"});
+  Options options;
+  PureLog log(options);
+  Rng rng(2);
+  const Key kLive = 512;
+  uint64_t total_updates = 0;
+  for (int round = 0; round < 5; ++round) {
+    size_t burst = 1000u << round;
+    for (size_t i = 0; i < burst; ++i) {
+      (void)log.Insert(rng.NextBelow(kLive), i);
+    }
+    total_updates += burst;
+    double uo = log.stats().write_amplification();
+    double mo = log.stats().space_amplification();
+    // Worst-case read: a key with no newer version forces a full backward
+    // scan of the ever-growing log.
+    CounterSnapshot before = log.stats();
+    for (int q = 0; q < 20; ++q) {
+      (void)log.Get(kLive + q);  // Absent: scans the whole log.
+    }
+    CounterSnapshot delta = log.stats() - before;
+    double scan_entries = static_cast<double>(delta.total_bytes_read()) /
+                          kEntrySize / 20.0;
+    table.AddRow({FmtU(total_updates), FmtU(log.size()), Fmt("%.3f", uo),
+                  Fmt("%.0f", scan_entries), Fmt("%.1f", mo),
+                  "UO=1.0, RO and MO increase monotonically"});
+  }
+  table.Print();
+}
+
+void BenchDenseArray() {
+  Banner("Prop 3: DenseArray (min MO=1.0 => RO=N scan, UO=1.0)");
+  Table table({"N", "MO", "RO(get)", "entries-read/get", "UO(update)",
+               "paper"});
+  for (size_t n : {1u << 10, 1u << 12, 1u << 14}) {
+    Options options;
+    DenseArray array(options);
+    std::vector<Entry> entries = MakeSortedEntries(n);
+    (void)array.BulkLoad(entries);
+    double mo = array.stats().space_amplification();
+    array.ResetStats();
+    Rng rng(3);
+    const int kQueries = 200;
+    for (int q = 0; q < kQueries; ++q) {
+      (void)array.Get(rng.NextBelow(n));
+    }
+    CounterSnapshot reads = array.stats();
+    double ro = reads.read_amplification();
+    double per_get = static_cast<double>(reads.total_bytes_read()) /
+                     kEntrySize / kQueries;
+    array.ResetStats();
+    for (int u = 0; u < 200; ++u) {
+      (void)array.Update(rng.NextBelow(n), u);
+    }
+    double uo = array.stats().write_amplification();
+    table.AddRow({FmtU(n), Fmt("%.3f", mo), Fmt("%.1f", ro),
+                  Fmt("%.1f", per_get), Fmt("%.3f", uo),
+                  "MO=1.0 UO=1.0 RO~N/2=" + Fmt("%.0f", n / 2.0)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace rum
+
+int main() {
+  rum::bench::Banner(
+      "E1: The three RUM extremes (paper Section 2, Propositions 1-3)");
+  rum::BenchMagicArray();
+  rum::BenchPureLog();
+  rum::BenchDenseArray();
+  return 0;
+}

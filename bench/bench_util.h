@@ -1,0 +1,122 @@
+#ifndef RUMLAB_BENCH_BENCH_UTIL_H_
+#define RUMLAB_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/rum_point.h"
+
+namespace rum {
+namespace bench {
+
+/// A 2-D triangle position (read corner top at (0.5, 1), write bottom-left
+/// at (0, 0), space bottom-right at (1, 0)).
+struct TrianglePos {
+  double x = 0;
+  double y = 0;
+};
+
+/// Projects a population of RUM points onto the triangle using
+/// log-normalized, population-relative efficiencies per axis (the best
+/// method on an axis scores 1). The paper's figures are qualitative; this
+/// makes "closer to a corner" mean "better than the others on that axis".
+inline std::vector<TrianglePos> NormalizeTriangle(
+    const std::vector<RumPoint>& points) {
+  auto axis = [&](auto getter) {
+    double lo = 1e300, hi = -1e300;
+    for (const RumPoint& p : points) {
+      double v = std::log(std::max(1.0, getter(p)));
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    std::vector<double> eff;
+    for (const RumPoint& p : points) {
+      double v = std::log(std::max(1.0, getter(p)));
+      eff.push_back(hi == lo ? 1.0 : 1.0 - (v - lo) / (hi - lo));
+    }
+    return eff;
+  };
+  std::vector<double> er =
+      axis([](const RumPoint& p) { return p.read_overhead; });
+  std::vector<double> eu =
+      axis([](const RumPoint& p) { return p.update_overhead; });
+  std::vector<double> em =
+      axis([](const RumPoint& p) { return p.memory_overhead; });
+  std::vector<TrianglePos> out(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    double r = er[i] + 0.05, u = eu[i] + 0.05, m = em[i] + 0.05;
+    double sum = r + u + m;
+    out[i].x = (r * 0.5 + m * 1.0) / sum;
+    out[i].y = r / sum;
+  }
+  return out;
+}
+
+/// Minimal fixed-width table printer for bench output.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void Print() const {
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        if (row[c].size() > widths[c]) widths[c] = row[c].size();
+      }
+    }
+    PrintRow(headers_, widths);
+    std::string rule;
+    for (size_t c = 0; c < widths.size(); ++c) {
+      rule += std::string(widths[c], '-');
+      if (c + 1 < widths.size()) rule += "-+-";
+    }
+    std::printf("%s\n", rule.c_str());
+    for (const auto& row : rows_) {
+      PrintRow(row, widths);
+    }
+  }
+
+ private:
+  static void PrintRow(const std::vector<std::string>& row,
+                       const std::vector<size_t>& widths) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      std::printf("%-*s", static_cast<int>(widths[c]), cell.c_str());
+      if (c + 1 < widths.size()) std::printf(" | ");
+    }
+    std::printf("\n");
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(const char* format, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, value);
+  return std::string(buf);
+}
+
+inline std::string FmtU(unsigned long long value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", value);
+  return std::string(buf);
+}
+
+inline void Banner(const char* title) {
+  std::printf("\n=== %s ===\n\n", title);
+}
+
+}  // namespace bench
+}  // namespace rum
+
+#endif  // RUMLAB_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,105 @@
+// Wall-clock microbenchmarks (google-benchmark) for every access method:
+// point gets and inserts on a pre-loaded structure. The amplification
+// benches are the reproduction targets; these numbers show the simulator's
+// own throughput and the relative CPU cost of the structures.
+#include <memory>
+
+#include <benchmark/benchmark.h>
+
+#include "methods/factory.h"
+#include "workload/distribution.h"
+
+namespace rum {
+namespace {
+
+constexpr size_t kLoad = 20000;
+constexpr Key kRange = 1u << 16;
+
+Options BenchOptions() {
+  Options options;
+  options.block_size = 4096;
+  options.bitmap.key_domain = kRange;
+  options.extremes.magic_array_domain = kRange;
+  return options;
+}
+
+std::unique_ptr<AccessMethod> LoadedMethod(const std::string& name,
+                                           size_t load) {
+  std::unique_ptr<AccessMethod> method =
+      MakeAccessMethod(name, BenchOptions());
+  std::vector<Entry> entries = MakeSortedEntries(load, 0, 2);
+  (void)method->BulkLoad(entries);
+  (void)method->Flush();
+  return method;
+}
+
+void BM_Get(benchmark::State& state, const std::string& name, size_t load) {
+  std::unique_ptr<AccessMethod> method = LoadedMethod(name, load);
+  Rng rng(1);
+  for (auto _ : state) {
+    Key k = rng.NextBelow(load) * 2;
+    benchmark::DoNotOptimize(method->Get(k));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_Insert(benchmark::State& state, const std::string& name,
+               size_t load) {
+  std::unique_ptr<AccessMethod> method = LoadedMethod(name, load);
+  Rng rng(2);
+  for (auto _ : state) {
+    Key k = rng.NextBelow(load) * 2 + 1;
+    benchmark::DoNotOptimize(method->Insert(k, 1));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_Scan(benchmark::State& state, const std::string& name, size_t load) {
+  std::unique_ptr<AccessMethod> method = LoadedMethod(name, load);
+  Rng rng(3);
+  std::vector<Entry> out;
+  for (auto _ : state) {
+    Key lo = rng.NextBelow(load);
+    out.clear();
+    benchmark::DoNotOptimize(method->Scan(lo, lo + 128, &out));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+struct Registration {
+  Registration() {
+    // The linear-scan structures get a reduced load so a single iteration
+    // stays in the microsecond range.
+    const std::pair<const char*, size_t> configs[] = {
+        {"btree", kLoad},          {"hash", kLoad},
+        {"zonemap", kLoad},        {"lsm-leveled", kLoad},
+        {"lsm-tiered", kLoad},     {"sorted-column", kLoad},
+        {"skiplist", kLoad},       {"trie", kLoad},
+        {"bitmap-delta", kLoad},   {"cracking", kLoad},
+        {"stepped-merge", kLoad},  {"bloom-zones", kLoad},
+        {"magic-array", kLoad},    {"unsorted-column", 2000},
+        {"pure-log", 2000},        {"dense-array", 2000},
+    };
+    for (const auto& [name, load] : configs) {
+      std::string n = name;
+      benchmark::RegisterBenchmark(("Get/" + n).c_str(),
+                                   [n, load = load](benchmark::State& s) {
+                                     BM_Get(s, n, load);
+                                   });
+      benchmark::RegisterBenchmark(("Insert/" + n).c_str(),
+                                   [n, load = load](benchmark::State& s) {
+                                     BM_Insert(s, n, load);
+                                   });
+      benchmark::RegisterBenchmark(("Scan128/" + n).c_str(),
+                                   [n, load = load](benchmark::State& s) {
+                                     BM_Scan(s, n, load);
+                                   });
+    }
+  }
+};
+Registration registration;
+
+}  // namespace
+}  // namespace rum
+
+BENCHMARK_MAIN();

@@ -1,0 +1,114 @@
+// kv_shell: an interactive (or scripted) shell over any rumlab access
+// method, with live RUM accounting -- the downstream-user view of the
+// library.
+//
+// Usage: kv_shell [method]            (default: btree)
+// Commands on stdin, one per line:
+//   put <key> <value>      upsert
+//   get <key>              point query
+//   del <key>              delete
+//   scan <lo> <hi>         inclusive range query
+//   load <n>               bulk-load n dense entries (empty store only)
+//   stats                  cumulative RUM profile
+//   reset                  reset traffic counters
+//   methods                list available methods
+//   help                   this text
+//   quit
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "methods/factory.h"
+#include "workload/distribution.h"
+
+namespace {
+
+void PrintStats(const rum::AccessMethod& method) {
+  rum::CounterSnapshot s = method.stats();
+  std::printf("method: %s, entries: %zu\n",
+              std::string(method.name()).c_str(), method.size());
+  std::printf("%s\n", s.ToString().c_str());
+  std::printf("RUM point: %s\n", method.rum_point().ToString().c_str());
+}
+
+void PrintHelp() {
+  std::printf(
+      "commands: put <k> <v> | get <k> | del <k> | scan <lo> <hi> |\n"
+      "          load <n> | stats | reset | methods | help | quit\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rum;
+  const char* name = argc > 1 ? argv[1] : "btree";
+  Options options;
+  std::unique_ptr<AccessMethod> method = MakeAccessMethod(name, options);
+  if (method == nullptr) {
+    std::fprintf(stderr, "unknown method '%s'; try one of:\n", name);
+    for (std::string_view m : AllAccessMethodNames()) {
+      std::fprintf(stderr, "  %s\n", std::string(m).c_str());
+    }
+    return 1;
+  }
+  std::printf("rumlab kv_shell on '%s' -- type 'help' for commands\n", name);
+
+  char line[256];
+  while (std::fgets(line, sizeof(line), stdin) != nullptr) {
+    char cmd[32] = {0};
+    uint64_t a = 0, b = 0;
+    int n = std::sscanf(line, "%31s %" SCNu64 " %" SCNu64, cmd, &a, &b);
+    if (n < 1) continue;
+    if (std::strcmp(cmd, "quit") == 0 || std::strcmp(cmd, "exit") == 0) {
+      break;
+    } else if (std::strcmp(cmd, "help") == 0) {
+      PrintHelp();
+    } else if (std::strcmp(cmd, "methods") == 0) {
+      for (std::string_view m : AllAccessMethodNames()) {
+        std::printf("  %s\n", std::string(m).c_str());
+      }
+    } else if (std::strcmp(cmd, "put") == 0 && n == 3) {
+      Status s = method->Insert(a, b);
+      std::printf(s.ok() ? "ok\n" : "error: %s\n", s.ToString().c_str());
+    } else if (std::strcmp(cmd, "get") == 0 && n >= 2) {
+      Result<Value> r = method->Get(a);
+      if (r.ok()) {
+        std::printf("%" PRIu64 "\n", r.value());
+      } else {
+        std::printf("(%s)\n", r.status().ToString().c_str());
+      }
+    } else if (std::strcmp(cmd, "del") == 0 && n >= 2) {
+      Status s = method->Delete(a);
+      std::printf(s.ok() ? "ok\n" : "error: %s\n", s.ToString().c_str());
+    } else if (std::strcmp(cmd, "scan") == 0 && n == 3) {
+      std::vector<Entry> out;
+      Status s = method->Scan(a, b, &out);
+      if (!s.ok()) {
+        std::printf("error: %s\n", s.ToString().c_str());
+        continue;
+      }
+      for (const Entry& e : out) {
+        std::printf("  %" PRIu64 " -> %" PRIu64 "\n", e.key, e.value);
+      }
+      std::printf("(%zu entries)\n", out.size());
+    } else if (std::strcmp(cmd, "load") == 0 && n >= 2) {
+      std::vector<Entry> entries = MakeSortedEntries(a);
+      Status s = method->BulkLoad(entries);
+      if (s.ok()) {
+        std::printf("loaded %" PRIu64 "\n", a);
+      } else {
+        std::printf("error: %s\n", s.ToString().c_str());
+      }
+    } else if (std::strcmp(cmd, "stats") == 0) {
+      PrintStats(*method);
+    } else if (std::strcmp(cmd, "reset") == 0) {
+      method->ResetStats();
+      std::printf("ok\n");
+    } else {
+      std::printf("? (help for commands)\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// morphing_store: a day in the life of a Figure-3 access method.
+//
+// One MorphingAccessMethod serves three consecutive workload phases --
+// ingest-heavy, then read-heavy, then space-constrained -- re-targeting
+// its RUM priorities at each phase boundary and migrating its data to the
+// shape that fits.
+#include <cstdio>
+#include <memory>
+
+#include "adaptive/morphing.h"
+#include "workload/runner.h"
+
+namespace {
+
+void Report(const char* phase, const rum::MorphingAccessMethod& store,
+            const rum::Result<rum::RumProfile>& profile) {
+  if (!profile.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", phase,
+                 profile.status().ToString().c_str());
+    return;
+  }
+  std::printf("%-18s shape=%-12s %s\n", phase,
+              std::string(MorphShapeName(store.shape())).c_str(),
+              profile.value().point.ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  using namespace rum;
+  Options options;
+  options.block_size = 4096;
+  // Start life as a write-optimized store: the ingest phase comes first.
+  options.morphing.read_priority = 1;
+  options.morphing.write_priority = 8;
+  options.morphing.space_priority = 1;
+  MorphingAccessMethod store(options);
+
+  const Key kRange = 1u << 16;
+
+  // --- Phase 1: bulk ingest (append-heavy).
+  WorkloadSpec ingest = WorkloadSpec::WriteOnly(40000, kRange);
+  Result<RumProfile> p1 = WorkloadRunner::Run(&store, ingest);
+  Report("phase 1 ingest", store, p1);
+
+  // --- Phase 2: the analysts arrive; re-target for reads and migrate.
+  (void)store.SetPriorities(8, 1, 1);
+  std::printf("  -> morphed (%zu migrations so far)\n", store.morph_count());
+  store.ResetStats();
+  WorkloadSpec serve = WorkloadSpec::ReadMostly(20000, kRange);
+  serve.scan_fraction = 0.10;
+  Result<RumProfile> p2 = WorkloadRunner::Run(&store, serve);
+  Report("phase 2 serving", store, p2);
+
+  // --- Phase 3: storage pressure; shed auxiliary structure.
+  (void)store.SetPriorities(1, 1, 8);
+  std::printf("  -> morphed (%zu migrations so far)\n", store.morph_count());
+  store.ResetStats();
+  Result<RumProfile> p3 = WorkloadRunner::Run(&store, serve);
+  Report("phase 3 squeezed", store, p3);
+
+  std::printf(
+      "\nOne store, three shapes: the write phase ran on sorted runs, the\n"
+      "read phase on a B+-Tree, the squeezed phase on a zone-mapped dense\n"
+      "column -- the paper's morphing access method, with every migration\n"
+      "byte accounted.\n");
+  return 0;
+}

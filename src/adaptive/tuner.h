@@ -1,0 +1,49 @@
+#ifndef RUMLAB_ADAPTIVE_TUNER_H_
+#define RUMLAB_ADAPTIVE_TUNER_H_
+
+#include <string>
+
+#include "core/options.h"
+#include "core/rum_point.h"
+
+namespace rum {
+
+/// A proposed knob change from the online tuner.
+struct TuningAction {
+  bool changed = false;
+  Options options;      ///< The adjusted options (== input when !changed).
+  std::string reason;   ///< Human-readable explanation.
+};
+
+/// The paper's "dynamic RUM balance" (Section 5): watch a running access
+/// method's measured RUM point drift from a target and nudge its tuning
+/// knobs back toward it.
+///
+/// The tuner is a pure decision function -- observe(measured, target) ->
+/// new Options -- so callers control when and how re-tuning is applied
+/// (rebuild, morph, or next instance). Supported knobs:
+///   - LSM: size ratio (down when reads hurt, up when writes hurt) and
+///     merge policy (leveled when reads dominate the pain, tiered for
+///     writes), bloom bits (up when reads hurt and space allows);
+///   - B+-Tree: node size (up when reads hurt: shallower tree; down when
+///     updates hurt: cheaper page rewrites);
+///   - ZoneMaps: zone size (down when reads hurt, up when space hurts);
+///   - Bitmap: delta threshold (up when updates hurt, down when reads do).
+class OnlineTuner {
+ public:
+  /// Relative tolerance before any knob moves (e.g. 0.2 = 20%).
+  explicit OnlineTuner(double tolerance = 0.2) : tolerance_(tolerance) {}
+
+  /// Proposes new options for `method_name` given the measured and target
+  /// RUM points.
+  TuningAction Observe(std::string_view method_name, const Options& current,
+                       const RumPoint& measured,
+                       const RumPoint& target) const;
+
+ private:
+  double tolerance_;
+};
+
+}  // namespace rum
+
+#endif  // RUMLAB_ADAPTIVE_TUNER_H_

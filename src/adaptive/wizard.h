@@ -1,0 +1,74 @@
+#ifndef RUMLAB_ADAPTIVE_WIZARD_H_
+#define RUMLAB_ADAPTIVE_WIZARD_H_
+
+#include <string>
+#include <vector>
+
+#include "core/options.h"
+#include "core/status.h"
+#include "workload/spec.h"
+
+namespace rum {
+
+/// One wizard recommendation: an access method, its predicted per-operation
+/// cost under the workload, and the reasoning.
+struct Recommendation {
+  std::string method;
+  double predicted_cost = 0;  ///< Weighted blocks/op + space penalty.
+  double read_cost = 0;       ///< Predicted blocks per point query.
+  double scan_cost = 0;       ///< Predicted blocks per range scan.
+  double write_cost = 0;      ///< Predicted blocks per insert (amortized).
+  double space_blocks = 0;    ///< Predicted resident blocks.
+  std::string rationale;
+};
+
+/// The paper's Section-5 "access method wizard": given a workload profile,
+/// a dataset size, and a relative weight on space, rank candidate access
+/// methods by a closed-form cost model derived from Table 1.
+///
+/// The model works in block I/Os with B entries per block and N resident
+/// entries:
+///   btree:           point log_B N, range log_B N + m/B, insert log_B N
+///   hash:            point ~2, range N/B, insert ~2
+///   zonemap:         point Z/B' + P/B, insert Z/B' + P/B (Z zones)
+///   lsm-leveled:     point ~#levels x filter-miss + 1, insert T/B x levels
+///   lsm-tiered:      point ~T x levels, insert levels/B
+///   stepped-merge:   point runs, insert ~levels/B
+///   sorted-column:   point log2(N/B), insert N/B/2
+///   unsorted-column: point N/2B, insert 1/B
+///   bitmap:          point (compressed bits + N/C rows)/B, insert C/31/B
+///   bloom-zones:     point ~1 + fp x zones, insert 1/B
+///   skiplist/trie:   point O(log N)/O(depth) memory probes (cheap reads,
+///                    heavy space)
+///   cracking:        point amortizes from N/2B toward log; insert cheap
+///                    until merge
+///
+/// `space_weight` converts resident blocks into cost units so callers can
+/// express how scarce storage is.
+class RumWizard {
+ public:
+  explicit RumWizard(const Options& options) : options_(options) {}
+
+  /// Ranks all factory methods (cheapest predicted cost first).
+  std::vector<Recommendation> Rank(const WorkloadSpec& workload,
+                                   size_t resident_entries,
+                                   double space_weight = 0.0) const;
+
+  /// The single best method for the workload.
+  Recommendation Recommend(const WorkloadSpec& workload,
+                           size_t resident_entries,
+                           double space_weight = 0.0) const;
+
+  /// Predicts one method's costs; unknown names get +inf cost.
+  Recommendation Predict(std::string_view method,
+                         const WorkloadSpec& workload,
+                         size_t resident_entries,
+                         double space_weight) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace rum
+
+#endif  // RUMLAB_ADAPTIVE_WIZARD_H_

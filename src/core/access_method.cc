@@ -1,0 +1,37 @@
+#include "core/access_method.h"
+
+namespace rum {
+
+Status AccessMethod::Update(Key key, Value value) {
+  Status s = Insert(key, value);
+  if (s.ok()) {
+    counters().ReclassifyInsertAsUpdate();
+  }
+  return s;
+}
+
+Status AccessMethod::CheckBulkLoadPreconditions(
+    std::span<const Entry> entries) const {
+  if (size() != 0) {
+    return Status::InvalidArgument("BulkLoad requires an empty structure");
+  }
+  for (size_t i = 1; i < entries.size(); ++i) {
+    if (entries[i - 1].key >= entries[i].key) {
+      return Status::InvalidArgument(
+          "BulkLoad requires strictly ascending keys");
+    }
+  }
+  return Status::OK();
+}
+
+Status AccessMethod::BulkLoad(std::span<const Entry> entries) {
+  Status s = CheckBulkLoadPreconditions(entries);
+  if (!s.ok()) return s;
+  for (const Entry& e : entries) {
+    s = Insert(e.key, e.value);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+}  // namespace rum

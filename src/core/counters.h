@@ -1,0 +1,162 @@
+#ifndef RUMLAB_CORE_COUNTERS_H_
+#define RUMLAB_CORE_COUNTERS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace rum {
+
+/// Tags every physical access and every resident byte as belonging to the
+/// *base data* (the logical dataset itself) or to *auxiliary data* (indexes,
+/// filters, logs, fence pointers, ... anything an access method adds on top).
+///
+/// The paper's three overheads are ratios over this split (Section 2):
+///  - Read Overhead  (read amplification):  total bytes read / bytes of
+///    base data the operation logically retrieved.
+///  - Update Overhead (write amplification): total bytes physically written
+///    / bytes of the logical update.
+///  - Memory Overhead (space amplification): total resident bytes / resident
+///    base-data bytes.
+enum class DataClass {
+  kBase = 0,
+  kAux = 1,
+};
+
+/// An immutable snapshot of RUM accounting state; also usable as a delta
+/// (snapshot_after - snapshot_before) to measure a single operation or a
+/// whole workload phase.
+struct CounterSnapshot {
+  // -- Physical traffic, in bytes, split by data class.
+  uint64_t bytes_read_base = 0;
+  uint64_t bytes_read_aux = 0;
+  uint64_t bytes_written_base = 0;
+  uint64_t bytes_written_aux = 0;
+
+  // -- Physical traffic, in device blocks (0 for purely in-memory methods
+  //    that account at byte granularity only).
+  uint64_t blocks_read = 0;
+  uint64_t blocks_written = 0;
+
+  // -- Resident space, in bytes, split by data class. These are levels, not
+  //    accumulations: a snapshot records the space in use at that instant.
+  uint64_t space_base = 0;
+  uint64_t space_aux = 0;
+
+  // -- Logical denominators.
+  /// Bytes of base data the caller logically asked for and received
+  /// (point-query hits and scan results).
+  uint64_t logical_bytes_read = 0;
+  /// Bytes of base data the caller logically changed (inserts, updates,
+  /// deletes; one entry each).
+  uint64_t logical_bytes_written = 0;
+
+  // -- Operation counts (for reporting per-op averages).
+  uint64_t point_queries = 0;
+  uint64_t range_queries = 0;
+  uint64_t inserts = 0;
+  uint64_t updates = 0;
+  uint64_t deletes = 0;
+
+  /// Total physical bytes read (base + auxiliary).
+  uint64_t total_bytes_read() const { return bytes_read_base + bytes_read_aux; }
+  /// Total physical bytes written (base + auxiliary).
+  uint64_t total_bytes_written() const {
+    return bytes_written_base + bytes_written_aux;
+  }
+  /// Total resident bytes (base + auxiliary).
+  uint64_t total_space() const { return space_base + space_aux; }
+
+  /// Read amplification: total bytes read / logical bytes retrieved.
+  /// Returns 0 when nothing was logically read.
+  double read_amplification() const;
+  /// Write amplification: total bytes written / logical bytes updated.
+  /// Returns 0 when nothing was logically written.
+  double write_amplification() const;
+  /// Space amplification: total space / base space. Returns 0 when no base
+  /// data is resident.
+  double space_amplification() const;
+
+  /// Component-wise difference; space fields are taken from *this (they are
+  /// levels, not accumulators).
+  CounterSnapshot operator-(const CounterSnapshot& rhs) const;
+  CounterSnapshot& operator+=(const CounterSnapshot& rhs);
+
+  /// Multi-line human-readable rendering for logs and examples.
+  std::string ToString() const;
+};
+
+/// Mutable accumulator fed by devices, memory trackers, and access methods.
+///
+/// Not thread-safe: every access method owns one and rumlab access methods
+/// are single-threaded (matching the paper's single-operation cost model).
+class RumCounters {
+ public:
+  RumCounters() = default;
+
+  /// Records `bytes` physically read from data of class `cls`.
+  void OnRead(DataClass cls, uint64_t bytes) {
+    if (cls == DataClass::kBase) {
+      snap_.bytes_read_base += bytes;
+    } else {
+      snap_.bytes_read_aux += bytes;
+    }
+  }
+
+  /// Records `bytes` physically written to data of class `cls`.
+  void OnWrite(DataClass cls, uint64_t bytes) {
+    if (cls == DataClass::kBase) {
+      snap_.bytes_written_base += bytes;
+    } else {
+      snap_.bytes_written_aux += bytes;
+    }
+  }
+
+  /// Records a whole-block device read/write (granularity accounting).
+  void OnBlockRead() { ++snap_.blocks_read; }
+  void OnBlockWrite() { ++snap_.blocks_written; }
+
+  /// Adjusts resident space of class `cls` by `delta` bytes (may shrink).
+  void AdjustSpace(DataClass cls, int64_t delta);
+  /// Sets resident space of class `cls` to an absolute level.
+  void SetSpace(DataClass cls, uint64_t bytes) {
+    if (cls == DataClass::kBase) {
+      snap_.space_base = bytes;
+    } else {
+      snap_.space_aux = bytes;
+    }
+  }
+
+  /// Records that the caller logically retrieved `bytes` of base data.
+  void OnLogicalRead(uint64_t bytes) { snap_.logical_bytes_read += bytes; }
+  /// Records that the caller logically updated `bytes` of base data.
+  void OnLogicalWrite(uint64_t bytes) { snap_.logical_bytes_written += bytes; }
+
+  /// Rebooks the most recent insert as an update (used by the default
+  /// AccessMethod::Update, which delegates to Insert).
+  void ReclassifyInsertAsUpdate() {
+    if (snap_.inserts > 0) {
+      --snap_.inserts;
+      ++snap_.updates;
+    }
+  }
+
+  void OnPointQuery() { ++snap_.point_queries; }
+  void OnRangeQuery() { ++snap_.range_queries; }
+  void OnInsert() { ++snap_.inserts; }
+  void OnUpdate() { ++snap_.updates; }
+  void OnDelete() { ++snap_.deletes; }
+
+  /// Returns the current accounting state.
+  const CounterSnapshot& snapshot() const { return snap_; }
+
+  /// Zeroes all accumulators but preserves the space levels (resident data
+  /// does not disappear when stats are reset).
+  void ResetTraffic();
+
+ private:
+  CounterSnapshot snap_;
+};
+
+}  // namespace rum
+
+#endif  // RUMLAB_CORE_COUNTERS_H_

@@ -1,0 +1,192 @@
+#ifndef RUMLAB_CORE_OPTIONS_H_
+#define RUMLAB_CORE_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/status.h"
+#include "core/types.h"
+
+namespace rum {
+
+/// Compaction policy for the LSM-tree (Section 5's "dynamic merge depth"
+/// knob: levelled merges eagerly into one run per level; tiered accumulates
+/// up to `size_ratio` runs per level before merging).
+enum class CompactionPolicy {
+  kLeveled,
+  kTiered,
+};
+
+/// Tuning knobs shared by every access method plus per-method sections.
+///
+/// Every knob here is one of the paper's RUM dials: block size and node size
+/// trade read granularity against space; fill factors trade space against
+/// update cost; size ratios and run counts trade write amplification against
+/// read amplification; bits-per-key trades space against read amplification.
+struct Options {
+  /// Simulated device block size in bytes (the paper's "minimum access
+  /// granularity"). Must be a multiple of kEntrySize.
+  size_t block_size = 4096;
+
+  // ---------------------------------------------------------------- B+-Tree
+  struct BTree {
+    /// Leaf/inner node size in bytes; 0 means "one device block".
+    size_t node_size = 0;
+    /// Target fill fraction for bulk loads, in (0, 1].
+    double bulk_fill = 1.0;
+    /// Nodes split when full; after a split each half holds this fraction.
+    double split_fraction = 0.5;
+  } btree;
+
+  // ------------------------------------------------------------ Hash index
+  struct Hash {
+    /// Bucket directory slots per entry at bulk load. Larger wastes space;
+    /// at or below 1/0.7 the first post-load insert triggers a rehash.
+    double directory_fanout = 1.6;
+  } hash;
+
+  // -------------------------------------------------------------- ZoneMaps
+  struct ZoneMap {
+    /// Entries per zone (the paper's partition size P, in tuples).
+    size_t zone_entries = 4096;
+  } zonemap;
+
+  // ------------------------------------------------------------------- LSM
+  struct Lsm {
+    /// Entries buffered in the in-memory memtable before a flush.
+    size_t memtable_entries = 4096;
+    /// Size ratio T between adjacent levels.
+    size_t size_ratio = 4;
+    /// Leveled vs tiered merging.
+    CompactionPolicy policy = CompactionPolicy::kLeveled;
+    /// Bloom-filter bits per key on every run; 0 disables filters.
+    size_t bloom_bits_per_key = 10;
+    /// Fence pointer granularity: one fence per this many entries.
+    size_t fence_entries = 256;
+    /// Delta-compress run pages (varint key deltas): the paper's Section-5
+    /// "compression and computation" trade -- smaller runs (lower MO,
+    /// fewer blocks per read) for encode/decode CPU.
+    bool compress_runs = false;
+  } lsm;
+
+  // ------------------------------------------------- Sorted-column fences
+  struct Column {
+    /// Maintain an in-memory sparse index (first key per page) over the
+    /// sorted column, replacing device binary search with memory probes --
+    /// Figure 1's "Sparse Index".
+    bool sparse_index = false;
+  } column;
+
+  // --------------------------------------------- Partitioned B-tree (PBT)
+  struct Pbt {
+    /// Entries per partition before a new one opens.
+    size_t partition_entries = 4096;
+    /// Partitions tolerated before they merge into one.
+    size_t max_partitions = 4;
+  } pbt;
+
+  // ------------------------------------------------- Stepped-merge (diff/)
+  struct SteppedMerge {
+    /// Entries buffered before sealing an L0 run.
+    size_t buffer_entries = 4096;
+    /// Runs per level before they are merged into the next level.
+    size_t runs_per_level = 4;
+  } stepped;
+
+  // ---------------------------------------------------------- Bitmap index
+  struct Bitmap {
+    /// Distinct indexed values (bitmap cardinality); keys are bucketed into
+    /// this many value bins.
+    size_t cardinality = 64;
+    /// Key domain partitioned equally into the bins (keys beyond the domain
+    /// land in the last bin).
+    Key key_domain = 1u << 20;
+    /// Absorb updates into uncompressed delta bitvectors and merge lazily
+    /// (the paper's Section-5 "update-friendly bitmap indexes").
+    bool update_friendly = true;
+    /// Merge a delta bitvector into the compressed bitmap once it holds
+    /// this many set bits.
+    size_t delta_merge_threshold = 1024;
+  } bitmap;
+
+  // --------------------------------------------- Approximate index (Bloom)
+  struct Approx {
+    /// Entries per Bloom-filtered zone.
+    size_t zone_entries = 4096;
+    /// Bloom bits per key in each zone filter.
+    size_t bits_per_key = 10;
+    /// Rebuild (garbage-collect) once this fraction of rows is deleted.
+    double rebuild_deleted_fraction = 0.25;
+  } approx;
+
+  // -------------------------------------------------------------- Cracking
+  struct Cracking {
+    /// Stop cracking a piece once it is at most this many entries.
+    size_t min_piece_entries = 128;
+    /// Pending inserts/deletes tolerated before they merge into the column
+    /// (a merge rebuilds and re-cracks from scratch).
+    size_t delta_merge_threshold = 4096;
+  } cracking;
+
+  // ----------------------------------------------------------------- Trie
+  struct Trie {
+    /// Bits consumed per trie level (fan-out = 2^span).
+    size_t span_bits = 8;
+  } trie;
+
+  // ------------------------------------------------------------- Skiplist
+  struct SkipList {
+    /// Probability of promoting a node one level up.
+    double promote_probability = 0.25;
+    /// Hard cap on tower height.
+    size_t max_height = 16;
+    /// Seed for the promotion RNG (deterministic by default).
+    uint64_t seed = 0x5eedULL;
+  } skiplist;
+
+  // ------------------------------------------------------------- Extremes
+  struct Extremes {
+    /// MagicArray capacity = max representable key + 1. Queries/inserts
+    /// beyond this fail with kOutOfRange.
+    Key magic_array_domain = 1u << 20;
+  } extremes;
+
+  // ------------------------------------------ Update absorber (QF-guarded)
+  struct Absorber {
+    /// Buffered operations before they drain into the base structure.
+    size_t delta_entries = 4096;
+    /// Quotient-filter remainder bits (false positives ~ load / 2^r).
+    size_t qf_remainder_bits = 12;
+  } absorber;
+
+  // ---------------------------------------------------- Hot/cold steering
+  struct HotCold {
+    /// Maximum entries in the in-memory hot table.
+    size_t hot_capacity = 4096;
+    /// Sketch estimate at which a key is promoted to the hot table.
+    uint64_t promote_estimate = 3;
+    /// Count-Min sketch dimensions.
+    size_t sketch_width = 1024;
+    size_t sketch_depth = 4;
+  } hot_cold;
+
+  // -------------------------------------------------------------- Morphing
+  struct Morphing {
+    /// Target point in RUM space; the morphing method picks its internal
+    /// shape (log / sorted runs / tree) to approach it. Range [0,1] each.
+    double read_priority = 1.0 / 3;
+    double write_priority = 1.0 / 3;
+    double space_priority = 1.0 / 3;
+    /// Entries per internal batch.
+    size_t batch_entries = 4096;
+  } morphing;
+};
+
+/// Checks every knob for internal consistency (sizes large enough for
+/// their page formats, fractions in range, spans dividing the key width).
+/// Returns the first violation found.
+Status ValidateOptions(const Options& options);
+
+}  // namespace rum
+
+#endif  // RUMLAB_CORE_OPTIONS_H_

@@ -1,0 +1,104 @@
+#include "core/rum_point.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace rum {
+
+namespace {
+// Triangle corner coordinates (read top, write bottom-left, space
+// bottom-right), matching the orientation of the paper's Figure 1.
+constexpr double kReadX = 0.5, kReadY = 1.0;
+constexpr double kWriteX = 0.0, kWriteY = 0.0;
+constexpr double kSpaceX = 1.0, kSpaceY = 0.0;
+
+double ClampAmplification(double a) { return a < 1.0 ? 1.0 : a; }
+}  // namespace
+
+std::string_view RumRegionName(RumRegion region) {
+  switch (region) {
+    case RumRegion::kReadOptimized:
+      return "read-optimized";
+    case RumRegion::kWriteOptimized:
+      return "write-optimized";
+    case RumRegion::kSpaceOptimized:
+      return "space-optimized";
+    case RumRegion::kBalanced:
+      return "balanced";
+  }
+  return "unknown";
+}
+
+RumPoint RumPoint::FromSnapshot(const CounterSnapshot& snap) {
+  RumPoint p;
+  p.read_overhead = ClampAmplification(snap.read_amplification());
+  p.update_overhead = ClampAmplification(snap.write_amplification());
+  p.memory_overhead = ClampAmplification(snap.space_amplification());
+  return p;
+}
+
+double RumPoint::read_efficiency() const {
+  return 1.0 / ClampAmplification(read_overhead);
+}
+double RumPoint::update_efficiency() const {
+  return 1.0 / ClampAmplification(update_overhead);
+}
+double RumPoint::memory_efficiency() const {
+  return 1.0 / ClampAmplification(memory_overhead);
+}
+
+void RumPoint::BarycentricWeights(double* wr, double* wu, double* wm) const {
+  double er = read_efficiency();
+  double eu = update_efficiency();
+  double em = memory_efficiency();
+  double sum = er + eu + em;
+  *wr = er / sum;
+  *wu = eu / sum;
+  *wm = em / sum;
+}
+
+double RumPoint::triangle_x() const {
+  double wr, wu, wm;
+  BarycentricWeights(&wr, &wu, &wm);
+  return wr * kReadX + wu * kWriteX + wm * kSpaceX;
+}
+
+double RumPoint::triangle_y() const {
+  double wr, wu, wm;
+  BarycentricWeights(&wr, &wu, &wm);
+  return wr * kReadY + wu * kWriteY + wm * kSpaceY;
+}
+
+RumRegion RumPoint::Classify(double margin) const {
+  double wr, wu, wm;
+  BarycentricWeights(&wr, &wu, &wm);
+  double top = std::max({wr, wu, wm});
+  // Count how many weights are within `margin` of the top; a clear winner
+  // must dominate both others.
+  int near_top = 0;
+  for (double w : {wr, wu, wm}) {
+    if (top - w <= margin) ++near_top;
+  }
+  if (near_top > 1) return RumRegion::kBalanced;
+  if (top == wr) return RumRegion::kReadOptimized;
+  if (top == wu) return RumRegion::kWriteOptimized;
+  return RumRegion::kSpaceOptimized;
+}
+
+double RumPoint::TriangleDistance(const RumPoint& a, const RumPoint& b) {
+  double dx = a.triangle_x() - b.triangle_x();
+  double dy = a.triangle_y() - b.triangle_y();
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+std::string RumPoint::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "RO=%.3f UO=%.3f MO=%.3f -> (%.3f, %.3f) %s", read_overhead,
+                update_overhead, memory_overhead, triangle_x(), triangle_y(),
+                std::string(RumRegionName(Classify())).c_str());
+  return std::string(buf);
+}
+
+}  // namespace rum

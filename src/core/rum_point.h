@@ -1,0 +1,70 @@
+#ifndef RUMLAB_CORE_RUM_POINT_H_
+#define RUMLAB_CORE_RUM_POINT_H_
+
+#include <string>
+
+#include "core/counters.h"
+
+namespace rum {
+
+/// Which corner of the paper's Figure-1 triangle a point is closest to.
+enum class RumRegion {
+  kReadOptimized,
+  kWriteOptimized,
+  kSpaceOptimized,
+  kBalanced,
+};
+
+std::string_view RumRegionName(RumRegion region);
+
+/// A point in the three-dimensional RUM design space, plus its projection
+/// onto the two-dimensional triangle of the paper's Figures 1 and 3.
+///
+/// Each overhead is an amplification ratio >= 1 (1.0 = theoretical optimum,
+/// Section 2). The triangle projection converts each overhead into an
+/// "efficiency" in (0,1] -- the reciprocal of the amplification -- and uses
+/// the normalized efficiencies as barycentric coordinates:
+///
+///   Read corner  (top)          at (0.5, 1.0)
+///   Write corner (bottom-left)  at (0.0, 0.0)
+///   Space corner (bottom-right) at (1.0, 0.0)
+///
+/// A structure that is perfectly read-optimized but poor on the other two
+/// axes lands near the top corner, mirroring Figure 1.
+struct RumPoint {
+  double read_overhead = 1.0;    ///< RO, read amplification (>= 1).
+  double update_overhead = 1.0;  ///< UO, write amplification (>= 1).
+  double memory_overhead = 1.0;  ///< MO, space amplification (>= 1).
+
+  /// Builds a RumPoint from measured counters. Amplifications below 1.0
+  /// (possible when a phase performed no logical reads/writes) are clamped
+  /// to 1.0 so the projection stays inside the triangle.
+  static RumPoint FromSnapshot(const CounterSnapshot& snap);
+
+  /// Reciprocal of each overhead, in (0, 1].
+  double read_efficiency() const;
+  double update_efficiency() const;
+  double memory_efficiency() const;
+
+  /// Barycentric weights over (read, write, space); each in [0,1], sum 1.
+  /// Stored in `wr`, `wu`, `wm`.
+  void BarycentricWeights(double* wr, double* wu, double* wm) const;
+
+  /// 2-D triangle coordinates of the projection (see class comment).
+  double triangle_x() const;
+  double triangle_y() const;
+
+  /// The corner this point leans toward; kBalanced when no efficiency
+  /// dominates by more than `margin` (relative weight).
+  RumRegion Classify(double margin = 0.10) const;
+
+  /// Euclidean distance between two points' triangle projections.
+  static double TriangleDistance(const RumPoint& a, const RumPoint& b);
+
+  /// "RO=... UO=... MO=... -> (x, y) region" one-liner.
+  std::string ToString() const;
+};
+
+}  // namespace rum
+
+#endif  // RUMLAB_CORE_RUM_POINT_H_

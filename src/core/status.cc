@@ -1,0 +1,38 @@
+#include "core/status.h"
+
+namespace rum {
+
+std::string_view CodeName(Code code) {
+  switch (code) {
+    case Code::kOk:
+      return "OK";
+    case Code::kNotFound:
+      return "NotFound";
+    case Code::kAlreadyExists:
+      return "AlreadyExists";
+    case Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Code::kOutOfRange:
+      return "OutOfRange";
+    case Code::kCorruption:
+      return "Corruption";
+    case Code::kNotSupported:
+      return "NotSupported";
+    case Code::kResourceExhausted:
+      return "ResourceExhausted";
+    case Code::kIOError:
+      return "IOError";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  std::string out(CodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace rum

@@ -1,0 +1,139 @@
+#ifndef RUMLAB_CORE_STATUS_H_
+#define RUMLAB_CORE_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace rum {
+
+/// Error codes used throughout rumlab. The library does not use exceptions;
+/// every fallible operation returns a Status or a Result<T>.
+enum class Code {
+  kOk = 0,
+  kNotFound,
+  kAlreadyExists,
+  kInvalidArgument,
+  kOutOfRange,
+  kCorruption,
+  kNotSupported,
+  kResourceExhausted,
+  kIOError,
+};
+
+/// Returns a short human-readable name for a code ("OK", "NotFound", ...).
+std::string_view CodeName(Code code);
+
+/// A lightweight status object carrying a Code and an optional message.
+///
+/// The common success path allocates nothing. Statuses are cheap to copy and
+/// move; an `ok()` status compares equal to `Status::OK()`.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(Code::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(Code code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory helpers, one per code.
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg = "") {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg = "") {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg = "") {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg = "") {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg = "") {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
+  static Status IOError(std::string msg = "") {
+    return Status(Code::kIOError, std::move(msg));
+  }
+
+  /// True iff the status is OK.
+  bool ok() const { return code_ == Code::kOk; }
+  /// True iff the status carries kNotFound.
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "Code: message" for logging.
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  Code code_;
+  std::string message_;
+};
+
+/// Holds either a value of type T or an error Status.
+///
+/// Usage:
+///   Result<Value> r = index.Get(k);
+///   if (!r.ok()) return r.status();
+///   Use(r.value());
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Constructs a failed result. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result error constructor requires non-OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+  Code code() const { return status_.code(); }
+
+  /// Accesses the value; must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return value_;
+  }
+  T& value() & {
+    assert(ok());
+    return value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(value_);
+  }
+
+  /// Returns the value, or `fallback` if this result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace rum
+
+#endif  // RUMLAB_CORE_STATUS_H_

@@ -1,0 +1,45 @@
+#ifndef RUMLAB_CORE_TYPES_H_
+#define RUMLAB_CORE_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace rum {
+
+/// Keys are fixed-width 64-bit unsigned integers, matching the paper's model
+/// of "a dataset consisting of N fixed-sized elements".
+using Key = uint64_t;
+
+/// Values are fixed-width 64-bit opaque payloads.
+using Value = uint64_t;
+
+/// A key/value pair as stored by every access method.
+struct Entry {
+  Key key = 0;
+  Value value = 0;
+
+  friend bool operator==(const Entry& a, const Entry& b) {
+    return a.key == b.key && a.value == b.value;
+  }
+  friend bool operator<(const Entry& a, const Entry& b) {
+    return a.key < b.key;
+  }
+};
+
+/// Physical size of one entry on any simulated medium: 8-byte key plus
+/// 8-byte value. All space/IO accounting is expressed in real bytes of this
+/// representation.
+inline constexpr size_t kEntrySize = sizeof(Key) + sizeof(Value);
+
+/// Sentinel key values.
+inline constexpr Key kMinKey = 0;
+inline constexpr Key kMaxKey = std::numeric_limits<Key>::max();
+
+/// Identifies a page on a simulated block device.
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = std::numeric_limits<PageId>::max();
+
+}  // namespace rum
+
+#endif  // RUMLAB_CORE_TYPES_H_

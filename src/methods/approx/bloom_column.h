@@ -1,0 +1,78 @@
+#ifndef RUMLAB_METHODS_APPROX_BLOOM_COLUMN_H_
+#define RUMLAB_METHODS_APPROX_BLOOM_COLUMN_H_
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "core/access_method.h"
+#include "core/options.h"
+#include "methods/sketch/bloom_filter.h"
+#include "storage/block_device.h"
+#include "storage/heap_file.h"
+
+namespace rum {
+
+/// An approximate index in the spirit of BF-Tree (paper reference [5]) and
+/// Section 5's "approximate (tree) indexing ... absorbing updates in
+/// updatable probabilistic data structures": an append-ordered column
+/// chopped into zones of `approx.zone_entries` rows, each zone carrying a
+/// Bloom filter of its keys instead of an exact index.
+///
+/// A point query probes every zone's filter (cheap auxiliary reads) and
+/// scans only the zones that *may* contain the key -- typically one true
+/// zone plus a handful of false positives, for a tiny fraction of a full
+/// index's space. Range scans get no help (filters are orderless) and read
+/// the whole column: the structure trades M down, R(point) near an index,
+/// and lives with poor range reads -- a distinct point in the RUM space.
+///
+/// Deletes tombstone rows in a side set; filters keep the stale keys (their
+/// false-positive rate degrades honestly) until a rebuild, triggered when
+/// `approx.rebuild_deleted_fraction` of rows are dead.
+class BloomZoneColumn : public AccessMethod {
+ public:
+  explicit BloomZoneColumn(const Options& options);
+  BloomZoneColumn(const Options& options, Device* device);
+
+  ~BloomZoneColumn() override;
+
+  std::string_view name() const override { return "bloom-zones"; }
+
+  Status Insert(Key key, Value value) override;
+  Status Delete(Key key) override;
+  Result<Value> Get(Key key) override;
+  Status Scan(Key lo, Key hi, std::vector<Entry>* out) override;
+  Status BulkLoad(std::span<const Entry> entries) override;
+  Status Flush() override;
+  size_t size() const override { return live_; }
+
+  size_t zone_count() const { return zones_.size(); }
+  uint64_t deleted_count() const { return deleted_rows_.size(); }
+
+ private:
+  struct Zone {
+    std::unique_ptr<BloomFilter> filter;
+    RowId first_row;
+    uint64_t rows;
+  };
+
+  /// Probes the zone filters for `key`, then scans candidate zones.
+  /// Returns the live row or kInvalidRowId.
+  Result<RowId> FindRow(Key key);
+  /// Adds `key` for `row` into the tail zone (opening one as needed).
+  void IndexAppendedRow(Key key, RowId row);
+  /// Rewrites the heap without dead rows and rebuilds all zone filters.
+  Status Rebuild();
+
+  Options options_;
+  std::unique_ptr<BlockDevice> owned_device_;
+  Device* device_;
+  std::unique_ptr<HeapFile> heap_;
+  std::vector<Zone> zones_;
+  std::unordered_set<RowId> deleted_rows_;
+  size_t live_ = 0;
+};
+
+}  // namespace rum
+
+#endif  // RUMLAB_METHODS_APPROX_BLOOM_COLUMN_H_

@@ -1,0 +1,107 @@
+#include "methods/bitmap/wah.h"
+
+#include <cassert>
+
+namespace rum {
+
+void WahBitmap::FlushGroup() {
+  assert(active_bits_ == kGroupBits);
+  uint32_t literal_mask = (1u << kGroupBits) - 1;
+  if (active_ == 0 || active_ == literal_mask) {
+    bool fill_bit = active_ != 0;
+    // Merge into a preceding fill of the same bit when possible.
+    if (!words_.empty() && (words_.back() & kFillFlag) != 0 &&
+        ((words_.back() & kFillBit) != 0) == fill_bit &&
+        (words_.back() & kCountMask) < kCountMask) {
+      ++words_.back();
+    } else {
+      words_.push_back(kFillFlag | (fill_bit ? kFillBit : 0) | 1u);
+    }
+  } else {
+    words_.push_back(active_);
+  }
+  active_ = 0;
+  active_bits_ = 0;
+}
+
+void WahBitmap::AppendBit(bool bit) {
+  if (bit) {
+    active_ |= 1u << active_bits_;
+    ++set_count_;
+  }
+  ++active_bits_;
+  ++bit_count_;
+  if (active_bits_ == kGroupBits) FlushGroup();
+}
+
+void WahBitmap::AppendRun(bool bit, uint64_t count) {
+  // Fill the active group bit-by-bit until aligned, then emit whole fills.
+  while (count > 0 && active_bits_ != 0) {
+    AppendBit(bit);
+    --count;
+  }
+  while (count >= kGroupBits) {
+    uint64_t groups = count / kGroupBits;
+    // Emit as one (or more) fill words directly.
+    uint64_t emit = groups;
+    while (emit > 0) {
+      uint32_t chunk = static_cast<uint32_t>(
+          emit > kCountMask ? kCountMask : emit);
+      if (!words_.empty() && (words_.back() & kFillFlag) != 0 &&
+          ((words_.back() & kFillBit) != 0) == bit &&
+          (words_.back() & kCountMask) + chunk <= kCountMask) {
+        words_.back() += chunk;
+      } else {
+        words_.push_back(kFillFlag | (bit ? kFillBit : 0) | chunk);
+      }
+      emit -= chunk;
+    }
+    uint64_t bits = groups * kGroupBits;
+    bit_count_ += bits;
+    if (bit) set_count_ += bits;
+    count -= bits;
+  }
+  while (count > 0) {
+    AppendBit(bit);
+    --count;
+  }
+}
+
+void WahBitmap::ForEachSetBit(
+    const std::function<void(uint64_t)>& visit) const {
+  uint64_t position = 0;
+  for (uint32_t word : words_) {
+    if ((word & kFillFlag) != 0) {
+      uint64_t bits =
+          static_cast<uint64_t>(word & kCountMask) * kGroupBits;
+      if ((word & kFillBit) != 0) {
+        for (uint64_t i = 0; i < bits; ++i) visit(position + i);
+      }
+      position += bits;
+    } else {
+      uint32_t payload = word;
+      while (payload != 0) {
+        int bit = __builtin_ctz(payload);
+        visit(position + static_cast<uint64_t>(bit));
+        payload &= payload - 1;
+      }
+      position += kGroupBits;
+    }
+  }
+  uint32_t payload = active_;
+  while (payload != 0) {
+    int bit = __builtin_ctz(payload);
+    visit(position + static_cast<uint64_t>(bit));
+    payload &= payload - 1;
+  }
+}
+
+void WahBitmap::Clear() {
+  words_.clear();
+  active_ = 0;
+  active_bits_ = 0;
+  bit_count_ = 0;
+  set_count_ = 0;
+}
+
+}  // namespace rum

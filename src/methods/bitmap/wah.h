@@ -1,0 +1,59 @@
+#ifndef RUMLAB_METHODS_BITMAP_WAH_H_
+#define RUMLAB_METHODS_BITMAP_WAH_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace rum {
+
+/// A Word-Aligned Hybrid (WAH) compressed bitvector, the encoding behind
+/// FastBit-style bitmap indexes (paper reference [51]).
+///
+/// 32-bit words: a literal word (MSB 0) carries 31 raw bits; a fill word
+/// (MSB 1) carries a fill bit and a 30-bit count of 31-bit groups. Bits are
+/// append-only; position-ordered appends keep runs maximally merged.
+class WahBitmap {
+ public:
+  WahBitmap() = default;
+
+  /// Appends one bit at the next position.
+  void AppendBit(bool bit);
+  /// Appends `count` copies of `bit`.
+  void AppendRun(bool bit, uint64_t count);
+
+  /// Calls `visit(position)` for every set bit, in order.
+  void ForEachSetBit(const std::function<void(uint64_t)>& visit) const;
+
+  /// Bits appended so far.
+  uint64_t bit_count() const { return bit_count_; }
+  /// Set bits (popcount).
+  uint64_t set_count() const { return set_count_; }
+  /// Compressed size: words plus the active group.
+  uint64_t space_bytes() const {
+    return (words_.size() + 1) * sizeof(uint32_t);
+  }
+  size_t word_count() const { return words_.size(); }
+
+  /// Removes all bits.
+  void Clear();
+
+ private:
+  static constexpr uint32_t kFillFlag = 0x80000000u;
+  static constexpr uint32_t kFillBit = 0x40000000u;
+  static constexpr uint32_t kCountMask = 0x3FFFFFFFu;
+  static constexpr size_t kGroupBits = 31;
+
+  /// Emits the full active group as a literal or merges it into a fill.
+  void FlushGroup();
+
+  std::vector<uint32_t> words_;
+  uint32_t active_ = 0;       // Bits of the in-progress group (LSB first).
+  size_t active_bits_ = 0;    // How many bits of `active_` are in use.
+  uint64_t bit_count_ = 0;
+  uint64_t set_count_ = 0;
+};
+
+}  // namespace rum
+
+#endif  // RUMLAB_METHODS_BITMAP_WAH_H_

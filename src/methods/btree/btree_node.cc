@@ -1,0 +1,120 @@
+#include "methods/btree/btree_node.h"
+
+#include <algorithm>
+
+#include "storage/page_format.h"
+
+namespace rum {
+
+namespace {
+constexpr size_t kLeafHeader = 1 + 4 + 4;
+constexpr size_t kInnerHeader = 1 + 4;
+constexpr uint8_t kLeafType = 0;
+constexpr uint8_t kInnerType = 1;
+}  // namespace
+
+size_t BTreeLeaf::CapacityFor(size_t node_size) {
+  return (node_size - kLeafHeader) / kEntrySize;
+}
+
+Status BTreeLeaf::EncodeTo(size_t node_size, std::vector<uint8_t>* out) const {
+  if (entries.size() > CapacityFor(node_size)) {
+    return Status::ResourceExhausted("leaf overflow");
+  }
+  out->assign(node_size, 0);
+  (*out)[0] = kLeafType;
+  EncodeU32(static_cast<uint32_t>(entries.size()), out->data() + 1);
+  EncodeU32(next, out->data() + 5);
+  uint8_t* cursor = out->data() + kLeafHeader;
+  for (const Entry& e : entries) {
+    EncodeU64(e.key, cursor);
+    EncodeU64(e.value, cursor + 8);
+    cursor += kEntrySize;
+  }
+  return Status::OK();
+}
+
+Status BTreeLeaf::DecodeFrom(const std::vector<uint8_t>& block,
+                             BTreeLeaf* out) {
+  if (block.size() < kLeafHeader || block[0] != kLeafType) {
+    return Status::Corruption("not a leaf block");
+  }
+  uint32_t n = DecodeU32(block.data() + 1);
+  if (kLeafHeader + static_cast<size_t>(n) * kEntrySize > block.size()) {
+    return Status::Corruption("leaf count exceeds block");
+  }
+  out->next = DecodeU32(block.data() + 5);
+  out->entries.clear();
+  out->entries.reserve(n);
+  const uint8_t* cursor = block.data() + kLeafHeader;
+  for (uint32_t i = 0; i < n; ++i) {
+    out->entries.push_back(Entry{DecodeU64(cursor), DecodeU64(cursor + 8)});
+    cursor += kEntrySize;
+  }
+  return Status::OK();
+}
+
+size_t BTreeInner::CapacityFor(size_t node_size) {
+  // n separators need n*8 + (n+1)*4 bytes after the header.
+  return (node_size - kInnerHeader - 4) / 12;
+}
+
+Status BTreeInner::EncodeTo(size_t node_size,
+                            std::vector<uint8_t>* out) const {
+  if (keys.size() > CapacityFor(node_size) ||
+      children.size() != keys.size() + 1) {
+    return Status::ResourceExhausted("inner overflow or malformed");
+  }
+  out->assign(node_size, 0);
+  (*out)[0] = kInnerType;
+  EncodeU32(static_cast<uint32_t>(keys.size()), out->data() + 1);
+  uint8_t* cursor = out->data() + kInnerHeader;
+  for (PageId child : children) {
+    EncodeU32(child, cursor);
+    cursor += 4;
+  }
+  for (Key key : keys) {
+    EncodeU64(key, cursor);
+    cursor += 8;
+  }
+  return Status::OK();
+}
+
+Status BTreeInner::DecodeFrom(const std::vector<uint8_t>& block,
+                              BTreeInner* out) {
+  if (block.size() < kInnerHeader || block[0] != kInnerType) {
+    return Status::Corruption("not an inner block");
+  }
+  uint32_t n = DecodeU32(block.data() + 1);
+  if (kInnerHeader + (static_cast<size_t>(n) + 1) * 4 +
+          static_cast<size_t>(n) * 8 >
+      block.size()) {
+    return Status::Corruption("inner count exceeds block");
+  }
+  out->children.clear();
+  out->children.reserve(n + 1);
+  out->keys.clear();
+  out->keys.reserve(n);
+  const uint8_t* cursor = block.data() + kInnerHeader;
+  for (uint32_t i = 0; i <= n; ++i) {
+    out->children.push_back(DecodeU32(cursor));
+    cursor += 4;
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    out->keys.push_back(DecodeU64(cursor));
+    cursor += 8;
+  }
+  return Status::OK();
+}
+
+size_t BTreeInner::ChildIndexFor(Key key) const {
+  // Separator i is the smallest key of child i+1.
+  auto it = std::upper_bound(keys.begin(), keys.end(), key);
+  return static_cast<size_t>(it - keys.begin());
+}
+
+bool IsLeafBlock(const std::vector<uint8_t>& block) {
+  return !block.empty() && block[0] == kLeafType;
+}
+
+}  // namespace rum

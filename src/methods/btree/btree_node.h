@@ -1,0 +1,55 @@
+#ifndef RUMLAB_METHODS_BTREE_BTREE_NODE_H_
+#define RUMLAB_METHODS_BTREE_BTREE_NODE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/status.h"
+#include "core/types.h"
+
+namespace rum {
+
+/// Serialized forms of B+-Tree nodes.
+///
+/// Leaf page layout:
+///   [0]     node type (0 = leaf)
+///   [1,5)   uint32 entry count
+///   [5,9)   uint32 next-leaf page id (kInvalidPageId at the tail)
+///   [9,...) count x { uint64 key, uint64 value }
+///
+/// Inner page layout:
+///   [0]     node type (1 = inner)
+///   [1,5)   uint32 separator count `n`
+///   [5,...) (n+1) x uint32 child page ids, then n x uint64 separator keys
+///
+/// Child i holds keys < separator i; child n holds the rest (separators are
+/// lower bounds of the following child: keys in child i+1 are >= key i).
+struct BTreeLeaf {
+  std::vector<Entry> entries;  // Sorted by key.
+  PageId next = kInvalidPageId;
+
+  /// Max entries in a leaf of `node_size` bytes.
+  static size_t CapacityFor(size_t node_size);
+  Status EncodeTo(size_t node_size, std::vector<uint8_t>* out) const;
+  static Status DecodeFrom(const std::vector<uint8_t>& block, BTreeLeaf* out);
+};
+
+struct BTreeInner {
+  std::vector<Key> keys;         // n separators, sorted.
+  std::vector<PageId> children;  // n + 1 children.
+
+  /// Max separators in an inner node of `node_size` bytes.
+  static size_t CapacityFor(size_t node_size);
+  Status EncodeTo(size_t node_size, std::vector<uint8_t>* out) const;
+  static Status DecodeFrom(const std::vector<uint8_t>& block, BTreeInner* out);
+
+  /// Index of the child to descend into for `key`.
+  size_t ChildIndexFor(Key key) const;
+};
+
+/// Reads the node-type byte without a full decode.
+bool IsLeafBlock(const std::vector<uint8_t>& block);
+
+}  // namespace rum
+
+#endif  // RUMLAB_METHODS_BTREE_BTREE_NODE_H_

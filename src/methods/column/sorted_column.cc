@@ -1,0 +1,274 @@
+#include "methods/column/sorted_column.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "storage/page_format.h"
+
+namespace rum {
+
+SortedColumn::SortedColumn(const Options& options)
+    : owned_device_(
+          std::make_unique<BlockDevice>(options.block_size, &counters())),
+      device_(owned_device_.get()),
+      capacity_(PageFormat::CapacityFor(options.block_size)),
+      sparse_(options.column.sparse_index) {}
+
+SortedColumn::SortedColumn(const Options& options, Device* device)
+    : device_(device),
+      capacity_(PageFormat::CapacityFor(device->block_size())),
+      sparse_(options.column.sparse_index) {}
+
+void SortedColumn::RecountAuxSpace() {
+  counters().SetSpace(DataClass::kAux,
+                      static_cast<uint64_t>(fences_.size()) * sizeof(Key));
+}
+
+SortedColumn::~SortedColumn() = default;
+
+Status SortedColumn::LoadPage(size_t page_index, std::vector<Entry>* out) {
+  assert(page_index < pages_.size());
+  std::vector<uint8_t> block;
+  Status s = device_->Read(pages_[page_index], &block);
+  if (!s.ok()) return s;
+  return PageFormat::Unpack(block, out);
+}
+
+Status SortedColumn::StorePage(size_t page_index,
+                               const std::vector<Entry>& entries) {
+  assert(page_index < pages_.size());
+  std::vector<uint8_t> block;
+  Status s = PageFormat::Pack(entries, device_->block_size(), &block);
+  if (!s.ok()) return s;
+  s = device_->Write(pages_[page_index], block);
+  if (!s.ok()) return s;
+  if (sparse_ && !entries.empty()) {
+    if (fences_.size() <= page_index) {
+      fences_.resize(page_index + 1, 0);
+    }
+    if (fences_[page_index] != entries.front().key) {
+      fences_[page_index] = entries.front().key;
+      counters().OnWrite(DataClass::kAux, sizeof(Key));
+    }
+    RecountAuxSpace();
+  }
+  return Status::OK();
+}
+
+Result<size_t> SortedColumn::FindPage(Key key) {
+  if (pages_.empty()) return static_cast<size_t>(0);
+  if (sparse_) {
+    // Binary search the in-memory fences: one aux key read per probe, no
+    // device I/O until the single target page is fetched by the caller.
+    size_t lo = 0;
+    size_t hi = fences_.size();
+    while (lo < hi) {
+      size_t mid = lo + (hi - lo) / 2;
+      counters().OnRead(DataClass::kAux, sizeof(Key));
+      if (fences_[mid] <= key) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo == 0 ? 0 : lo - 1;
+  }
+  size_t lo = 0;
+  size_t hi = pages_.size() - 1;
+  std::vector<Entry> entries;
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    Status s = LoadPage(mid, &entries);
+    if (!s.ok()) return s;
+    assert(!entries.empty());
+    if (entries.back().key < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+Status SortedColumn::Insert(Key key, Value value) {
+  counters().OnInsert();
+  counters().OnLogicalWrite(kEntrySize);
+  if (pages_.empty()) {
+    pages_.push_back(device_->Allocate(DataClass::kBase));
+    Status s = StorePage(0, {Entry{key, value}});
+    if (!s.ok()) return s;
+    ++count_;
+    return Status::OK();
+  }
+  Result<size_t> page = FindPage(key);
+  if (!page.ok()) return page.status();
+  size_t p = page.value();
+
+  std::vector<Entry> entries;
+  Status s = LoadPage(p, &entries);
+  if (!s.ok()) return s;
+
+  // Upsert: replace in place when the key exists.
+  auto it = std::lower_bound(
+      entries.begin(), entries.end(), key,
+      [](const Entry& e, Key k) { return e.key < k; });
+  if (it != entries.end() && it->key == key) {
+    it->value = value;
+    return StorePage(p, entries);
+  }
+  entries.insert(it, Entry{key, value});
+  ++count_;
+
+  // Shift cascade: push the overflow entry of each full page into the next
+  // page, all the way to the tail. This is Table 1's O(N/B/2) insert.
+  Entry carry{};
+  bool have_carry = false;
+  if (entries.size() > capacity_) {
+    carry = entries.back();
+    entries.pop_back();
+    have_carry = true;
+  }
+  s = StorePage(p, entries);
+  if (!s.ok()) return s;
+  size_t q = p + 1;
+  while (have_carry) {
+    if (q == pages_.size()) {
+      pages_.push_back(device_->Allocate(DataClass::kBase));
+      s = StorePage(q, {carry});
+      if (!s.ok()) return s;
+      break;
+    }
+    std::vector<Entry> next;
+    s = LoadPage(q, &next);
+    if (!s.ok()) return s;
+    next.insert(next.begin(), carry);
+    have_carry = false;
+    if (next.size() > capacity_) {
+      carry = next.back();
+      next.pop_back();
+      have_carry = true;
+    }
+    s = StorePage(q, next);
+    if (!s.ok()) return s;
+    ++q;
+  }
+  return Status::OK();
+}
+
+Status SortedColumn::Delete(Key key) {
+  counters().OnDelete();
+  counters().OnLogicalWrite(kEntrySize);
+  if (pages_.empty()) return Status::OK();
+  Result<size_t> page = FindPage(key);
+  if (!page.ok()) return page.status();
+  size_t p = page.value();
+
+  std::vector<Entry> entries;
+  Status s = LoadPage(p, &entries);
+  if (!s.ok()) return s;
+  auto it = std::lower_bound(
+      entries.begin(), entries.end(), key,
+      [](const Entry& e, Key k) { return e.key < k; });
+  if (it == entries.end() || it->key != key) return Status::OK();
+  entries.erase(it);
+  --count_;
+
+  // Borrow cascade: pull the first entry of every following page back so
+  // all pages but the last stay full.
+  for (size_t q = p + 1; q < pages_.size(); ++q) {
+    std::vector<Entry> next;
+    s = LoadPage(q, &next);
+    if (!s.ok()) return s;
+    assert(!next.empty());
+    entries.push_back(next.front());
+    next.erase(next.begin());
+    s = StorePage(p, entries);
+    if (!s.ok()) return s;
+    entries = std::move(next);
+    p = q;
+  }
+  if (entries.empty()) {
+    s = device_->Free(pages_[p]);
+    if (!s.ok()) return s;
+    pages_.erase(pages_.begin() + static_cast<ptrdiff_t>(p));
+    if (sparse_ && p < fences_.size()) {
+      fences_.erase(fences_.begin() + static_cast<ptrdiff_t>(p));
+      RecountAuxSpace();
+    }
+  } else {
+    s = StorePage(p, entries);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+Result<Value> SortedColumn::Get(Key key) {
+  counters().OnPointQuery();
+  if (pages_.empty()) return Status::NotFound();
+  Result<size_t> page = FindPage(key);
+  if (!page.ok()) return page.status();
+  std::vector<Entry> entries;
+  Status s = LoadPage(page.value(), &entries);
+  if (!s.ok()) return s;
+  auto it = std::lower_bound(
+      entries.begin(), entries.end(), key,
+      [](const Entry& e, Key k) { return e.key < k; });
+  if (it == entries.end() || it->key != key) return Status::NotFound();
+  counters().OnLogicalRead(kEntrySize);
+  return it->value;
+}
+
+Status SortedColumn::Scan(Key lo, Key hi, std::vector<Entry>* out) {
+  if (lo > hi) return Status::InvalidArgument("lo > hi");
+  counters().OnRangeQuery();
+  if (pages_.empty()) return Status::OK();
+  Result<size_t> page = FindPage(lo);
+  if (!page.ok()) return page.status();
+  uint64_t found = 0;
+  std::vector<Entry> entries;
+  for (size_t p = page.value(); p < pages_.size(); ++p) {
+    Status s = LoadPage(p, &entries);
+    if (!s.ok()) return s;
+    bool past_end = false;
+    for (const Entry& e : entries) {
+      if (e.key > hi) {
+        past_end = true;
+        break;
+      }
+      if (e.key >= lo) {
+        out->push_back(e);
+        ++found;
+      }
+    }
+    if (past_end) break;
+  }
+  counters().OnLogicalRead(found * kEntrySize);
+  return Status::OK();
+}
+
+Status SortedColumn::BulkLoad(std::span<const Entry> entries) {
+  Status s = CheckBulkLoadPreconditions(entries);
+  if (!s.ok()) return s;
+  std::vector<Entry> page;
+  page.reserve(capacity_);
+  for (const Entry& e : entries) {
+    page.push_back(e);
+    if (page.size() == capacity_) {
+      pages_.push_back(device_->Allocate(DataClass::kBase));
+      s = StorePage(pages_.size() - 1, page);
+      if (!s.ok()) return s;
+      page.clear();
+    }
+  }
+  if (!page.empty()) {
+    pages_.push_back(device_->Allocate(DataClass::kBase));
+    s = StorePage(pages_.size() - 1, page);
+    if (!s.ok()) return s;
+  }
+  count_ = entries.size();
+  counters().OnLogicalWrite(static_cast<uint64_t>(entries.size()) *
+                            kEntrySize);
+  return Status::OK();
+}
+
+}  // namespace rum

@@ -1,0 +1,100 @@
+#include "methods/extremes/dense_array.h"
+
+#include <algorithm>
+
+namespace rum {
+
+DenseArray::DenseArray(const Options& options) { (void)options; }
+
+void DenseArray::RecountSpace() {
+  // MO = 1.0: base data only, not a byte of auxiliary space.
+  counters().SetSpace(DataClass::kBase,
+                      static_cast<uint64_t>(entries_.size()) * kEntrySize);
+  counters().SetSpace(DataClass::kAux, 0);
+}
+
+size_t DenseArray::FindCharged(Key key) {
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    counters().OnRead(DataClass::kBase, kEntrySize);
+    if (entries_[i].key == key) return i;
+  }
+  return kNpos;
+}
+
+Status DenseArray::Insert(Key key, Value value) {
+  counters().OnInsert();
+  counters().OnLogicalWrite(kEntrySize);
+  // Upsert semantics require locating a previous version first.
+  size_t idx = FindCharged(key);
+  if (idx != kNpos) {
+    entries_[idx].value = value;
+    counters().OnWrite(DataClass::kBase, kEntrySize);
+  } else {
+    entries_.push_back(Entry{key, value});
+    counters().OnWrite(DataClass::kBase, kEntrySize);
+  }
+  RecountSpace();
+  return Status::OK();
+}
+
+Status DenseArray::Update(Key key, Value value) {
+  Status s = Insert(key, value);
+  if (s.ok()) counters().ReclassifyInsertAsUpdate();
+  return s;
+}
+
+Status DenseArray::Delete(Key key) {
+  counters().OnDelete();
+  counters().OnLogicalWrite(kEntrySize);
+  size_t idx = FindCharged(key);
+  if (idx == kNpos) {
+    RecountSpace();
+    return Status::OK();  // Idempotent.
+  }
+  // Stay dense: move the tail entry into the hole.
+  if (idx != entries_.size() - 1) {
+    entries_[idx] = entries_.back();
+    counters().OnWrite(DataClass::kBase, kEntrySize);
+  }
+  entries_.pop_back();
+  RecountSpace();
+  return Status::OK();
+}
+
+Result<Value> DenseArray::Get(Key key) {
+  counters().OnPointQuery();
+  size_t idx = FindCharged(key);
+  if (idx == kNpos) return Status::NotFound();
+  counters().OnLogicalRead(kEntrySize);
+  return entries_[idx].value;
+}
+
+Status DenseArray::Scan(Key lo, Key hi, std::vector<Entry>* out) {
+  if (lo > hi) return Status::InvalidArgument("lo > hi");
+  counters().OnRangeQuery();
+  // A full scan is always needed: the array is unsorted.
+  counters().OnRead(DataClass::kBase,
+                    static_cast<uint64_t>(entries_.size()) * kEntrySize);
+  std::vector<Entry> hits;
+  for (const Entry& e : entries_) {
+    if (e.key >= lo && e.key <= hi) hits.push_back(e);
+  }
+  std::sort(hits.begin(), hits.end());
+  counters().OnLogicalRead(static_cast<uint64_t>(hits.size()) * kEntrySize);
+  out->insert(out->end(), hits.begin(), hits.end());
+  return Status::OK();
+}
+
+Status DenseArray::BulkLoad(std::span<const Entry> entries) {
+  Status s = CheckBulkLoadPreconditions(entries);
+  if (!s.ok()) return s;
+  entries_.assign(entries.begin(), entries.end());
+  counters().OnWrite(DataClass::kBase,
+                     static_cast<uint64_t>(entries.size()) * kEntrySize);
+  counters().OnLogicalWrite(static_cast<uint64_t>(entries.size()) *
+                            kEntrySize);
+  RecountSpace();
+  return Status::OK();
+}
+
+}  // namespace rum

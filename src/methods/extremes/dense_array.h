@@ -1,0 +1,53 @@
+#ifndef RUMLAB_METHODS_EXTREMES_DENSE_ARRAY_H_
+#define RUMLAB_METHODS_EXTREMES_DENSE_ARRAY_H_
+
+#include <vector>
+
+#include "core/access_method.h"
+#include "core/options.h"
+
+namespace rum {
+
+/// The paper's Proposition-3 structure: a dense unsorted array that
+/// minimizes *only* the memory overhead.
+///
+/// "No auxiliary data is stored and the base data is stored as a dense
+/// array. During a selection we need to scan all data...; updates are
+/// performed in place" (Section 2).
+///
+/// MO = 1.0 exactly: the resident bytes are precisely the live entries.
+/// Point queries scan from the front until the key is found (N/2 entries on
+/// average, N for a miss); updates touch exactly the one entry being
+/// changed (UO = 1.0). Deletes move the last entry into the hole to stay
+/// dense.
+///
+/// Accounting is at byte granularity against the idealized model.
+class DenseArray : public AccessMethod {
+ public:
+  explicit DenseArray(const Options& options);
+
+  std::string_view name() const override { return "dense-array"; }
+
+  Status Insert(Key key, Value value) override;
+  Status Update(Key key, Value value) override;
+  Status Delete(Key key) override;
+  Result<Value> Get(Key key) override;
+  Status Scan(Key lo, Key hi, std::vector<Entry>* out) override;
+  Status BulkLoad(std::span<const Entry> entries) override;
+  size_t size() const override { return entries_.size(); }
+
+ private:
+  /// Linear scan for `key`; charges one entry read per element examined.
+  /// Returns index or npos.
+  size_t FindCharged(Key key);
+
+  static constexpr size_t kNpos = static_cast<size_t>(-1);
+
+  std::vector<Entry> entries_;
+
+  void RecountSpace();
+};
+
+}  // namespace rum
+
+#endif  // RUMLAB_METHODS_EXTREMES_DENSE_ARRAY_H_

@@ -1,0 +1,133 @@
+#include "methods/extremes/magic_array.h"
+
+namespace rum {
+
+MagicArray::MagicArray(const Options& options)
+    : domain_(options.extremes.magic_array_domain) {
+  slots_.assign(static_cast<size_t>(domain_), std::nullopt);
+  RecountSpace();
+}
+
+Status MagicArray::CheckDomain(Key key) const {
+  if (key >= domain_) {
+    return Status::OutOfRange("key beyond magic-array domain");
+  }
+  return Status::OK();
+}
+
+void MagicArray::RecountSpace() {
+  // Occupied slots are base data; empty slots are pure overhead. The whole
+  // domain is materialized, which is what makes MO unbounded.
+  uint64_t base = static_cast<uint64_t>(live_) * kEntrySize;
+  uint64_t total = static_cast<uint64_t>(domain_) * kEntrySize;
+  counters().SetSpace(DataClass::kBase, base);
+  counters().SetSpace(DataClass::kAux, total - base);
+}
+
+Status MagicArray::Insert(Key key, Value value) {
+  Status s = CheckDomain(key);
+  if (!s.ok()) return s;
+  counters().OnInsert();
+  counters().OnLogicalWrite(kEntrySize);
+  if (!slots_[key].has_value()) ++live_;
+  slots_[key] = value;
+  counters().OnWrite(DataClass::kBase, kEntrySize);
+  RecountSpace();
+  return Status::OK();
+}
+
+Status MagicArray::Update(Key key, Value value) {
+  Status s = CheckDomain(key);
+  if (!s.ok()) return s;
+  counters().OnUpdate();
+  counters().OnLogicalWrite(kEntrySize);
+  if (!slots_[key].has_value()) ++live_;
+  slots_[key] = value;
+  counters().OnWrite(DataClass::kBase, kEntrySize);
+  RecountSpace();
+  return Status::OK();
+}
+
+Status MagicArray::Delete(Key key) {
+  Status s = CheckDomain(key);
+  if (!s.ok()) return s;
+  counters().OnDelete();
+  counters().OnLogicalWrite(kEntrySize);
+  if (slots_[key].has_value()) --live_;
+  slots_[key] = std::nullopt;
+  counters().OnWrite(DataClass::kBase, kEntrySize);
+  RecountSpace();
+  return Status::OK();
+}
+
+Result<Value> MagicArray::Get(Key key) {
+  Status s = CheckDomain(key);
+  if (!s.ok()) return s;
+  counters().OnPointQuery();
+  // Exactly one slot is touched: RO = 1.0, the Prop-1 optimum.
+  counters().OnRead(DataClass::kBase, kEntrySize);
+  if (!slots_[key].has_value()) {
+    return Status::NotFound();
+  }
+  counters().OnLogicalRead(kEntrySize);
+  return *slots_[key];
+}
+
+Status MagicArray::Scan(Key lo, Key hi, std::vector<Entry>* out) {
+  if (lo > hi) return Status::InvalidArgument("lo > hi");
+  counters().OnRangeQuery();
+  Key last = hi < domain_ ? hi : (domain_ == 0 ? 0 : domain_ - 1);
+  if (lo >= domain_) return Status::OK();
+  uint64_t found = 0;
+  for (Key k = lo; k <= last; ++k) {
+    // Every slot in the range is touched, including empty ones.
+    counters().OnRead(DataClass::kBase, kEntrySize);
+    if (slots_[k].has_value()) {
+      out->push_back(Entry{k, *slots_[k]});
+      ++found;
+    }
+    if (k == kMaxKey) break;
+  }
+  counters().OnLogicalRead(found * kEntrySize);
+  return Status::OK();
+}
+
+Status MagicArray::BulkLoad(std::span<const Entry> entries) {
+  Status s = CheckBulkLoadPreconditions(entries);
+  if (!s.ok()) return s;
+  for (const Entry& e : entries) {
+    s = Insert(e.key, e.value);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+Status MagicArray::ChangeKey(Key old_key, Key new_key) {
+  Status s = CheckDomain(old_key);
+  if (!s.ok()) return s;
+  s = CheckDomain(new_key);
+  if (!s.ok()) return s;
+  if (!slots_[old_key].has_value()) {
+    return Status::NotFound("old key not present");
+  }
+  counters().OnUpdate();
+  // One logical change of one entry...
+  counters().OnLogicalWrite(kEntrySize);
+  // ...costs two physical slot writes: empty the old block, fill the new
+  // one. This is Proposition 1's UO = 2.0.
+  Value payload = *slots_[old_key];
+  slots_[old_key] = std::nullopt;
+  counters().OnWrite(DataClass::kBase, kEntrySize);
+  if (!slots_[new_key].has_value() && new_key != old_key) {
+    // Target was empty; occupancy unchanged overall.
+  } else if (new_key != old_key) {
+    // Overwriting an existing entry loses it.
+    --live_;
+  }
+  slots_[new_key] = payload;
+  counters().OnWrite(DataClass::kBase, kEntrySize);
+  RecountSpace();
+  return Status::OK();
+}
+
+}  // namespace rum

@@ -1,0 +1,60 @@
+#ifndef RUMLAB_METHODS_EXTREMES_MAGIC_ARRAY_H_
+#define RUMLAB_METHODS_EXTREMES_MAGIC_ARRAY_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/access_method.h"
+#include "core/options.h"
+
+namespace rum {
+
+/// The paper's Proposition-1 structure: a direct-address array that
+/// minimizes *only* the read overhead.
+///
+/// "We organize data in an array and we store each value in the block with
+/// blkid = value" (Section 2). Here the key is the address: slot `k` of a
+/// pre-allocated array over the whole key domain holds the entry for key
+/// `k`, or null.
+///
+/// Resulting RUM profile (Prop. 1): min(RO) = 1.0 implies UO = 2.0 (for the
+/// paper's "change a value" operation, see ChangeKey) and MO unbounded --
+/// the array must span the key domain regardless of how few keys are live.
+///
+/// Accounting is at byte granularity against the idealized model: a slot is
+/// one entry (kEntrySize bytes); occupied slots are base data, empty slots
+/// are the structure's space overhead (auxiliary).
+class MagicArray : public AccessMethod {
+ public:
+  explicit MagicArray(const Options& options);
+
+  std::string_view name() const override { return "magic-array"; }
+
+  Status Insert(Key key, Value value) override;
+  Status Update(Key key, Value value) override;
+  Status Delete(Key key) override;
+  Result<Value> Get(Key key) override;
+  Status Scan(Key lo, Key hi, std::vector<Entry>* out) override;
+  Status BulkLoad(std::span<const Entry> entries) override;
+  size_t size() const override { return live_; }
+
+  /// The paper's "change a value" operation: the entry at `old_key` moves to
+  /// `new_key` (its payload unchanged). Two physical slot writes for one
+  /// logical update -- exactly the UO = 2.0 of Proposition 1.
+  Status ChangeKey(Key old_key, Key new_key);
+
+  /// Key domain covered by the array (slots allocated).
+  Key domain() const { return domain_; }
+
+ private:
+  Status CheckDomain(Key key) const;
+  void RecountSpace();
+
+  Key domain_;
+  std::vector<std::optional<Value>> slots_;
+  size_t live_ = 0;
+};
+
+}  // namespace rum
+
+#endif  // RUMLAB_METHODS_EXTREMES_MAGIC_ARRAY_H_

@@ -1,0 +1,85 @@
+#include "methods/extremes/pure_log.h"
+
+#include <algorithm>
+
+namespace rum {
+
+PureLog::PureLog(const Options& options) { (void)options; }
+
+Status PureLog::Append(Key key, Value value, bool tombstone) {
+  counters().OnLogicalWrite(kEntrySize);
+  // Exactly one entry is physically written: UO = 1.0, the Prop-2 optimum.
+  counters().OnWrite(DataClass::kBase, kEntrySize);
+  records_.push_back(Record{key, value, tombstone});
+  if (tombstone) {
+    live_.erase(key);
+  } else {
+    live_[key] = records_.size() - 1;
+  }
+  return Status::OK();
+}
+
+Status PureLog::Insert(Key key, Value value) {
+  counters().OnInsert();
+  return Append(key, value, /*tombstone=*/false);
+}
+
+Status PureLog::Update(Key key, Value value) {
+  counters().OnUpdate();
+  return Append(key, value, /*tombstone=*/false);
+}
+
+Status PureLog::Delete(Key key) {
+  counters().OnDelete();
+  return Append(key, 0, /*tombstone=*/true);
+}
+
+Result<Value> PureLog::Get(Key key) {
+  counters().OnPointQuery();
+  // Scan backwards from the tail: the newest version decides. The structure
+  // has no index, so every record until the match is read.
+  for (size_t i = records_.size(); i-- > 0;) {
+    counters().OnRead(DataClass::kBase, kEntrySize);
+    const Record& r = records_[i];
+    if (r.key == key) {
+      if (r.tombstone) return Status::NotFound();
+      counters().OnLogicalRead(kEntrySize);
+      return r.value;
+    }
+  }
+  return Status::NotFound();
+}
+
+Status PureLog::Scan(Key lo, Key hi, std::vector<Entry>* out) {
+  if (lo > hi) return Status::InvalidArgument("lo > hi");
+  counters().OnRangeQuery();
+  // The whole log must be read: newer records shadow older ones.
+  counters().OnRead(DataClass::kBase,
+                    static_cast<uint64_t>(records_.size()) * kEntrySize);
+  std::unordered_map<Key, std::pair<Value, bool>> newest;  // value, tombstone
+  for (const Record& r : records_) {
+    if (r.key < lo || r.key > hi) continue;
+    newest[r.key] = {r.value, r.tombstone};
+  }
+  std::vector<Entry> hits;
+  for (const auto& [k, vt] : newest) {
+    if (!vt.second) hits.push_back(Entry{k, vt.first});
+  }
+  std::sort(hits.begin(), hits.end());
+  counters().OnLogicalRead(static_cast<uint64_t>(hits.size()) * kEntrySize);
+  out->insert(out->end(), hits.begin(), hits.end());
+  return Status::OK();
+}
+
+CounterSnapshot PureLog::stats() const {
+  CounterSnapshot snap = AccessMethod::stats();
+  // Live entries are base data; stale versions and tombstones are the
+  // ever-growing overhead of never reorganizing.
+  uint64_t total = static_cast<uint64_t>(records_.size()) * kEntrySize;
+  uint64_t base = static_cast<uint64_t>(live_.size()) * kEntrySize;
+  snap.space_base = base;
+  snap.space_aux = total - base;
+  return snap;
+}
+
+}  // namespace rum

@@ -1,0 +1,64 @@
+#ifndef RUMLAB_METHODS_EXTREMES_PURE_LOG_H_
+#define RUMLAB_METHODS_EXTREMES_PURE_LOG_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/access_method.h"
+#include "core/options.h"
+
+namespace rum {
+
+/// The paper's Proposition-2 structure: a pure append-only log that
+/// minimizes *only* the update overhead.
+///
+/// "We append every update, effectively forming an ever increasing log.
+/// That way we achieve the minimum UO, which is equal to 1.0, at the cost of
+/// continuously increasing RO and MO" (Section 2).
+///
+/// Every Insert/Update/Delete appends exactly one entry's worth of bytes
+/// (UO = 1.0); the log is never reorganized. Point queries scan backwards
+/// from the tail until the newest version of the key is found; in the worst
+/// case the whole log is read. Space grows with every operation because
+/// stale versions and tombstones are never reclaimed -- those bytes are
+/// accounted as auxiliary overhead over the live base data, so MO grows
+/// without bound under updates.
+///
+/// Accounting is at byte granularity against the idealized model.
+class PureLog : public AccessMethod {
+ public:
+  explicit PureLog(const Options& options);
+
+  std::string_view name() const override { return "pure-log"; }
+
+  Status Insert(Key key, Value value) override;
+  Status Update(Key key, Value value) override;
+  Status Delete(Key key) override;
+  Result<Value> Get(Key key) override;
+  Status Scan(Key lo, Key hi, std::vector<Entry>* out) override;
+  size_t size() const override { return live_.size(); }
+
+  CounterSnapshot stats() const override;
+
+  /// Total records ever appended (live + stale + tombstones).
+  uint64_t record_count() const { return records_.size(); }
+
+ private:
+  struct Record {
+    Key key;
+    Value value;
+    bool tombstone;
+  };
+
+  Status Append(Key key, Value value, bool tombstone);
+
+  std::vector<Record> records_;
+  // Simulator-side bookkeeping (not part of the structure, not accounted):
+  // tracks which keys are live so size() and the base/aux space split are
+  // exact.
+  std::unordered_map<Key, size_t> live_;  // key -> index of newest version
+};
+
+}  // namespace rum
+
+#endif  // RUMLAB_METHODS_EXTREMES_PURE_LOG_H_

@@ -1,0 +1,108 @@
+#include "methods/factory.h"
+
+#include "methods/approx/bloom_column.h"
+#include "methods/approx/update_absorber.h"
+#include "methods/bitmap/bitmap_index.h"
+#include "methods/btree/btree.h"
+#include "methods/column/sorted_column.h"
+#include "methods/column/unsorted_column.h"
+#include "methods/cracking/cracking.h"
+#include "methods/diff/stepped_merge.h"
+#include "methods/extremes/dense_array.h"
+#include "methods/extremes/magic_array.h"
+#include "methods/extremes/pure_log.h"
+#include "methods/hash/hash_index.h"
+#include "methods/hotcold/hot_cold.h"
+#include "methods/imprints/imprints.h"
+#include "methods/lsm/lsm_tree.h"
+#include "methods/pbt/pbt.h"
+#include "methods/skiplist/skiplist.h"
+#include "methods/trie/trie.h"
+#include "methods/zonemap/zonemap.h"
+
+namespace rum {
+
+std::unique_ptr<AccessMethod> MakeAccessMethod(std::string_view name,
+                                               const Options& options) {
+  if (!ValidateOptions(options).ok()) return nullptr;
+  if (name == "btree") return std::make_unique<BTree>(options);
+  if (name == "hash") return std::make_unique<HashIndex>(options);
+  if (name == "zonemap") return std::make_unique<ZoneMapColumn>(options);
+  if (name == "lsm-leveled") {
+    Options opts = options;
+    opts.lsm.policy = CompactionPolicy::kLeveled;
+    return std::make_unique<LsmTree>(opts);
+  }
+  if (name == "lsm-tiered") {
+    Options opts = options;
+    opts.lsm.policy = CompactionPolicy::kTiered;
+    return std::make_unique<LsmTree>(opts);
+  }
+  if (name == "lsm-compressed") {
+    Options opts = options;
+    opts.lsm.policy = CompactionPolicy::kLeveled;
+    opts.lsm.compress_runs = true;
+    return std::make_unique<LsmTree>(opts);
+  }
+  if (name == "sorted-column") {
+    return std::make_unique<SortedColumn>(options);
+  }
+  if (name == "unsorted-column") {
+    return std::make_unique<UnsortedColumn>(options);
+  }
+  if (name == "skiplist") return std::make_unique<SkipListMethod>(options);
+  if (name == "trie") return std::make_unique<Trie>(options);
+  if (name == "bitmap") {
+    Options opts = options;
+    opts.bitmap.update_friendly = false;
+    return std::make_unique<BitmapIndex>(opts);
+  }
+  if (name == "bitmap-delta") {
+    Options opts = options;
+    opts.bitmap.update_friendly = true;
+    return std::make_unique<BitmapIndex>(opts);
+  }
+  if (name == "cracking") return std::make_unique<CrackedColumn>(options);
+  if (name == "stepped-merge") {
+    return std::make_unique<SteppedMergeTree>(options);
+  }
+  if (name == "bloom-zones") {
+    return std::make_unique<BloomZoneColumn>(options);
+  }
+  if (name == "imprints") return std::make_unique<ImprintsColumn>(options);
+  if (name == "pbt") return std::make_unique<PartitionedBTree>(options);
+  if (name == "sparse-index") {
+    Options opts = options;
+    opts.column.sparse_index = true;
+    return std::make_unique<SortedColumn>(opts);
+  }
+  if (name == "hot-cold") return std::make_unique<HotColdStore>(options);
+  if (name == "absorbed-btree") {
+    return std::make_unique<UpdateAbsorber>(
+        std::make_unique<BTree>(options), options);
+  }
+  if (name == "absorbed-bitmap") {
+    Options opts = options;
+    opts.bitmap.update_friendly = false;  // The absorber buffers instead.
+    return std::make_unique<UpdateAbsorber>(
+        std::make_unique<BitmapIndex>(opts), options);
+  }
+  if (name == "magic-array") return std::make_unique<MagicArray>(options);
+  if (name == "pure-log") return std::make_unique<PureLog>(options);
+  if (name == "dense-array") return std::make_unique<DenseArray>(options);
+  return nullptr;
+}
+
+std::vector<std::string_view> AllAccessMethodNames() {
+  return {
+      "btree",         "hash",          "zonemap",       "lsm-leveled",
+      "lsm-tiered",    "lsm-compressed", "sorted-column", "unsorted-column", "skiplist",
+      "trie",          "bitmap",        "bitmap-delta",  "cracking",
+      "stepped-merge", "bloom-zones",   "imprints",      "hot-cold",
+      "pbt",           "sparse-index",
+      "absorbed-btree", "absorbed-bitmap",
+      "magic-array",   "pure-log",      "dense-array",
+  };
+}
+
+}  // namespace rum

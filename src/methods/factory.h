@@ -1,0 +1,29 @@
+#ifndef RUMLAB_METHODS_FACTORY_H_
+#define RUMLAB_METHODS_FACTORY_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "core/access_method.h"
+#include "core/options.h"
+
+namespace rum {
+
+/// Creates an access method by name. Known names:
+///   "btree", "hash", "zonemap", "lsm-leveled", "lsm-tiered",
+///   "sorted-column", "unsorted-column", "skiplist", "trie",
+///   "bitmap", "bitmap-delta", "cracking", "stepped-merge",
+///   "bloom-zones", "absorbed-btree", "absorbed-bitmap" (UpdateAbsorber
+///   wrappers), "magic-array", "pure-log", "dense-array".
+/// Returns null for an unknown name. ("bitmap"/"bitmap-delta" and the LSM
+/// names override the corresponding Options fields.)
+std::unique_ptr<AccessMethod> MakeAccessMethod(std::string_view name,
+                                               const Options& options);
+
+/// Every name MakeAccessMethod accepts, in display order.
+std::vector<std::string_view> AllAccessMethodNames();
+
+}  // namespace rum
+
+#endif  // RUMLAB_METHODS_FACTORY_H_

@@ -1,0 +1,301 @@
+#include "methods/hash/hash_index.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "methods/sketch/bloom_filter.h"
+#include "storage/page_format.h"
+
+namespace rum {
+
+namespace {
+constexpr double kMaxLoad = 0.7;
+}  // namespace
+
+HashIndex::HashIndex(const Options& options)
+    : owned_device_(
+          std::make_unique<BlockDevice>(options.block_size, &counters())),
+      device_(owned_device_.get()),
+      slots_per_page_(PageFormat::CapacityFor(options.block_size)),
+      fanout_(options.hash.directory_fanout),
+      heap_(std::make_unique<HeapFile>(device_, DataClass::kBase,
+                                       &counters())) {}
+
+HashIndex::HashIndex(const Options& options, Device* device)
+    : device_(device),
+      slots_per_page_(PageFormat::CapacityFor(device->block_size())),
+      fanout_(options.hash.directory_fanout),
+      heap_(std::make_unique<HeapFile>(device_, DataClass::kBase,
+                                       &counters())) {}
+
+HashIndex::~HashIndex() = default;
+
+HashIndex::SlotRef HashIndex::RefFor(size_t slot) const {
+  return SlotRef{slot / slots_per_page_, slot % slots_per_page_};
+}
+
+Status HashIndex::LoadSlotPage(size_t page_index) {
+  if (cached_index_ == page_index) return Status::OK();
+  Status s = StoreSlotPage(cached_index_);
+  if (!s.ok()) return s;
+  std::vector<uint8_t> block;
+  s = device_->Read(dir_pages_[page_index], &block);
+  if (!s.ok()) return s;
+  s = PageFormat::Unpack(block, &cached_page_);
+  if (!s.ok()) return s;
+  cached_index_ = page_index;
+  cached_dirty_ = false;
+  return Status::OK();
+}
+
+Status HashIndex::StoreSlotPage(size_t page_index) {
+  if (page_index == static_cast<size_t>(-1) || !cached_dirty_) {
+    return Status::OK();
+  }
+  assert(page_index == cached_index_);
+  std::vector<uint8_t> block;
+  Status s = PageFormat::Pack(cached_page_, device_->block_size(), &block);
+  if (!s.ok()) return s;
+  s = device_->Write(dir_pages_[page_index], block);
+  if (!s.ok()) return s;
+  cached_dirty_ = false;
+  return Status::OK();
+}
+
+Status HashIndex::BuildDirectory(size_t slots) {
+  // Round up to whole pages of empty slots.
+  size_t pages = (slots + slots_per_page_ - 1) / slots_per_page_;
+  pages = std::max<size_t>(pages, 1);
+  slot_count_ = pages * slots_per_page_;
+  dir_pages_.clear();
+  std::vector<Entry> empty(slots_per_page_, Entry{0, kEmptySlot});
+  std::vector<uint8_t> block;
+  Status s = PageFormat::Pack(empty, device_->block_size(), &block);
+  if (!s.ok()) return s;
+  for (size_t p = 0; p < pages; ++p) {
+    PageId page = device_->Allocate(DataClass::kAux);
+    s = device_->Write(page, block);
+    if (!s.ok()) return s;
+    dir_pages_.push_back(page);
+  }
+  used_slots_ = 0;
+  cached_index_ = static_cast<size_t>(-1);
+  cached_dirty_ = false;
+  return Status::OK();
+}
+
+Result<bool> HashIndex::Probe(Key key, size_t* found_slot) {
+  assert(slot_count_ > 0);
+  size_t slot = static_cast<size_t>(MixHash(key) % slot_count_);
+  size_t insertable = static_cast<size_t>(-1);
+  for (size_t step = 0; step < slot_count_; ++step) {
+    SlotRef ref = RefFor(slot);
+    Status s = LoadSlotPage(ref.page_index);
+    if (!s.ok()) return s;
+    const Entry& e = cached_page_[ref.offset];
+    if (e.value == kEmptySlot) {
+      *found_slot = insertable != static_cast<size_t>(-1) ? insertable : slot;
+      return false;
+    }
+    if (e.value == kTombstoneSlot) {
+      if (insertable == static_cast<size_t>(-1)) insertable = slot;
+    } else if (e.key == key) {
+      *found_slot = slot;
+      return true;
+    }
+    slot = (slot + 1) % slot_count_;
+  }
+  if (insertable != static_cast<size_t>(-1)) {
+    *found_slot = insertable;
+    return false;
+  }
+  return Status::ResourceExhausted("hash directory full");
+}
+
+Status HashIndex::WriteSlot(size_t slot, Key key, RowId row) {
+  SlotRef ref = RefFor(slot);
+  Status s = LoadSlotPage(ref.page_index);
+  if (!s.ok()) return s;
+  cached_page_[ref.offset] = Entry{key, row};
+  cached_dirty_ = true;
+  return StoreSlotPage(ref.page_index);
+}
+
+Status HashIndex::Rehash(size_t new_slots) {
+  // Collect all live (key, row) pairs by scanning the old directory.
+  std::vector<Entry> pairs;
+  pairs.reserve(live_);
+  std::vector<uint8_t> block;
+  std::vector<Entry> page;
+  std::vector<PageId> old_pages = dir_pages_;
+  for (PageId p : old_pages) {
+    Status s = device_->Read(p, &block);
+    if (!s.ok()) return s;
+    s = PageFormat::Unpack(block, &page);
+    if (!s.ok()) return s;
+    for (const Entry& e : page) {
+      if (e.value != kEmptySlot && e.value != kTombstoneSlot) {
+        pairs.push_back(e);
+      }
+    }
+  }
+  for (PageId p : old_pages) {
+    Status s = device_->Free(p);
+    if (!s.ok()) return s;
+  }
+  Status s = BuildDirectory(new_slots);
+  if (!s.ok()) return s;
+  for (const Entry& e : pairs) {
+    size_t slot;
+    Result<bool> found = Probe(e.key, &slot);
+    if (!found.ok()) return found.status();
+    assert(!found.value());
+    SlotRef ref = RefFor(slot);
+    s = LoadSlotPage(ref.page_index);
+    if (!s.ok()) return s;
+    cached_page_[ref.offset] = e;
+    cached_dirty_ = true;
+    ++used_slots_;
+  }
+  return StoreSlotPage(cached_index_);
+}
+
+Status HashIndex::Insert(Key key, Value value) {
+  counters().OnInsert();
+  counters().OnLogicalWrite(kEntrySize);
+  if (slot_count_ == 0) {
+    Status s = BuildDirectory(slots_per_page_);
+    if (!s.ok()) return s;
+  }
+  size_t slot;
+  Result<bool> found = Probe(key, &slot);
+  if (!found.ok()) return found.status();
+  if (found.value()) {
+    SlotRef ref = RefFor(slot);
+    Status s = LoadSlotPage(ref.page_index);
+    if (!s.ok()) return s;
+    RowId row = cached_page_[ref.offset].value;
+    return heap_->Set(row, Entry{key, value});
+  }
+  Result<RowId> row = heap_->Append(Entry{key, value});
+  if (!row.ok()) return row.status();
+  Status s = WriteSlot(slot, key, row.value());
+  if (!s.ok()) return s;
+  ++live_;
+  ++used_slots_;
+  if (static_cast<double>(used_slots_) >
+      kMaxLoad * static_cast<double>(slot_count_)) {
+    return Rehash(slot_count_ * 2);
+  }
+  return Status::OK();
+}
+
+Status HashIndex::Delete(Key key) {
+  counters().OnDelete();
+  counters().OnLogicalWrite(kEntrySize);
+  if (slot_count_ == 0) return Status::OK();
+  size_t slot;
+  Result<bool> found = Probe(key, &slot);
+  if (!found.ok()) return found.status();
+  if (!found.value()) return Status::OK();  // Idempotent.
+
+  SlotRef ref = RefFor(slot);
+  Status s = LoadSlotPage(ref.page_index);
+  if (!s.ok()) return s;
+  RowId row = cached_page_[ref.offset].value;
+  s = WriteSlot(slot, 0, kTombstoneSlot);
+  if (!s.ok()) return s;
+  --live_;
+
+  // Keep the heap dense: move the last row into the hole and repoint its
+  // directory slot.
+  RowId last = heap_->row_count() - 1;
+  if (row != last) {
+    Result<Entry> moved = heap_->At(last);
+    if (!moved.ok()) return moved.status();
+    s = heap_->Set(row, moved.value());
+    if (!s.ok()) return s;
+    size_t moved_slot;
+    Result<bool> moved_found = Probe(moved.value().key, &moved_slot);
+    if (!moved_found.ok()) return moved_found.status();
+    assert(moved_found.value());
+    s = WriteSlot(moved_slot, moved.value().key, row);
+    if (!s.ok()) return s;
+  }
+  return heap_->PopBack();
+}
+
+Result<Value> HashIndex::Get(Key key) {
+  counters().OnPointQuery();
+  if (slot_count_ == 0) return Status::NotFound();
+  size_t slot;
+  Result<bool> found = Probe(key, &slot);
+  if (!found.ok()) return found.status();
+  if (!found.value()) return Status::NotFound();
+  SlotRef ref = RefFor(slot);
+  Status s = LoadSlotPage(ref.page_index);
+  if (!s.ok()) return s;
+  RowId row = cached_page_[ref.offset].value;
+  Result<Entry> entry = heap_->At(row);
+  if (!entry.ok()) return entry.status();
+  counters().OnLogicalRead(kEntrySize);
+  return entry.value().value;
+}
+
+Status HashIndex::Scan(Key lo, Key hi, std::vector<Entry>* out) {
+  if (lo > hi) return Status::InvalidArgument("lo > hi");
+  counters().OnRangeQuery();
+  // Hashing destroys order: the whole heap is scanned (Table 1, O(N/B)).
+  std::vector<Entry> hits;
+  Status s = heap_->ForEach([&](RowId, const Entry& e) {
+    if (e.key >= lo && e.key <= hi) hits.push_back(e);
+    return Status::OK();
+  });
+  if (!s.ok()) return s;
+  std::sort(hits.begin(), hits.end());
+  counters().OnLogicalRead(static_cast<uint64_t>(hits.size()) * kEntrySize);
+  out->insert(out->end(), hits.begin(), hits.end());
+  return Status::OK();
+}
+
+Status HashIndex::BulkLoad(std::span<const Entry> entries) {
+  Status s = CheckBulkLoadPreconditions(entries);
+  if (!s.ok()) return s;
+  // Never build a directory the load limit cannot accommodate, whatever
+  // the configured fanout.
+  double fanout = std::max(fanout_, 1.0 / kMaxLoad + 0.05);
+  size_t slots = std::max<size_t>(
+      slots_per_page_,
+      static_cast<size_t>(static_cast<double>(entries.size()) * fanout));
+  s = BuildDirectory(slots);
+  if (!s.ok()) return s;
+  for (const Entry& e : entries) {
+    Result<RowId> row = heap_->Append(e);
+    if (!row.ok()) return row.status();
+    size_t slot;
+    Result<bool> found = Probe(e.key, &slot);
+    if (!found.ok()) return found.status();
+    SlotRef ref = RefFor(slot);
+    s = LoadSlotPage(ref.page_index);
+    if (!s.ok()) return s;
+    cached_page_[ref.offset] = Entry{e.key, row.value()};
+    cached_dirty_ = true;
+    ++used_slots_;
+  }
+  s = StoreSlotPage(cached_index_);
+  if (!s.ok()) return s;
+  s = heap_->Flush();
+  if (!s.ok()) return s;
+  live_ = entries.size();
+  counters().OnLogicalWrite(static_cast<uint64_t>(entries.size()) *
+                            kEntrySize);
+  return Status::OK();
+}
+
+Status HashIndex::Flush() {
+  Status s = StoreSlotPage(cached_index_);
+  if (!s.ok()) return s;
+  return heap_->Flush();
+}
+
+}  // namespace rum

@@ -1,0 +1,314 @@
+#include "methods/lsm/lsm_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+namespace rum {
+
+LsmTree::LsmTree(const Options& options)
+    : options_(options),
+      policy_(options.lsm.policy),
+      owned_device_(
+          std::make_unique<BlockDevice>(options.block_size, &counters())),
+      device_(owned_device_.get()),
+      memtable_(
+          std::make_unique<SkipListMap>(options.skiplist, &mem_counters_)) {}
+
+LsmTree::LsmTree(const Options& options, Device* device)
+    : options_(options),
+      policy_(options.lsm.policy),
+      device_(device),
+      memtable_(
+          std::make_unique<SkipListMap>(options.skiplist, &mem_counters_)) {}
+
+LsmTree::~LsmTree() = default;
+
+size_t LsmTree::total_runs() const {
+  size_t n = 0;
+  for (const auto& level : levels_) n += level.size();
+  return n;
+}
+
+uint64_t LsmTree::LevelTarget(size_t level) const {
+  uint64_t target = options_.lsm.memtable_entries;
+  for (size_t i = 0; i <= level; ++i) {
+    target *= options_.lsm.size_ratio;
+  }
+  return target;
+}
+
+bool LsmTree::IsLastPopulated(size_t level) const {
+  for (size_t i = level + 1; i < levels_.size(); ++i) {
+    if (!levels_[i].empty()) return false;
+  }
+  return true;
+}
+
+Status LsmTree::Put(Key key, Value value, bool tombstone) {
+  counters().OnLogicalWrite(kEntrySize);
+  memtable_->Put(key, value, tombstone);
+  if (tombstone) {
+    live_keys_.erase(key);
+  } else {
+    live_keys_.insert(key);
+  }
+  if (memtable_->record_count() >= options_.lsm.memtable_entries) {
+    return FlushMemtable();
+  }
+  return Status::OK();
+}
+
+Status LsmTree::Insert(Key key, Value value) {
+  counters().OnInsert();
+  return Put(key, value, /*tombstone=*/false);
+}
+
+Status LsmTree::Delete(Key key) {
+  counters().OnDelete();
+  return Put(key, 0, /*tombstone=*/true);
+}
+
+std::vector<LogRecord> LsmTree::GatherRun(SortedRun* run) {
+  std::vector<LogRecord> records;
+  records.reserve(run->record_count());
+  // Charged: compaction reads every input page.
+  Status s = run->VisitAll(
+      [&](const LogRecord& r) { records.push_back(r); });
+  assert(s.ok());
+  (void)s;
+  return records;
+}
+
+std::vector<LogRecord> LsmTree::MergeRuns(
+    const std::vector<SortedRun*>& inputs, bool drop_tombstones) {
+  std::vector<std::vector<LogRecord>> streams;
+  streams.reserve(inputs.size());
+  for (SortedRun* run : inputs) {
+    streams.push_back(GatherRun(run));
+  }
+  return MergeStreams(std::move(streams), drop_tombstones);
+}
+
+std::vector<LogRecord> LsmTree::MergeStreams(
+    std::vector<std::vector<LogRecord>> streams, bool drop_tombstones) {
+  // Streams are ordered newest first; a newer version of a key shadows all
+  // older ones.
+  std::vector<size_t> pos(streams.size(), 0);
+  std::vector<LogRecord> out;
+  while (true) {
+    Key best = kMaxKey;
+    size_t winner = streams.size();
+    bool any = false;
+    for (size_t i = 0; i < streams.size(); ++i) {
+      if (pos[i] >= streams[i].size()) continue;
+      Key k = streams[i][pos[i]].key;
+      if (!any || k < best) {
+        best = k;
+        winner = i;
+        any = true;
+      }
+    }
+    if (!any) break;
+    LogRecord chosen = streams[winner][pos[winner]];
+    // Skip every (older) duplicate of this key.
+    for (size_t i = 0; i < streams.size(); ++i) {
+      while (pos[i] < streams[i].size() && streams[i][pos[i]].key == best) {
+        ++pos[i];
+      }
+    }
+    if (drop_tombstones && chosen.op == LogOp::kDelete) continue;
+    out.push_back(chosen);
+  }
+  return out;
+}
+
+Status LsmTree::CompactInto(size_t level, std::vector<LogRecord> records) {
+  if (levels_.size() <= level) levels_.resize(level + 1);
+  if (records.empty()) return Status::OK();
+  std::unique_ptr<SortedRun> run;
+  Status s = SortedRun::Build(device_, &counters(), records,
+                              options_.lsm.bloom_bits_per_key, &run,
+                              options_.lsm.fence_entries,
+                              options_.lsm.compress_runs);
+  if (!s.ok()) return s;
+  levels_[level].push_back(std::move(run));
+  return Status::OK();
+}
+
+Status LsmTree::FlushMemtable() {
+  if (memtable_->record_count() == 0) return Status::OK();
+  std::vector<LogRecord> records;
+  records.reserve(memtable_->record_count());
+  memtable_->VisitAllUnaccounted([&](const SkipListMap::Record& r) {
+    records.push_back(LogRecord{
+        r.key, r.value, r.tombstone ? LogOp::kDelete : LogOp::kPut});
+  });
+  memtable_->Clear();
+
+  if (levels_.empty()) levels_.resize(1);
+
+  if (policy_ == CompactionPolicy::kLeveled) {
+    // Merge the flush into level 0 directly from memory (the memtable is
+    // the newest stream), then cascade any level that overflows its target
+    // into the next one. One run per level.
+    {
+      std::vector<std::vector<LogRecord>> streams;
+      streams.push_back(std::move(records));
+      if (!levels_[0].empty()) {
+        streams.push_back(GatherRun(levels_[0].back().get()));
+        Status d = levels_[0].back()->Destroy();
+        if (!d.ok()) return d;
+        levels_[0].clear();
+      }
+      std::vector<LogRecord> merged =
+          MergeStreams(std::move(streams), IsLastPopulated(0));
+      Status s = CompactInto(0, std::move(merged));
+      if (!s.ok()) return s;
+    }
+    // Cascade.
+    for (size_t level = 0; level < levels_.size(); ++level) {
+      if (levels_[level].empty()) continue;
+      if (levels_[level].back()->record_count() <= LevelTarget(level)) {
+        continue;
+      }
+      std::vector<SortedRun*> merge_inputs;
+      merge_inputs.push_back(levels_[level].back().get());
+      if (levels_.size() <= level + 1) levels_.resize(level + 2);
+      if (!levels_[level + 1].empty()) {
+        merge_inputs.push_back(levels_[level + 1].back().get());
+      }
+      std::vector<LogRecord> merged =
+          MergeRuns(merge_inputs, IsLastPopulated(level + 1));
+      Status s = levels_[level].back()->Destroy();
+      if (!s.ok()) return s;
+      levels_[level].clear();
+      if (!levels_[level + 1].empty()) {
+        s = levels_[level + 1].back()->Destroy();
+        if (!s.ok()) return s;
+        levels_[level + 1].clear();
+      }
+      s = CompactInto(level + 1, std::move(merged));
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  }
+
+  // Tiered: the flush becomes a new level-0 run; a level holding
+  // `size_ratio` runs merges them into one run at the next level.
+  Status s = CompactInto(0, std::move(records));
+  if (!s.ok()) return s;
+  for (size_t level = 0; level < levels_.size(); ++level) {
+    if (levels_[level].size() < options_.lsm.size_ratio) continue;
+    std::vector<SortedRun*> inputs;
+    // Newest runs are at the back; MergeRuns wants newest first.
+    for (size_t i = levels_[level].size(); i-- > 0;) {
+      inputs.push_back(levels_[level][i].get());
+    }
+    std::vector<LogRecord> merged =
+        MergeRuns(inputs, IsLastPopulated(level));
+    for (auto& run : levels_[level]) {
+      Status d = run->Destroy();
+      if (!d.ok()) return d;
+    }
+    levels_[level].clear();
+    s = CompactInto(level + 1, std::move(merged));
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+Result<Value> LsmTree::Get(Key key) {
+  counters().OnPointQuery();
+  SkipListMap::Record mem_record;
+  if (memtable_->Find(key, &mem_record)) {
+    if (mem_record.tombstone) return Status::NotFound();
+    counters().OnLogicalRead(kEntrySize);
+    return mem_record.value;
+  }
+  for (const auto& level : levels_) {
+    for (size_t i = level.size(); i-- > 0;) {
+      Result<std::optional<LogRecord>> hit = level[i]->Get(key);
+      if (!hit.ok()) return hit.status();
+      if (hit.value().has_value()) {
+        if (hit.value()->op == LogOp::kDelete) return Status::NotFound();
+        counters().OnLogicalRead(kEntrySize);
+        return hit.value()->value;
+      }
+    }
+  }
+  return Status::NotFound();
+}
+
+Status LsmTree::Scan(Key lo, Key hi, std::vector<Entry>* out) {
+  if (lo > hi) return Status::InvalidArgument("lo > hi");
+  counters().OnRangeQuery();
+  // Newest source wins per key: memtable, then levels top-down, runs
+  // newest-first within a level.
+  std::unordered_map<Key, std::pair<Value, bool>> newest;  // value, tombstone
+  memtable_->VisitRange(lo, hi, [&](const SkipListMap::Record& r) {
+    newest.emplace(r.key, std::make_pair(r.value, r.tombstone));
+  });
+  for (const auto& level : levels_) {
+    for (size_t i = level.size(); i-- > 0;) {
+      Status s = level[i]->VisitRange(lo, hi, [&](const LogRecord& r) {
+        newest.emplace(r.key,
+                       std::make_pair(r.value, r.op == LogOp::kDelete));
+      });
+      if (!s.ok()) return s;
+    }
+  }
+  std::vector<Entry> hits;
+  for (const auto& [k, vt] : newest) {
+    if (!vt.second) hits.push_back(Entry{k, vt.first});
+  }
+  std::sort(hits.begin(), hits.end());
+  counters().OnLogicalRead(static_cast<uint64_t>(hits.size()) * kEntrySize);
+  out->insert(out->end(), hits.begin(), hits.end());
+  return Status::OK();
+}
+
+Status LsmTree::BulkLoad(std::span<const Entry> entries) {
+  Status s = CheckBulkLoadPreconditions(entries);
+  if (!s.ok()) return s;
+  if (entries.empty()) return Status::OK();
+  std::vector<LogRecord> records;
+  records.reserve(entries.size());
+  for (const Entry& e : entries) {
+    records.push_back(LogRecord{e.key, e.value, LogOp::kPut});
+    live_keys_.insert(e.key);
+  }
+  // Place the run at the shallowest level whose target accommodates it.
+  size_t level = 0;
+  while (LevelTarget(level) < records.size()) ++level;
+  counters().OnLogicalWrite(static_cast<uint64_t>(entries.size()) *
+                            kEntrySize);
+  return CompactInto(level, std::move(records));
+}
+
+Status LsmTree::Flush() { return FlushMemtable(); }
+
+void LsmTree::ResetStats() {
+  AccessMethod::ResetStats();
+  mem_counters_.ResetTraffic();
+}
+
+CounterSnapshot LsmTree::stats() const {
+  CounterSnapshot snap = AccessMethod::stats();
+  const CounterSnapshot& mem = mem_counters_.snapshot();
+  // Merge the memtable's traffic and space into the device-side snapshot.
+  snap.bytes_read_base += mem.bytes_read_base;
+  snap.bytes_read_aux += mem.bytes_read_aux;
+  snap.bytes_written_base += mem.bytes_written_base;
+  snap.bytes_written_aux += mem.bytes_written_aux;
+  uint64_t total_space = snap.total_space() + mem.total_space();
+  // Live entries are the base data; everything else (stale versions,
+  // tombstones, filters, fences, block slack, memtable towers) is overhead.
+  uint64_t base = static_cast<uint64_t>(live_keys_.size()) * kEntrySize;
+  base = std::min(base, total_space);
+  snap.space_base = base;
+  snap.space_aux = total_space - base;
+  return snap;
+}
+
+}  // namespace rum

@@ -1,0 +1,107 @@
+#ifndef RUMLAB_METHODS_LSM_LSM_TREE_H_
+#define RUMLAB_METHODS_LSM_LSM_TREE_H_
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "core/access_method.h"
+#include "core/options.h"
+#include "methods/lsm/sorted_run.h"
+#include "methods/skiplist/skiplist.h"
+#include "storage/block_device.h"
+
+namespace rum {
+
+/// A log-structured merge tree -- the write-optimized corner of the paper's
+/// Figure 1 and the "Levelled LSM" row of Table 1.
+///
+/// Writes buffer in a skiplist memtable; flushes produce immutable sorted
+/// runs that cascade through exponentially growing levels (size ratio T =
+/// `lsm.size_ratio`). Two merge policies implement the Section-5 "dynamic
+/// merge depth" knob:
+///  - kLeveled: one run per level; every flush merges eagerly (lower read
+///    amplification, higher write amplification);
+///  - kTiered: up to T runs per level, merged only when the level fills
+///    (lower write amplification, higher read amplification).
+///
+/// Each run carries fence pointers and an optional Bloom filter
+/// (`lsm.bloom_bits_per_key`) -- the paper's "logs enhanced by
+/// probabilistic data structures" -- trading auxiliary space for read cost.
+///
+/// Deletes write tombstones; tombstones and shadowed versions are dropped
+/// when a merge writes the lowest populated level. Stale versions are
+/// accounted as auxiliary space in stats() (live entries are the base
+/// data), so the LSM's MO visibly grows with update skew and shrinks at
+/// every deep merge.
+class LsmTree : public AccessMethod {
+ public:
+  explicit LsmTree(const Options& options);
+  LsmTree(const Options& options, Device* device);
+
+  ~LsmTree() override;
+
+  std::string_view name() const override {
+    if (options_.lsm.compress_runs) return "lsm-compressed";
+    return policy_ == CompactionPolicy::kLeveled ? "lsm-leveled"
+                                                 : "lsm-tiered";
+  }
+
+  Status Insert(Key key, Value value) override;
+  Status Delete(Key key) override;
+  Result<Value> Get(Key key) override;
+  Status Scan(Key lo, Key hi, std::vector<Entry>* out) override;
+  Status BulkLoad(std::span<const Entry> entries) override;
+  Status Flush() override;
+  size_t size() const override { return live_keys_.size(); }
+
+  CounterSnapshot stats() const override;
+  void ResetStats() override;
+
+  /// Number of levels currently holding runs.
+  size_t level_count() const { return levels_.size(); }
+  /// Runs at a level (0 <= level < level_count()).
+  size_t runs_at(size_t level) const { return levels_[level].size(); }
+  /// Total runs across all levels.
+  size_t total_runs() const;
+
+  /// Merges sorted record streams (newest first) into one; drops shadowed
+  /// versions, and tombstones too when `drop_tombstones`.
+  static std::vector<LogRecord> MergeStreams(
+      std::vector<std::vector<LogRecord>> streams, bool drop_tombstones);
+  /// Gathers `inputs` (newest first, charged reads) and merges them.
+  static std::vector<LogRecord> MergeRuns(
+      const std::vector<SortedRun*>& inputs, bool drop_tombstones);
+  /// Gathers one run's records (charged).
+  static std::vector<LogRecord> GatherRun(SortedRun* run);
+
+ private:
+  /// One write-buffered record enters the tree.
+  Status Put(Key key, Value value, bool tombstone);
+  /// Seals the memtable into a level-0 run and compacts as needed.
+  Status FlushMemtable();
+  /// Collects every input's records (charged), merges, and rebuilds.
+  Status CompactInto(size_t level, std::vector<LogRecord> records);
+  /// Target record capacity of a level.
+  uint64_t LevelTarget(size_t level) const;
+  /// True when no populated level exists below `level`.
+  bool IsLastPopulated(size_t level) const;
+
+  Options options_;
+  CompactionPolicy policy_;
+  std::unique_ptr<BlockDevice> owned_device_;
+  Device* device_;
+
+  RumCounters mem_counters_;  // The memtable's separate accounting.
+  std::unique_ptr<SkipListMap> memtable_;
+  // levels_[i] = runs at level i, newest last. Level 0 is the flush target.
+  std::vector<std::vector<std::unique_ptr<SortedRun>>> levels_;
+
+  // Simulator-side bookkeeping (unaccounted): exact live-key set for size()
+  // and the stats() base/aux space split.
+  std::unordered_set<Key> live_keys_;
+};
+
+}  // namespace rum
+
+#endif  // RUMLAB_METHODS_LSM_LSM_TREE_H_

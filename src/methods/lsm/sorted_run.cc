@@ -1,0 +1,308 @@
+#include "methods/lsm/sorted_run.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "storage/page_format.h"
+
+namespace rum {
+
+namespace {
+constexpr size_t kRunHeaderSize = sizeof(uint64_t);
+
+size_t RecordsPerBlock(size_t block_size) {
+  return (block_size - kRunHeaderSize) / LogRecord::kWireSize;
+}
+}  // namespace
+
+void PackLogRecords(const std::vector<LogRecord>& records, size_t begin,
+                    size_t end, size_t block_size, std::vector<uint8_t>* out) {
+  assert(end >= begin && end - begin <= RecordsPerBlock(block_size));
+  out->assign(block_size, 0);
+  EncodeU64(end - begin, out->data());
+  uint8_t* cursor = out->data() + kRunHeaderSize;
+  for (size_t i = begin; i < end; ++i) {
+    EncodeU64(records[i].key, cursor);
+    EncodeU64(records[i].value, cursor + 8);
+    cursor[16] = static_cast<uint8_t>(records[i].op);
+    cursor += LogRecord::kWireSize;
+  }
+}
+
+Status UnpackLogRecords(const std::vector<uint8_t>& block,
+                        std::vector<LogRecord>* out) {
+  if (block.size() < kRunHeaderSize) {
+    return Status::Corruption("run block too small");
+  }
+  uint64_t n = DecodeU64(block.data());
+  if (kRunHeaderSize + n * LogRecord::kWireSize > block.size()) {
+    return Status::Corruption("run record count exceeds block");
+  }
+  out->clear();
+  out->reserve(n);
+  const uint8_t* cursor = block.data() + kRunHeaderSize;
+  for (uint64_t i = 0; i < n; ++i) {
+    LogRecord r;
+    r.key = DecodeU64(cursor);
+    r.value = DecodeU64(cursor + 8);
+    r.op = static_cast<LogOp>(cursor[16]);
+    out->push_back(r);
+    cursor += LogRecord::kWireSize;
+  }
+  return Status::OK();
+}
+
+SortedRun::SortedRun(Device* device, RumCounters* counters)
+    : device_(device), counters_(counters) {}
+
+namespace {
+
+// Compressed page layout: [0,8) record count, then per record a varint
+// key delta (from the previous record in the page; the first record
+// stores its full key), 8 raw value bytes, and an op byte.
+void AppendCompressedRecord(const LogRecord& r, Key prev_key,
+                            std::vector<uint8_t>* payload) {
+  EncodeVarint64(r.key - prev_key, payload);
+  uint8_t value_buf[8];
+  EncodeU64(r.value, value_buf);
+  payload->insert(payload->end(), value_buf, value_buf + 8);
+  payload->push_back(static_cast<uint8_t>(r.op));
+}
+
+size_t CompressedRecordSize(const LogRecord& r, Key prev_key) {
+  return VarintLength(r.key - prev_key) + 8 + 1;
+}
+
+Status UnpackCompressedRecords(const std::vector<uint8_t>& block,
+                               std::vector<LogRecord>* out) {
+  if (block.size() < kRunHeaderSize) {
+    return Status::Corruption("run block too small");
+  }
+  uint64_t n = DecodeU64(block.data());
+  out->clear();
+  out->reserve(n);
+  size_t offset = kRunHeaderSize;
+  Key prev = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    if (offset + 9 > block.size()) {
+      return Status::Corruption("compressed record truncated");
+    }
+    Key delta = DecodeVarint64(block.data(), block.size(), &offset);
+    if (offset + 9 > block.size()) {
+      return Status::Corruption("compressed record truncated");
+    }
+    LogRecord r;
+    r.key = prev + delta;
+    r.value = DecodeU64(block.data() + offset);
+    offset += 8;
+    r.op = static_cast<LogOp>(block[offset++]);
+    out->push_back(r);
+    prev = r.key;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SortedRun::Build(Device* device, RumCounters* counters,
+                        const std::vector<LogRecord>& records,
+                        size_t bloom_bits_per_key,
+                        std::unique_ptr<SortedRun>* out,
+                        size_t fence_entries, bool compress) {
+  assert(device != nullptr && counters != nullptr);
+  assert(std::is_sorted(records.begin(), records.end(),
+                        [](const LogRecord& a, const LogRecord& b) {
+                          return a.key < b.key;
+                        }));
+  if (records.empty()) {
+    return Status::InvalidArgument("cannot build an empty run");
+  }
+  auto run = std::unique_ptr<SortedRun>(new SortedRun(device, counters));
+  run->records_per_page_ = RecordsPerBlock(device->block_size());
+  run->record_count_ = records.size();
+  run->min_key_ = records.front().key;
+  run->max_key_ = records.back().key;
+
+  if (bloom_bits_per_key > 0) {
+    run->bloom_ = std::make_unique<BloomFilter>(records.size(),
+                                                bloom_bits_per_key, counters);
+    for (const LogRecord& r : records) {
+      run->bloom_->Add(r.key);
+    }
+  }
+
+  run->pages_per_fence_ = std::max<size_t>(
+      1, (fence_entries + run->records_per_page_ - 1) /
+             run->records_per_page_);
+  run->compressed_ = compress;
+
+  if (!compress) {
+    std::vector<uint8_t> block;
+    for (size_t i = 0; i < records.size(); i += run->records_per_page_) {
+      size_t end = std::min(i + run->records_per_page_, records.size());
+      PackLogRecords(records, i, end, device->block_size(), &block);
+      PageId page = device->Allocate(DataClass::kBase);
+      Status s = device->Write(page, block);
+      if (!s.ok()) return s;
+      if (run->pages_.size() % run->pages_per_fence_ == 0) {
+        run->fences_.push_back(records[i].key);
+      }
+      run->pages_.push_back(page);
+    }
+  } else {
+    // Greedy variable packing: fill each page until the next record's
+    // encoded form would overflow.
+    size_t block_size = device->block_size();
+    std::vector<uint8_t> payload;
+    payload.reserve(block_size);
+    uint64_t page_count = 0;
+    Key prev = 0;
+    Key first_key = 0;
+    auto seal = [&]() -> Status {
+      std::vector<uint8_t> block(block_size, 0);
+      EncodeU64(page_count, block.data());
+      std::copy(payload.begin(), payload.end(),
+                block.begin() + kRunHeaderSize);
+      PageId page = device->Allocate(DataClass::kBase);
+      Status s = device->Write(page, block);
+      if (!s.ok()) return s;
+      if (run->pages_.size() % run->pages_per_fence_ == 0) {
+        run->fences_.push_back(first_key);
+      }
+      run->pages_.push_back(page);
+      payload.clear();
+      page_count = 0;
+      prev = 0;
+      return Status::OK();
+    };
+    for (const LogRecord& r : records) {
+      size_t need = CompressedRecordSize(r, page_count == 0 ? 0 : prev);
+      if (page_count > 0 &&
+          kRunHeaderSize + payload.size() + need > block_size) {
+        Status s = seal();
+        if (!s.ok()) return s;
+      }
+      if (page_count == 0) first_key = r.key;
+      AppendCompressedRecord(r, page_count == 0 ? 0 : prev, &payload);
+      prev = r.key;
+      ++page_count;
+    }
+    if (page_count > 0) {
+      Status s = seal();
+      if (!s.ok()) return s;
+    }
+  }
+  // Fence pointers are auxiliary structure held in memory.
+  counters->AdjustSpace(
+      DataClass::kAux,
+      static_cast<int64_t>(run->fences_.size() * sizeof(Key)));
+  *out = std::move(run);
+  return Status::OK();
+}
+
+SortedRun::~SortedRun() {
+  // Destroy() may already have run; it is idempotent via destroyed_.
+  (void)Destroy();
+}
+
+Status SortedRun::Destroy() {
+  if (destroyed_) return Status::OK();
+  destroyed_ = true;
+  for (PageId page : pages_) {
+    Status s = device_->Free(page);
+    if (!s.ok()) return s;
+  }
+  pages_.clear();
+  counters_->AdjustSpace(
+      DataClass::kAux, -static_cast<int64_t>(fences_.size() * sizeof(Key)));
+  fences_.clear();
+  bloom_.reset();  // Releases its own space.
+  return Status::OK();
+}
+
+Status SortedRun::LoadPage(size_t page_index, std::vector<LogRecord>* out) {
+  assert(page_index < pages_.size());
+  std::vector<uint8_t> block;
+  Status s = device_->Read(pages_[page_index], &block);
+  if (!s.ok()) return s;
+  if (compressed_) {
+    return UnpackCompressedRecords(block, out);
+  }
+  return UnpackLogRecords(block, out);
+}
+
+size_t SortedRun::FenceSearch(Key key) const {
+  // Binary search over fences; each probe reads one fence key.
+  size_t lo = 0;
+  size_t hi = fences_.size();
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    counters_->OnRead(DataClass::kAux, sizeof(Key));
+    if (fences_[mid] <= key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo == 0 ? 0 : lo - 1;
+}
+
+Result<std::optional<LogRecord>> SortedRun::Get(Key key) {
+  if (key < min_key_ || key > max_key_) {
+    return std::optional<LogRecord>();
+  }
+  if (bloom_ != nullptr && !bloom_->MayContain(key)) {
+    return std::optional<LogRecord>();
+  }
+  size_t group = FenceSearch(key);
+  size_t first_page = group * pages_per_fence_;
+  size_t end_page = std::min(first_page + pages_per_fence_, pages_.size());
+  std::vector<LogRecord> records;
+  for (size_t p = first_page; p < end_page; ++p) {
+    Status s = LoadPage(p, &records);
+    if (!s.ok()) return s;
+    if (records.empty()) continue;
+    if (records.back().key < key) continue;  // Key is further right.
+    auto it = std::lower_bound(records.begin(), records.end(), key,
+                               [](const LogRecord& r, Key k) {
+                                 return r.key < k;
+                               });
+    if (it == records.end() || it->key != key) {
+      return std::optional<LogRecord>();
+    }
+    return std::optional<LogRecord>(*it);
+  }
+  return std::optional<LogRecord>();
+}
+
+Status SortedRun::VisitRange(Key lo, Key hi,
+                             const std::function<void(const LogRecord&)>&
+                                 visit) {
+  if (hi < min_key_ || lo > max_key_) return Status::OK();
+  size_t first_page = FenceSearch(lo) * pages_per_fence_;
+  std::vector<LogRecord> records;
+  for (size_t p = first_page; p < pages_.size(); ++p) {
+    Status s = LoadPage(p, &records);
+    if (!s.ok()) return s;
+    for (const LogRecord& r : records) {
+      if (r.key > hi) return Status::OK();
+      if (r.key >= lo) visit(r);
+    }
+  }
+  return Status::OK();
+}
+
+Status SortedRun::VisitAll(
+    const std::function<void(const LogRecord&)>& visit) {
+  std::vector<LogRecord> records;
+  for (size_t p = 0; p < pages_.size(); ++p) {
+    Status s = LoadPage(p, &records);
+    if (!s.ok()) return s;
+    for (const LogRecord& r : records) {
+      visit(r);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace rum

@@ -1,0 +1,107 @@
+#ifndef RUMLAB_METHODS_LSM_SORTED_RUN_H_
+#define RUMLAB_METHODS_LSM_SORTED_RUN_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/counters.h"
+#include "core/status.h"
+#include "core/types.h"
+#include "methods/sketch/bloom_filter.h"
+#include "storage/append_log.h"
+#include "storage/device.h"
+
+namespace rum {
+
+/// An immutable sorted run of LogRecords on a device -- rumlab's SSTable.
+///
+/// Data pages (base class) hold key-ordered records (puts and tombstones).
+/// Two auxiliary structures accelerate reads, both of the paper's
+/// space-for-read trades:
+///  - fence pointers: the first key of every page, binary-searched per
+///    lookup (charged as auxiliary byte reads);
+///  - an optional Bloom filter over the run's keys, probed before any page
+///    is read (0 bits/key disables it).
+class SortedRun {
+ public:
+  /// Builds a run from key-ascending records (duplicates not allowed).
+  /// All accounting (page writes, filter space) is charged to `counters`
+  /// via `device` and directly. `fence_entries` sets the fence-pointer
+  /// granularity: one fence per that many records (rounded up to whole
+  /// pages; 0 = one fence per page) -- sparser fences save auxiliary space
+  /// and pay extra page reads per lookup.
+  /// With `compress` set, pages store varint key deltas instead of fixed
+  /// 17-byte records (the paper's Section-5 compression/computation trade):
+  /// sorted keys have small deltas, so runs shrink -- fewer resident blocks
+  /// and fewer blocks per range read -- at decode CPU cost.
+  static Status Build(Device* device, RumCounters* counters,
+                      const std::vector<LogRecord>& records,
+                      size_t bloom_bits_per_key,
+                      std::unique_ptr<SortedRun>* out,
+                      size_t fence_entries = 0, bool compress = false);
+
+  /// Frees the run's pages. Build() owns nothing until it succeeds.
+  ~SortedRun();
+
+  SortedRun(const SortedRun&) = delete;
+  SortedRun& operator=(const SortedRun&) = delete;
+
+  /// Point lookup; nullopt when the key is not in this run. `*io_pages` (if
+  /// non-null) is incremented by the data pages read.
+  Result<std::optional<LogRecord>> Get(Key key);
+
+  /// Visits records with lo <= key <= hi in ascending order.
+  Status VisitRange(Key lo, Key hi,
+                    const std::function<void(const LogRecord&)>& visit);
+
+  /// Visits every record in order (compaction input); fully charged.
+  Status VisitAll(const std::function<void(const LogRecord&)>& visit);
+
+  /// Frees all pages and releases auxiliary space. Called by the
+  /// destructor; safe to call once explicitly.
+  Status Destroy();
+
+  uint64_t record_count() const { return record_count_; }
+  size_t page_count() const { return pages_.size(); }
+  Key min_key() const { return min_key_; }
+  Key max_key() const { return max_key_; }
+  bool has_bloom() const { return bloom_ != nullptr; }
+  const BloomFilter* bloom() const { return bloom_.get(); }
+  bool compressed() const { return compressed_; }
+
+ private:
+  SortedRun(Device* device, RumCounters* counters);
+
+  Status LoadPage(size_t page_index, std::vector<LogRecord>* out);
+  /// Charged binary search over the in-memory fence keys; returns the
+  /// index of the *page group* the key may live in (first page =
+  /// group * pages_per_fence_).
+  size_t FenceSearch(Key key) const;
+
+  Device* device_;         // Not owned.
+  RumCounters* counters_;  // Not owned.
+  std::vector<PageId> pages_;
+  std::vector<Key> fences_;  // First key of each fence group.
+  size_t pages_per_fence_ = 1;
+  std::unique_ptr<BloomFilter> bloom_;
+  size_t records_per_page_ = 0;
+  bool compressed_ = false;
+  uint64_t record_count_ = 0;
+  Key min_key_ = 0;
+  Key max_key_ = 0;
+  bool destroyed_ = false;
+};
+
+/// Encodes records (count header + wire records) into device blocks of
+/// `block_size`; shared by SortedRun and tests.
+void PackLogRecords(const std::vector<LogRecord>& records, size_t begin,
+                    size_t end, size_t block_size, std::vector<uint8_t>* out);
+Status UnpackLogRecords(const std::vector<uint8_t>& block,
+                        std::vector<LogRecord>* out);
+
+}  // namespace rum
+
+#endif  // RUMLAB_METHODS_LSM_SORTED_RUN_H_

@@ -1,0 +1,61 @@
+#ifndef RUMLAB_METHODS_SKETCH_BLOOM_FILTER_H_
+#define RUMLAB_METHODS_SKETCH_BLOOM_FILTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/counters.h"
+#include "core/types.h"
+
+namespace rum {
+
+/// A classic Bloom filter (Bloom, CACM 1970): the paper's canonical
+/// space-optimized, lossy auxiliary structure (Figure 1, right corner).
+///
+/// k hash probes per operation via double hashing. Accounting: the bit
+/// array is auxiliary space; each probe charges one auxiliary byte read (a
+/// bit access rounds up to byte granularity), each insert charges k
+/// auxiliary byte writes.
+class BloomFilter {
+ public:
+  /// Sizes the filter for `expected_keys` at `bits_per_key`; picks the
+  /// optimal probe count k = bits_per_key * ln 2 (at least 1).
+  /// `counters` may be null (no accounting, e.g. inside unit math tests).
+  BloomFilter(size_t expected_keys, size_t bits_per_key,
+              RumCounters* counters);
+
+  BloomFilter(BloomFilter&& other) noexcept;
+  BloomFilter& operator=(BloomFilter&& other) noexcept;
+
+  /// Releases the filter's auxiliary space from the counters.
+  ~BloomFilter();
+
+  /// Adds a key.
+  void Add(Key key);
+
+  /// True if the key *may* have been added; false is definitive.
+  bool MayContain(Key key) const;
+
+  /// Bytes of the bit array.
+  uint64_t space_bytes() const { return bits_.size(); }
+  size_t probes() const { return probes_; }
+  uint64_t bit_count() const { return static_cast<uint64_t>(bits_.size()) * 8; }
+
+  /// Fraction of set bits (diagnostics; the false-positive rate is roughly
+  /// this to the k-th power).
+  double fill_ratio() const;
+
+ private:
+  uint64_t BitIndex(uint64_t h1, uint64_t h2, size_t probe) const;
+
+  std::vector<uint8_t> bits_;
+  size_t probes_;
+  RumCounters* counters_;  // Not owned; may be null.
+};
+
+/// Stable 64-bit mix used by every sketch in rumlab (splitmix64 finalizer).
+uint64_t MixHash(uint64_t x);
+
+}  // namespace rum
+
+#endif  // RUMLAB_METHODS_SKETCH_BLOOM_FILTER_H_

@@ -1,0 +1,54 @@
+#include "methods/sketch/count_min.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "methods/sketch/bloom_filter.h"
+
+namespace rum {
+
+CountMinSketch::CountMinSketch(size_t width, size_t depth,
+                               RumCounters* counters)
+    : width_(width), depth_(depth), counters_(counters) {
+  assert(width_ > 0 && depth_ > 0);
+  table_.assign(width_ * depth_, 0);
+  if (counters_ != nullptr) {
+    counters_->AdjustSpace(DataClass::kAux,
+                           static_cast<int64_t>(space_bytes()));
+  }
+}
+
+CountMinSketch::~CountMinSketch() {
+  if (counters_ != nullptr) {
+    counters_->AdjustSpace(DataClass::kAux,
+                           -static_cast<int64_t>(space_bytes()));
+  }
+}
+
+size_t CountMinSketch::CellIndex(size_t row, Key key) const {
+  // Row-salted hash.
+  uint64_t h = MixHash(key ^ (0x9E3779B97F4A7C15ULL * (row + 1)));
+  return row * width_ + static_cast<size_t>(h % width_);
+}
+
+void CountMinSketch::Add(Key key, uint64_t amount) {
+  for (size_t row = 0; row < depth_; ++row) {
+    table_[CellIndex(row, key)] += amount;
+    if (counters_ != nullptr) {
+      counters_->OnWrite(DataClass::kAux, sizeof(uint64_t));
+    }
+  }
+}
+
+uint64_t CountMinSketch::Estimate(Key key) const {
+  uint64_t best = ~0ULL;
+  for (size_t row = 0; row < depth_; ++row) {
+    if (counters_ != nullptr) {
+      counters_->OnRead(DataClass::kAux, sizeof(uint64_t));
+    }
+    best = std::min(best, table_[CellIndex(row, key)]);
+  }
+  return best;
+}
+
+}  // namespace rum

@@ -1,0 +1,49 @@
+#ifndef RUMLAB_METHODS_SKETCH_COUNT_MIN_H_
+#define RUMLAB_METHODS_SKETCH_COUNT_MIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/counters.h"
+#include "core/types.h"
+
+namespace rum {
+
+/// A Count-Min sketch (Cormode & Muthukrishnan 2005): the lossy hash-based
+/// frequency summary the paper cites among space-optimized structures.
+///
+/// `depth` rows of `width` counters; Estimate() never under-counts. Each
+/// operation touches one counter per row (charged as auxiliary traffic).
+class CountMinSketch {
+ public:
+  /// `counters` may be null (no accounting).
+  CountMinSketch(size_t width, size_t depth, RumCounters* counters);
+  ~CountMinSketch();
+
+  CountMinSketch(const CountMinSketch&) = delete;
+  CountMinSketch& operator=(const CountMinSketch&) = delete;
+
+  /// Adds `amount` occurrences of `key`.
+  void Add(Key key, uint64_t amount = 1);
+
+  /// Upper-bounded frequency estimate (>= true count).
+  uint64_t Estimate(Key key) const;
+
+  uint64_t space_bytes() const {
+    return static_cast<uint64_t>(table_.size()) * sizeof(uint64_t);
+  }
+  size_t width() const { return width_; }
+  size_t depth() const { return depth_; }
+
+ private:
+  size_t CellIndex(size_t row, Key key) const;
+
+  size_t width_;
+  size_t depth_;
+  std::vector<uint64_t> table_;  // Row-major depth x width.
+  RumCounters* counters_;        // Not owned; may be null.
+};
+
+}  // namespace rum
+
+#endif  // RUMLAB_METHODS_SKETCH_COUNT_MIN_H_

@@ -1,0 +1,281 @@
+#include "methods/sketch/quotient_filter.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "methods/sketch/bloom_filter.h"
+
+namespace rum {
+
+QuotientFilter::QuotientFilter(size_t quotient_bits, size_t remainder_bits,
+                               RumCounters* counters)
+    : quotient_bits_(quotient_bits),
+      remainder_bits_(remainder_bits),
+      counters_(counters) {
+  assert(quotient_bits_ >= 1 && quotient_bits_ <= 30);
+  assert(remainder_bits_ >= 1 && remainder_bits_ <= 60);
+  slots_.assign(static_cast<size_t>(1) << quotient_bits_, Slot{});
+  mask_ = slots_.size() - 1;
+  if (counters_ != nullptr) {
+    counters_->AdjustSpace(DataClass::kAux,
+                           static_cast<int64_t>(space_bytes()));
+  }
+}
+
+QuotientFilter::~QuotientFilter() {
+  if (counters_ != nullptr) {
+    counters_->AdjustSpace(DataClass::kAux,
+                           -static_cast<int64_t>(space_bytes()));
+  }
+}
+
+uint64_t QuotientFilter::space_bytes() const {
+  uint64_t bits =
+      static_cast<uint64_t>(slots_.size()) * (remainder_bits_ + 3);
+  return (bits + 7) / 8;
+}
+
+void QuotientFilter::ChargeProbes(size_t n) const {
+  if (counters_ != nullptr) {
+    counters_->OnRead(DataClass::kAux, n);
+  }
+}
+
+void QuotientFilter::Fingerprint(Key key, size_t* quotient,
+                                 uint64_t* remainder) const {
+  uint64_t fp = MixHash(key);
+  *quotient = static_cast<size_t>(fp & mask_);
+  *remainder = (fp >> quotient_bits_) &
+               ((remainder_bits_ >= 64)
+                    ? ~0ULL
+                    : ((static_cast<uint64_t>(1) << remainder_bits_) - 1));
+}
+
+size_t QuotientFilter::FindRunStart(size_t quotient) const {
+  // Walk back to the cluster head...
+  size_t b = quotient;
+  size_t probes = 0;
+  while (slots_[b].shifted) {
+    b = Prev(b);
+    ++probes;
+  }
+  // ...then walk runs forward until we reach `quotient`'s run.
+  size_t s = b;
+  while (b != quotient) {
+    // Skip the current run.
+    do {
+      s = Next(s);
+      ++probes;
+    } while (slots_[s].continuation);
+    // Advance b to the next canonical slot with an occupied bit.
+    do {
+      b = Next(b);
+      ++probes;
+    } while (!slots_[b].occupied);
+  }
+  ChargeProbes(probes + 1);
+  return s;
+}
+
+bool QuotientFilter::MayContain(Key key) const {
+  size_t quotient;
+  uint64_t remainder;
+  Fingerprint(key, &quotient, &remainder);
+  ChargeProbes(1);
+  if (!slots_[quotient].occupied) return false;
+  size_t s = FindRunStart(quotient);
+  do {
+    ChargeProbes(1);
+    if (slots_[s].remainder == remainder) return true;
+    if (slots_[s].remainder > remainder) return false;  // Runs are sorted.
+    s = Next(s);
+  } while (slots_[s].continuation);
+  return false;
+}
+
+void QuotientFilter::InsertFingerprint(size_t quotient, uint64_t remainder) {
+  Slot& canonical = slots_[quotient];
+  if (canonical.empty() && !canonical.occupied) {
+    canonical.remainder = remainder;
+    canonical.occupied = true;
+    canonical.continuation = false;
+    canonical.shifted = false;
+    ++elements_;
+    return;
+  }
+
+  bool run_exists = canonical.occupied;
+  canonical.occupied = true;
+
+  // Find the insertion position.
+  size_t pos;
+  bool insert_as_continuation;
+  if (run_exists) {
+    size_t s = FindRunStart(quotient);
+    // Keep remainders within the run sorted.
+    size_t run_pos = s;
+    bool at_head = true;
+    while (slots_[run_pos].holds_data() &&
+           (run_pos == s || slots_[run_pos].continuation)) {
+      if (slots_[run_pos].remainder >= remainder) break;
+      run_pos = Next(run_pos);
+      at_head = false;
+      if (!slots_[run_pos].continuation) break;  // Passed the end of run.
+    }
+    if (at_head) {
+      // New element becomes the run head; the old head becomes a
+      // continuation. We insert at `s` carrying continuation=false and flip
+      // the displaced old head's continuation bit as it shifts.
+      pos = s;
+      insert_as_continuation = false;
+    } else {
+      pos = run_pos;
+      insert_as_continuation = true;
+    }
+  } else {
+    // New run: it starts where the run *would* be -- right after the runs
+    // of smaller quotients in the same cluster.
+    if (canonical.empty()) {
+      pos = quotient;
+    } else {
+      // The canonical slot holds another run's element; our run must queue
+      // behind every run currently in the cluster up to this quotient.
+      // Walk exactly like FindRunStart but for a quotient with no run yet:
+      // find the first slot after the last run belonging to a quotient
+      // less than ours.
+      size_t b = quotient;
+      while (slots_[b].shifted) b = Prev(b);
+      size_t s = b;
+      while (true) {
+        // Advance b to the next occupied canonical slot at or before
+        // `quotient`.
+        if (b == quotient) break;
+        do {
+          s = Next(s);
+        } while (slots_[s].continuation);
+        do {
+          b = Next(b);
+        } while (!slots_[b].occupied && b != quotient);
+        if (b == quotient) break;
+      }
+      // Skip the run of the last smaller quotient if s still points at one.
+      // After the loop, s is the start of the first run at/after our
+      // quotient's order; since our run does not exist yet, s is where it
+      // must begin.
+      pos = s;
+    }
+    insert_as_continuation = false;
+  }
+
+  // Shift right from `pos` until an empty slot, inserting our element.
+  uint64_t carry_rem = remainder;
+  bool carry_cont = insert_as_continuation;
+  bool carry_shift = (pos != quotient) || run_exists || slots_[pos].holds_data()
+                         ? (pos != quotient)
+                         : false;
+  // The inserted element is shifted iff it does not land in its canonical
+  // slot.
+  carry_shift = (pos != quotient);
+  size_t cur = pos;
+  bool displacing_run_head = run_exists && !insert_as_continuation;
+  while (true) {
+    Slot& slot = slots_[cur];
+    if (!slot.holds_data()) {
+      slot.remainder = carry_rem;
+      slot.continuation = carry_cont;
+      slot.shifted = carry_shift;
+      break;
+    }
+    uint64_t next_rem = slot.remainder;
+    bool next_cont = slot.continuation;
+    slot.remainder = carry_rem;
+    slot.continuation = carry_cont;
+    slot.shifted = carry_shift;
+    carry_rem = next_rem;
+    carry_cont = next_cont;
+    if (displacing_run_head) {
+      // The old head of our run becomes a continuation.
+      carry_cont = true;
+      displacing_run_head = false;
+    }
+    carry_shift = true;  // Everything pushed right is no longer canonical.
+    cur = Next(cur);
+  }
+  ++elements_;
+}
+
+bool QuotientFilter::Insert(Key key) {
+  if (elements_ >= slots_.size() - (slots_.size() >> 4)) {
+    return false;  // ~94% load limit.
+  }
+  size_t quotient;
+  uint64_t remainder;
+  Fingerprint(key, &quotient, &remainder);
+  if (counters_ != nullptr) {
+    // One probe of the canonical slot plus amortized shifting traffic.
+    counters_->OnWrite(DataClass::kAux, 1);
+  }
+  InsertFingerprint(quotient, remainder);
+  return true;
+}
+
+std::vector<std::pair<size_t, uint64_t>> QuotientFilter::ExtractCluster(
+    size_t member) {
+  // Find the cluster head.
+  size_t c = member;
+  while (slots_[c].shifted) c = Prev(c);
+
+  // Collect quotients (occupied bits) and slots of the cluster in order.
+  std::vector<std::pair<size_t, uint64_t>> pairs;
+  std::vector<size_t> quotients;
+  std::vector<size_t> members;
+  size_t i = c;
+  size_t scan = c;
+  // The cluster is the contiguous chain of data-holding slots from c.
+  while (slots_[scan].holds_data()) {
+    members.push_back(scan);
+    scan = Next(scan);
+    if (scan == c) break;  // Entire table is one cluster.
+  }
+  // Occupied bits within [c, end of cluster] give the run quotients.
+  for (size_t slot : members) {
+    if (slots_[slot].occupied) quotients.push_back(slot);
+  }
+  size_t run_index = static_cast<size_t>(-1);
+  for (size_t slot : members) {
+    if (!slots_[slot].continuation) {
+      ++run_index;
+    }
+    assert(run_index < quotients.size());
+    pairs.emplace_back(quotients[run_index], slots_[slot].remainder);
+  }
+  (void)i;
+  // Clear the cluster.
+  for (size_t slot : members) {
+    slots_[slot] = Slot{};
+  }
+  elements_ -= members.size();
+  ChargeProbes(2 * members.size());
+  return pairs;
+}
+
+bool QuotientFilter::Delete(Key key) {
+  size_t quotient;
+  uint64_t remainder;
+  Fingerprint(key, &quotient, &remainder);
+  if (!MayContain(key)) return false;
+
+  std::vector<std::pair<size_t, uint64_t>> pairs = ExtractCluster(quotient);
+  auto it = std::find(pairs.begin(), pairs.end(),
+                      std::make_pair(quotient, remainder));
+  assert(it != pairs.end());
+  pairs.erase(it);
+  for (const auto& [q, r] : pairs) {
+    InsertFingerprint(q, r);
+    if (counters_ != nullptr) counters_->OnWrite(DataClass::kAux, 1);
+  }
+  if (counters_ != nullptr) counters_->OnWrite(DataClass::kAux, 1);
+  return true;
+}
+
+}  // namespace rum

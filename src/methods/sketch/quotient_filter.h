@@ -1,0 +1,102 @@
+#ifndef RUMLAB_METHODS_SKETCH_QUOTIENT_FILTER_H_
+#define RUMLAB_METHODS_SKETCH_QUOTIENT_FILTER_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/counters.h"
+#include "core/types.h"
+
+namespace rum {
+
+/// A quotient filter (Bender et al.): the *updatable* probabilistic filter
+/// the paper's Section 5 proposes for absorbing updates in approximate
+/// indexes -- unlike a Bloom filter it supports deletes.
+///
+/// A key's fingerprint is split into a q-bit quotient (its canonical slot)
+/// and an r-bit remainder stored in the slot array with the classic three
+/// metadata bits (occupied / continuation / shifted); collisions shift
+/// right in sorted runs, forming clusters.
+///
+/// Deletion is implemented by locally rebuilding the (small) cluster that
+/// contains the fingerprint: decode its (quotient, remainder) pairs, drop
+/// one, reinsert. Clusters are O(log n) slots with high probability, so
+/// deletes stay local.
+///
+/// Accounting: the filter is auxiliary data; space is charged at the packed
+/// size (r + 3 bits per slot; the in-memory layout is expanded for
+/// clarity), and every slot probe charges one auxiliary byte.
+class QuotientFilter {
+ public:
+  /// 2^quotient_bits slots, remainder_bits per slot. `counters` may be
+  /// null.
+  QuotientFilter(size_t quotient_bits, size_t remainder_bits,
+                 RumCounters* counters);
+  ~QuotientFilter();
+
+  QuotientFilter(const QuotientFilter&) = delete;
+  QuotientFilter& operator=(const QuotientFilter&) = delete;
+
+  /// Adds a key's fingerprint. Fails (returns false) when the filter is at
+  /// its load limit. Duplicate fingerprints are stored multiple times, so
+  /// Insert/Delete pairs balance.
+  bool Insert(Key key);
+
+  /// True if the key *may* be present; false is definitive.
+  bool MayContain(Key key) const;
+
+  /// Removes one instance of the key's fingerprint; false if absent.
+  bool Delete(Key key);
+
+  size_t slot_count() const { return slots_.size(); }
+  size_t element_count() const { return elements_; }
+  double load_factor() const {
+    return static_cast<double>(elements_) /
+           static_cast<double>(slots_.size());
+  }
+  /// Packed size in bytes: slots x (remainder_bits + 3) bits.
+  uint64_t space_bytes() const;
+
+ private:
+  struct Slot {
+    uint64_t remainder = 0;
+    bool occupied = false;      // Some element has this slot as canonical.
+    bool continuation = false;  // This slot continues the previous run.
+    bool shifted = false;       // This slot's element is not in its
+                                // canonical slot.
+    bool empty() const { return !occupied && !continuation && !shifted; }
+    /// True when the slot stores an element (occupied alone does not imply
+    /// data; empty() is the standard all-bits-zero test).
+    bool holds_data() const { return occupied || continuation || shifted; }
+  };
+
+  void Fingerprint(Key key, size_t* quotient, uint64_t* remainder) const;
+  size_t Next(size_t i) const { return (i + 1) & mask_; }
+  size_t Prev(size_t i) const { return (i + slots_.size() - 1) & mask_; }
+
+  /// Charges `n` slot probes (1 auxiliary byte each).
+  void ChargeProbes(size_t n) const;
+
+  /// Start slot of the run whose canonical slot is `quotient` (which must
+  /// have its occupied bit set).
+  size_t FindRunStart(size_t quotient) const;
+
+  /// Inserts a decoded fingerprint; no accounting, no load-limit check.
+  void InsertFingerprint(size_t quotient, uint64_t remainder);
+
+  /// Decodes the whole cluster containing slot `member` into
+  /// (quotient, remainder) pairs and clears its slots and occupied bits.
+  std::vector<std::pair<size_t, uint64_t>> ExtractCluster(size_t member);
+
+  size_t quotient_bits_;
+  size_t remainder_bits_;
+  size_t mask_;  // slot_count - 1.
+  std::vector<Slot> slots_;
+  size_t elements_ = 0;
+  RumCounters* counters_;  // Not owned; may be null.
+};
+
+}  // namespace rum
+
+#endif  // RUMLAB_METHODS_SKETCH_QUOTIENT_FILTER_H_

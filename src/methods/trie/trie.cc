@@ -1,0 +1,168 @@
+#include "methods/trie/trie.h"
+
+#include <cassert>
+
+namespace rum {
+
+namespace {
+constexpr uint64_t kPointerSize = sizeof(void*);
+}  // namespace
+
+Trie::Trie(const Options& options)
+    : span_bits_(options.trie.span_bits),
+      fanout_(static_cast<size_t>(1) << options.trie.span_bits),
+      depth_(64 / options.trie.span_bits) {
+  assert(span_bits_ >= 1 && span_bits_ <= 16 && 64 % span_bits_ == 0);
+  root_ = new Node();
+  root_->children.assign(fanout_, nullptr);
+  inner_nodes_ = 1;
+  RecountSpace();
+}
+
+Trie::~Trie() { FreeSubtree(root_); }
+
+void Trie::FreeSubtree(Node* node) {
+  if (node == nullptr) return;
+  for (Node* child : node->children) {
+    FreeSubtree(child);
+  }
+  delete node;
+}
+
+size_t Trie::SlotAt(Key key, size_t level) const {
+  size_t shift = 64 - span_bits_ * (level + 1);
+  return static_cast<size_t>((key >> shift) & (fanout_ - 1));
+}
+
+void Trie::RecountSpace() {
+  counters().SetSpace(DataClass::kAux,
+                      static_cast<uint64_t>(inner_nodes_) * fanout_ *
+                          kPointerSize);
+  counters().SetSpace(DataClass::kBase,
+                      static_cast<uint64_t>(count_) * kEntrySize);
+}
+
+Status Trie::Insert(Key key, Value value) {
+  counters().OnInsert();
+  counters().OnLogicalWrite(kEntrySize);
+  Node* node = root_;
+  for (size_t level = 0; level + 1 < depth_; ++level) {
+    size_t slot = SlotAt(key, level);
+    counters().OnRead(DataClass::kAux, kPointerSize);
+    if (node->children[slot] == nullptr) {
+      Node* fresh = new Node();
+      fresh->children.assign(fanout_, nullptr);
+      node->children[slot] = fresh;
+      ++inner_nodes_;
+      counters().OnWrite(DataClass::kAux, kPointerSize);
+    }
+    node = node->children[slot];
+  }
+  size_t slot = SlotAt(key, depth_ - 1);
+  counters().OnRead(DataClass::kAux, kPointerSize);
+  if (node->children[slot] == nullptr) {
+    Node* leaf = new Node();  // Leaf: no child array.
+    node->children[slot] = leaf;
+    counters().OnWrite(DataClass::kAux, kPointerSize);
+  }
+  Node* leaf = node->children[slot];
+  if (!leaf->has_value) ++count_;
+  leaf->value = value;
+  leaf->has_value = true;
+  counters().OnWrite(DataClass::kBase, kEntrySize);
+  RecountSpace();
+  return Status::OK();
+}
+
+Status Trie::Delete(Key key) {
+  counters().OnDelete();
+  counters().OnLogicalWrite(kEntrySize);
+  // Descend, remembering the path for pruning.
+  std::vector<Node*> path;
+  std::vector<size_t> slots;
+  Node* node = root_;
+  for (size_t level = 0; level < depth_; ++level) {
+    size_t slot = SlotAt(key, level);
+    counters().OnRead(DataClass::kAux, kPointerSize);
+    if (node->children[slot] == nullptr) return Status::OK();  // Absent.
+    path.push_back(node);
+    slots.push_back(slot);
+    node = node->children[slot];
+  }
+  if (!node->has_value) return Status::OK();
+  node->has_value = false;
+  --count_;
+  counters().OnWrite(DataClass::kBase, kEntrySize);
+  // Prune now-empty nodes bottom-up (the leaf, then inner nodes with no
+  // children left).
+  delete node;
+  path.back()->children[slots.back()] = nullptr;
+  counters().OnWrite(DataClass::kAux, kPointerSize);
+  for (size_t i = path.size(); i-- > 1;) {
+    Node* parent = path[i];
+    bool empty = true;
+    for (Node* child : parent->children) {
+      if (child != nullptr) {
+        empty = false;
+        break;
+      }
+    }
+    if (!empty) break;
+    delete parent;
+    --inner_nodes_;
+    path[i - 1]->children[slots[i - 1]] = nullptr;
+    counters().OnWrite(DataClass::kAux, kPointerSize);
+  }
+  RecountSpace();
+  return Status::OK();
+}
+
+Result<Value> Trie::Get(Key key) {
+  counters().OnPointQuery();
+  Node* node = root_;
+  for (size_t level = 0; level < depth_; ++level) {
+    size_t slot = SlotAt(key, level);
+    counters().OnRead(DataClass::kAux, kPointerSize);
+    node = node->children[slot];
+    if (node == nullptr) return Status::NotFound();
+  }
+  if (!node->has_value) return Status::NotFound();
+  counters().OnLogicalRead(kEntrySize);
+  return node->value;
+}
+
+void Trie::ScanNode(const Node* node, size_t level, Key prefix, Key lo,
+                    Key hi, std::vector<Entry>* out, uint64_t* found) {
+  if (level == depth_) {
+    if (node->has_value) {
+      counters().OnRead(DataClass::kBase, kEntrySize);
+      out->push_back(Entry{prefix, node->value});
+      ++*found;
+    }
+    return;
+  }
+  size_t shift = 64 - span_bits_ * (level + 1);
+  for (size_t slot = 0; slot < fanout_; ++slot) {
+    const Node* child = node->children[slot];
+    if (child == nullptr) continue;
+    Key child_prefix = prefix | (static_cast<Key>(slot) << shift);
+    // Bounds of the subtree rooted at this child.
+    Key subtree_lo = child_prefix;
+    Key subtree_hi =
+        child_prefix | ((shift == 64) ? ~0ULL : ((1ULL << shift) - 1));
+    if (subtree_hi < lo || subtree_lo > hi) continue;
+    counters().OnRead(DataClass::kAux, kPointerSize);
+    ScanNode(child, level + 1, child_prefix, lo, hi, out, found);
+  }
+}
+
+Status Trie::Scan(Key lo, Key hi, std::vector<Entry>* out) {
+  if (lo > hi) return Status::InvalidArgument("lo > hi");
+  counters().OnRangeQuery();
+  uint64_t found = 0;
+  ScanNode(root_, 0, 0, lo, hi, out, &found);
+  counters().OnLogicalRead(found * kEntrySize);
+  return Status::OK();
+}
+
+}  // namespace rum

@@ -1,0 +1,63 @@
+#ifndef RUMLAB_METHODS_TRIE_TRIE_H_
+#define RUMLAB_METHODS_TRIE_TRIE_H_
+
+#include <vector>
+
+#include "core/access_method.h"
+#include "core/options.h"
+
+namespace rum {
+
+/// A fixed-span radix trie over the 64-bit key space -- Figure 1's Trie,
+/// deep in the read-optimized corner: lookups cost a constant
+/// 64/`trie.span_bits` pointer chases regardless of N, paid for with heavy
+/// pointer space (every inner node materializes 2^span child slots).
+///
+/// Keys are consumed most-significant-first so in-order traversal yields
+/// ascending keys and range scans prune subtrees by prefix bounds.
+///
+/// Accounting: inner nodes are auxiliary (2^span pointers each); stored
+/// entries are base data. Each level descended charges one pointer read.
+class Trie : public AccessMethod {
+ public:
+  explicit Trie(const Options& options);
+  ~Trie() override;
+
+  std::string_view name() const override { return "trie"; }
+
+  Status Insert(Key key, Value value) override;
+  Status Delete(Key key) override;
+  Result<Value> Get(Key key) override;
+  Status Scan(Key lo, Key hi, std::vector<Entry>* out) override;
+  size_t size() const override { return count_; }
+
+  /// Levels from root to leaf (= 64 / span_bits).
+  size_t depth() const { return depth_; }
+  size_t inner_node_count() const { return inner_nodes_; }
+
+ private:
+  struct Node {
+    std::vector<Node*> children;
+    Value value = 0;
+    bool has_value = false;
+  };
+
+  /// Child slot of `key` at `level` (0 = root, most significant bits).
+  size_t SlotAt(Key key, size_t level) const;
+  void FreeSubtree(Node* node);
+  /// In-order DFS over [lo, hi]; `prefix` holds the key bits above `level`.
+  void ScanNode(const Node* node, size_t level, Key prefix, Key lo, Key hi,
+                std::vector<Entry>* out, uint64_t* found);
+  void RecountSpace();
+
+  size_t span_bits_;
+  size_t fanout_;
+  size_t depth_;
+  Node* root_;
+  size_t count_ = 0;
+  size_t inner_nodes_ = 0;
+};
+
+}  // namespace rum
+
+#endif  // RUMLAB_METHODS_TRIE_TRIE_H_

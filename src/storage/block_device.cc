@@ -1,0 +1,148 @@
+#include "storage/block_device.h"
+
+#include <cassert>
+
+namespace rum {
+
+BlockDevice::BlockDevice(size_t block_size, RumCounters* counters)
+    : block_size_(block_size), counters_(counters) {
+  assert(block_size_ > 0);
+  assert(counters_ != nullptr);
+}
+
+PageId BlockDevice::Allocate(DataClass cls) {
+  PageId id;
+  if (!free_list_.empty()) {
+    id = free_list_.back();
+    free_list_.pop_back();
+    pages_[id].bytes.assign(block_size_, 0);
+    pages_[id].cls = cls;
+    pages_[id].live = true;
+  } else {
+    id = static_cast<PageId>(pages_.size());
+    PageSlot slot;
+    slot.bytes.assign(block_size_, 0);
+    slot.cls = cls;
+    slot.live = true;
+    pages_.push_back(std::move(slot));
+  }
+  ++live_total_;
+  if (cls == DataClass::kBase) {
+    ++live_base_;
+  } else {
+    ++live_aux_;
+  }
+  counters_->AdjustSpace(cls, static_cast<int64_t>(block_size_));
+  return id;
+}
+
+Status BlockDevice::CheckLive(PageId page) const {
+  if (page >= pages_.size() || !pages_[page].live) {
+    return Status::InvalidArgument("page not live");
+  }
+  return Status::OK();
+}
+
+Status BlockDevice::Free(PageId page) {
+  Status s = CheckLive(page);
+  if (!s.ok()) return s;
+  PageSlot& slot = pages_[page];
+  slot.live = false;
+  slot.bytes.clear();
+  slot.bytes.shrink_to_fit();
+  free_list_.push_back(page);
+  --live_total_;
+  if (slot.cls == DataClass::kBase) {
+    --live_base_;
+  } else {
+    --live_aux_;
+  }
+  counters_->AdjustSpace(slot.cls, -static_cast<int64_t>(block_size_));
+  return Status::OK();
+}
+
+Status BlockDevice::Read(PageId page, std::vector<uint8_t>* out) {
+  Status s = ChargeRead(page);
+  if (!s.ok()) return s;
+  *out = pages_[page].bytes;
+  return Status::OK();
+}
+
+Status BlockDevice::Write(PageId page, const std::vector<uint8_t>& data) {
+  if (data.size() != block_size_) {
+    return Status::InvalidArgument("write size must equal block size");
+  }
+  Status s = ChargeWrite(page);
+  if (!s.ok()) return s;
+  pages_[page].bytes = data;
+  return Status::OK();
+}
+
+std::vector<uint8_t>* BlockDevice::mutable_page_unaccounted(PageId page) {
+  if (!CheckLive(page).ok()) return nullptr;
+  return &pages_[page].bytes;
+}
+
+const std::vector<uint8_t>* BlockDevice::page_unaccounted(PageId page) const {
+  if (!CheckLive(page).ok()) return nullptr;
+  return &pages_[page].bytes;
+}
+
+Status BlockDevice::ConsumeFaultBudget() const {
+  if (!fault_armed_) return Status::OK();
+  if (fault_budget_ == 0) {
+    return Status::IOError("injected device fault");
+  }
+  --fault_budget_;
+  return Status::OK();
+}
+
+void BlockDevice::InjectFailureAfter(uint64_t ops) {
+  fault_armed_ = true;
+  fault_budget_ = ops;
+}
+
+void BlockDevice::ClearFaults() {
+  fault_armed_ = false;
+  fault_budget_ = 0;
+}
+
+Status BlockDevice::ChargeRead(PageId page) const {
+  Status s = CheckLive(page);
+  if (!s.ok()) return s;
+  s = ConsumeFaultBudget();
+  if (!s.ok()) return s;
+  counters_->OnRead(pages_[page].cls, block_size_);
+  counters_->OnBlockRead();
+  return Status::OK();
+}
+
+Status BlockDevice::ChargeWrite(PageId page) {
+  Status s = CheckLive(page);
+  if (!s.ok()) return s;
+  s = ConsumeFaultBudget();
+  if (!s.ok()) return s;
+  counters_->OnWrite(pages_[page].cls, block_size_);
+  counters_->OnBlockWrite();
+  return Status::OK();
+}
+
+Status BlockDevice::Reclassify(PageId page, DataClass cls) {
+  Status s = CheckLive(page);
+  if (!s.ok()) return s;
+  PageSlot& slot = pages_[page];
+  if (slot.cls == cls) return Status::OK();
+  counters_->AdjustSpace(slot.cls, -static_cast<int64_t>(block_size_));
+  counters_->AdjustSpace(cls, static_cast<int64_t>(block_size_));
+  if (slot.cls == DataClass::kBase) {
+    --live_base_;
+    ++live_aux_;
+  } else {
+    --live_aux_;
+    ++live_base_;
+  }
+  slot.cls = cls;
+  return Status::OK();
+}
+
+}  // namespace rum

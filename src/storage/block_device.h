@@ -1,0 +1,104 @@
+#ifndef RUMLAB_STORAGE_BLOCK_DEVICE_H_
+#define RUMLAB_STORAGE_BLOCK_DEVICE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/counters.h"
+#include "core/status.h"
+#include "core/types.h"
+#include "storage/device.h"
+
+namespace rum {
+
+/// A deterministic simulated block device.
+///
+/// This is the substrate the paper's cost model assumes: storage with a
+/// minimum access granularity (Section 4, "the fundamental assumption that
+/// data has a minimum access granularity holds for all storage mediums").
+/// Every read or write touches whole blocks and is charged -- in bytes and
+/// blocks, tagged base vs auxiliary -- to the RumCounters supplied at
+/// construction.
+///
+/// Pages are allocated with a DataClass tag so space amplification can be
+/// derived exactly: resident space is (#allocated pages of class) x
+/// block_size.
+class BlockDevice : public Device {
+ public:
+  /// Creates a device with blocks of `block_size` bytes, charging all
+  /// traffic to `counters` (borrowed; must outlive the device).
+  BlockDevice(size_t block_size, RumCounters* counters);
+
+  /// Allocates a zeroed page of class `cls`; returns its id.
+  PageId Allocate(DataClass cls) override;
+
+  /// Frees a page; its id may be recycled by later allocations.
+  Status Free(PageId page) override;
+
+  /// Reads a whole block into `out` (resized to block_size). Charged as one
+  /// block read of the page's class.
+  Status Read(PageId page, std::vector<uint8_t>* out) override;
+
+  /// Writes a whole block from `data` (must be exactly block_size bytes).
+  /// Charged as one block write of the page's class.
+  Status Write(PageId page, const std::vector<uint8_t>& data) override;
+
+  /// No buffering at the bottom of the stack; always OK.
+  Status FlushAll() override { return Status::OK(); }
+
+  /// Direct mutable access to a page's backing bytes WITHOUT accounting.
+  /// Only for tests and for internal assembly of a block that is charged
+  /// separately via Charge{Read,Write}.
+  std::vector<uint8_t>* mutable_page_unaccounted(PageId page);
+  const std::vector<uint8_t>* page_unaccounted(PageId page) const;
+
+  /// Explicitly charges a block read/write of page `page` without moving
+  /// bytes (used by zero-copy in-simulator paths).
+  Status ChargeRead(PageId page) const;
+  Status ChargeWrite(PageId page);
+
+  /// Reclassifies a live page (e.g. when a buffer becomes part of an index).
+  Status Reclassify(PageId page, DataClass cls);
+
+  /// Fault injection: after `ops` more successful block reads/writes, every
+  /// subsequent I/O fails with kIOError until ClearFaults(). Used to test
+  /// error propagation through access methods.
+  void InjectFailureAfter(uint64_t ops);
+  void ClearFaults();
+  /// True once the injected fault has started firing.
+  bool fault_active() const { return fault_armed_ && fault_budget_ == 0; }
+
+  size_t block_size() const override { return block_size_; }
+  /// Live (allocated, not freed) page count, total and per class.
+  size_t live_pages() const override { return live_total_; }
+  size_t live_pages(DataClass cls) const {
+    return cls == DataClass::kBase ? live_base_ : live_aux_;
+  }
+
+ private:
+  struct PageSlot {
+    std::vector<uint8_t> bytes;
+    DataClass cls = DataClass::kBase;
+    bool live = false;
+  };
+
+  Status CheckLive(PageId page) const;
+
+  /// Consumes one unit of the fault budget; returns kIOError when spent.
+  Status ConsumeFaultBudget() const;
+
+  size_t block_size_;
+  RumCounters* counters_;  // Not owned.
+  std::vector<PageSlot> pages_;
+  std::vector<PageId> free_list_;
+  size_t live_total_ = 0;
+  size_t live_base_ = 0;
+  size_t live_aux_ = 0;
+  bool fault_armed_ = false;
+  mutable uint64_t fault_budget_ = 0;
+};
+
+}  // namespace rum
+
+#endif  // RUMLAB_STORAGE_BLOCK_DEVICE_H_

@@ -1,0 +1,112 @@
+#include "storage/caching_device.h"
+
+#include <cassert>
+#include <utility>
+
+namespace rum {
+
+CachingDevice::CachingDevice(Device* base, size_t capacity_pages)
+    : base_(base), capacity_pages_(capacity_pages) {
+  assert(base_ != nullptr);
+}
+
+PageId CachingDevice::Allocate(DataClass cls) { return base_->Allocate(cls); }
+
+Status CachingDevice::Free(PageId page) {
+  auto it = entries_.find(page);
+  if (it != entries_.end()) {
+    counters_.AdjustSpace(DataClass::kAux,
+                          -static_cast<int64_t>(block_size()));
+    lru_.erase(it->second.lru_pos);
+    entries_.erase(it);
+  }
+  return base_->Free(page);
+}
+
+void CachingDevice::Touch(PageId page, CacheEntry* entry) {
+  lru_.erase(entry->lru_pos);
+  lru_.push_front(page);
+  entry->lru_pos = lru_.begin();
+}
+
+Status CachingDevice::EvictOne() {
+  assert(!lru_.empty());
+  PageId victim = lru_.back();
+  auto it = entries_.find(victim);
+  assert(it != entries_.end());
+  if (it->second.dirty) {
+    Status s = base_->Write(victim, it->second.bytes);
+    if (!s.ok()) return s;
+  }
+  counters_.AdjustSpace(DataClass::kAux, -static_cast<int64_t>(block_size()));
+  lru_.pop_back();
+  entries_.erase(it);
+  return Status::OK();
+}
+
+Status CachingDevice::InsertEntry(PageId page, std::vector<uint8_t> bytes,
+                                  bool dirty) {
+  if (capacity_pages_ == 0) {
+    // Degenerate cache: write-through, cache nothing.
+    if (dirty) return base_->Write(page, bytes);
+    return Status::OK();
+  }
+  while (entries_.size() >= capacity_pages_) {
+    Status s = EvictOne();
+    if (!s.ok()) return s;
+  }
+  lru_.push_front(page);
+  CacheEntry entry;
+  entry.bytes = std::move(bytes);
+  entry.dirty = dirty;
+  entry.lru_pos = lru_.begin();
+  entries_.emplace(page, std::move(entry));
+  counters_.AdjustSpace(DataClass::kAux, static_cast<int64_t>(block_size()));
+  return Status::OK();
+}
+
+Status CachingDevice::Read(PageId page, std::vector<uint8_t>* out) {
+  auto it = entries_.find(page);
+  if (it != entries_.end()) {
+    ++hits_;
+    // Served at this level: charge the cache, not the device below.
+    counters_.OnRead(DataClass::kAux, block_size());
+    counters_.OnBlockRead();
+    Touch(page, &it->second);
+    *out = it->second.bytes;
+    return Status::OK();
+  }
+  ++misses_;
+  Status s = base_->Read(page, out);
+  if (!s.ok()) return s;
+  return InsertEntry(page, *out, /*dirty=*/false);
+}
+
+Status CachingDevice::Write(PageId page, const std::vector<uint8_t>& data) {
+  if (data.size() != block_size()) {
+    return Status::InvalidArgument("write size must equal block size");
+  }
+  counters_.OnWrite(DataClass::kAux, block_size());
+  counters_.OnBlockWrite();
+  auto it = entries_.find(page);
+  if (it != entries_.end()) {
+    it->second.bytes = data;
+    it->second.dirty = true;
+    Touch(page, &it->second);
+    return Status::OK();
+  }
+  return InsertEntry(page, data, /*dirty=*/true);
+}
+
+Status CachingDevice::FlushAll() {
+  for (auto& [page, entry] : entries_) {
+    if (entry.dirty) {
+      Status s = base_->Write(page, entry.bytes);
+      if (!s.ok()) return s;
+      entry.dirty = false;
+    }
+  }
+  return base_->FlushAll();
+}
+
+}  // namespace rum

@@ -1,0 +1,73 @@
+#ifndef RUMLAB_STORAGE_CACHING_DEVICE_H_
+#define RUMLAB_STORAGE_CACHING_DEVICE_H_
+
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "core/counters.h"
+#include "core/status.h"
+#include "core/types.h"
+#include "storage/device.h"
+
+namespace rum {
+
+/// An LRU write-back cache stacked on another Device -- one level of the
+/// paper's Figure-2 memory hierarchy.
+///
+/// Accounting model: traffic served from this level is charged to this
+/// level's own RumCounters; misses and write-backs propagate to the
+/// underlying device, which charges *its* counters. The cache's resident
+/// bytes (its memory overhead MO at level n-1) are reported in this level's
+/// counters as auxiliary space.
+class CachingDevice : public Device {
+ public:
+  /// Wraps `base` (borrowed, must outlive this) with an LRU cache holding at
+  /// most `capacity_pages` page copies.
+  CachingDevice(Device* base, size_t capacity_pages);
+
+  PageId Allocate(DataClass cls) override;
+  Status Free(PageId page) override;
+  Status Read(PageId page, std::vector<uint8_t>* out) override;
+  Status Write(PageId page, const std::vector<uint8_t>& data) override;
+  Status FlushAll() override;
+
+  size_t block_size() const override { return base_->block_size(); }
+  size_t live_pages() const override { return base_->live_pages(); }
+
+  /// This cache level's own accounting (hits served, resident bytes).
+  const CounterSnapshot& level_stats() const { return counters_.snapshot(); }
+  void ResetLevelStats() { counters_.ResetTraffic(); }
+
+  size_t capacity_pages() const { return capacity_pages_; }
+  size_t cached_pages() const { return entries_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  struct CacheEntry {
+    std::vector<uint8_t> bytes;
+    bool dirty = false;
+    std::list<PageId>::iterator lru_pos;
+  };
+
+  /// Moves `page` to the MRU position.
+  void Touch(PageId page, CacheEntry* entry);
+  /// Evicts the LRU page, writing it back if dirty.
+  Status EvictOne();
+  /// Inserts a page copy, evicting as needed.
+  Status InsertEntry(PageId page, std::vector<uint8_t> bytes, bool dirty);
+
+  Device* base_;  // Not owned.
+  size_t capacity_pages_;
+  RumCounters counters_;
+  std::unordered_map<PageId, CacheEntry> entries_;
+  std::list<PageId> lru_;  // Front = MRU, back = LRU.
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace rum
+
+#endif  // RUMLAB_STORAGE_CACHING_DEVICE_H_

@@ -1,0 +1,46 @@
+#ifndef RUMLAB_STORAGE_DEVICE_H_
+#define RUMLAB_STORAGE_DEVICE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/counters.h"
+#include "core/status.h"
+#include "core/types.h"
+
+namespace rum {
+
+/// Abstract block storage. Access methods program against this interface so
+/// a raw simulated device (BlockDevice) and a cache stacked on top of one
+/// (CachingDevice) are interchangeable -- the composition the paper's
+/// Figure 2 reasons about.
+class Device {
+ public:
+  virtual ~Device() = default;
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  /// Allocates a zeroed page of class `cls`.
+  virtual PageId Allocate(DataClass cls) = 0;
+  /// Frees a page.
+  virtual Status Free(PageId page) = 0;
+  /// Reads a whole block into `out`.
+  virtual Status Read(PageId page, std::vector<uint8_t>* out) = 0;
+  /// Writes a whole block (`data.size()` must equal block_size()).
+  virtual Status Write(PageId page, const std::vector<uint8_t>& data) = 0;
+  /// Pushes any buffered dirty state down to the bottom of the stack.
+  virtual Status FlushAll() = 0;
+
+  virtual size_t block_size() const = 0;
+  /// Live page count at the bottom of the stack.
+  virtual size_t live_pages() const = 0;
+
+ protected:
+  Device() = default;
+};
+
+}  // namespace rum
+
+#endif  // RUMLAB_STORAGE_DEVICE_H_

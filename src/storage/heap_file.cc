@@ -1,0 +1,184 @@
+#include "storage/heap_file.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "storage/page_format.h"
+
+namespace rum {
+
+HeapFile::HeapFile(Device* device, DataClass cls, RumCounters* counters)
+    : device_(device), cls_(cls), counters_(counters) {
+  assert(device_ != nullptr && counters_ != nullptr);
+  rows_per_page_ = PageFormat::CapacityFor(device_->block_size());
+  assert(rows_per_page_ > 0);
+}
+
+HeapFile::~HeapFile() = default;
+
+Status HeapFile::WriteTail() {
+  if (tail_page_ == kInvalidPageId) return Status::OK();
+  std::vector<uint8_t> block;
+  Status s = PageFormat::Pack(tail_, device_->block_size(), &block);
+  if (!s.ok()) return s;
+  return device_->Write(tail_page_, block);
+}
+
+Status HeapFile::LoadPage(size_t page_index, std::vector<Entry>* out) {
+  assert(page_index < sealed_.size());
+  std::vector<uint8_t> block;
+  Status s = device_->Read(sealed_[page_index], &block);
+  if (!s.ok()) return s;
+  return PageFormat::Unpack(block, out);
+}
+
+Result<RowId> HeapFile::Append(const Entry& entry) {
+  if (tail_page_ == kInvalidPageId) {
+    tail_page_ = device_->Allocate(cls_);
+  }
+  tail_.push_back(entry);
+  RowId row = row_count_++;
+  if (tail_.size() == rows_per_page_) {
+    Status s = WriteTail();
+    if (!s.ok()) return s;
+    sealed_.push_back(tail_page_);
+    tail_page_ = kInvalidPageId;
+    tail_.clear();
+  }
+  return row;
+}
+
+Result<Entry> HeapFile::At(RowId row) {
+  if (row >= row_count_) return Status::OutOfRange("row beyond heap");
+  size_t page_index = static_cast<size_t>(row / rows_per_page_);
+  size_t slot = static_cast<size_t>(row % rows_per_page_);
+  if (page_index < sealed_.size()) {
+    std::vector<Entry> entries;
+    Status s = LoadPage(page_index, &entries);
+    if (!s.ok()) return s;
+    if (slot >= entries.size()) return Status::Corruption("slot beyond page");
+    return entries[slot];
+  }
+  // Tail row, served from the buffered image.
+  counters_->OnRead(cls_, kEntrySize);
+  if (slot >= tail_.size()) return Status::Corruption("slot beyond tail");
+  return tail_[slot];
+}
+
+Status HeapFile::Set(RowId row, const Entry& entry) {
+  if (row >= row_count_) return Status::OutOfRange("row beyond heap");
+  size_t page_index = static_cast<size_t>(row / rows_per_page_);
+  size_t slot = static_cast<size_t>(row % rows_per_page_);
+  if (page_index < sealed_.size()) {
+    std::vector<Entry> entries;
+    Status s = LoadPage(page_index, &entries);
+    if (!s.ok()) return s;
+    if (slot >= entries.size()) return Status::Corruption("slot beyond page");
+    entries[slot] = entry;
+    std::vector<uint8_t> block;
+    s = PageFormat::Pack(entries, device_->block_size(), &block);
+    if (!s.ok()) return s;
+    return device_->Write(sealed_[page_index], block);
+  }
+  if (slot >= tail_.size()) return Status::Corruption("slot beyond tail");
+  counters_->OnWrite(cls_, kEntrySize);
+  tail_[slot] = entry;
+  return Status::OK();
+}
+
+Status HeapFile::PopBack() {
+  if (row_count_ == 0) return Status::OutOfRange("heap is empty");
+  if (tail_.empty()) {
+    // Unseal the last full page back into the tail.
+    assert(!sealed_.empty());
+    PageId last = sealed_.back();
+    std::vector<uint8_t> block;
+    Status s = device_->Read(last, &block);
+    if (!s.ok()) return s;
+    s = PageFormat::Unpack(block, &tail_);
+    if (!s.ok()) return s;
+    sealed_.pop_back();
+    tail_page_ = last;
+  }
+  tail_.pop_back();
+  --row_count_;
+  if (tail_.empty() && tail_page_ != kInvalidPageId) {
+    Status s = device_->Free(tail_page_);
+    if (!s.ok()) return s;
+    tail_page_ = kInvalidPageId;
+  }
+  return Status::OK();
+}
+
+Status HeapFile::ForEach(
+    const std::function<Status(RowId, const Entry&)>& visit) {
+  RowId row = 0;
+  std::vector<Entry> entries;
+  for (size_t p = 0; p < sealed_.size(); ++p) {
+    Status s = LoadPage(p, &entries);
+    if (!s.ok()) return s;
+    for (const Entry& e : entries) {
+      s = visit(row++, e);
+      if (!s.ok()) return s;
+    }
+  }
+  if (!tail_.empty()) {
+    counters_->OnRead(cls_, static_cast<uint64_t>(tail_.size()) * kEntrySize);
+    for (const Entry& e : tail_) {
+      Status s = visit(row++, e);
+      if (!s.ok()) return s;
+    }
+  }
+  return Status::OK();
+}
+
+Status HeapFile::ForRows(
+    const std::vector<RowId>& rows,
+    const std::function<Status(RowId, const Entry&)>& visit) {
+  assert(std::is_sorted(rows.begin(), rows.end()));
+  std::vector<Entry> entries;
+  size_t loaded_page = static_cast<size_t>(-1);
+  for (RowId row : rows) {
+    if (row >= row_count_) return Status::OutOfRange("row beyond heap");
+    size_t page_index = static_cast<size_t>(row / rows_per_page_);
+    size_t slot = static_cast<size_t>(row % rows_per_page_);
+    if (page_index < sealed_.size()) {
+      if (page_index != loaded_page) {
+        Status s = LoadPage(page_index, &entries);
+        if (!s.ok()) return s;
+        loaded_page = page_index;
+      }
+      if (slot >= entries.size()) {
+        return Status::Corruption("slot beyond page");
+      }
+      Status s = visit(row, entries[slot]);
+      if (!s.ok()) return s;
+    } else {
+      counters_->OnRead(cls_, kEntrySize);
+      if (slot >= tail_.size()) return Status::Corruption("slot beyond tail");
+      Status s = visit(row, tail_[slot]);
+      if (!s.ok()) return s;
+    }
+  }
+  return Status::OK();
+}
+
+Status HeapFile::Flush() { return WriteTail(); }
+
+Status HeapFile::Clear() {
+  for (PageId page : sealed_) {
+    Status s = device_->Free(page);
+    if (!s.ok()) return s;
+  }
+  sealed_.clear();
+  if (tail_page_ != kInvalidPageId) {
+    Status s = device_->Free(tail_page_);
+    if (!s.ok()) return s;
+    tail_page_ = kInvalidPageId;
+  }
+  tail_.clear();
+  row_count_ = 0;
+  return Status::OK();
+}
+
+}  // namespace rum

@@ -1,0 +1,110 @@
+#include "storage/page_format.h"
+
+#include <cstring>
+
+namespace rum {
+
+void EncodeU64(uint64_t v, uint8_t* dst) {
+  for (int i = 0; i < 8; ++i) {
+    dst[i] = static_cast<uint8_t>(v >> (8 * i));
+  }
+}
+
+uint64_t DecodeU64(const uint8_t* src) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(src[i]) << (8 * i);
+  }
+  return v;
+}
+
+void EncodeU32(uint32_t v, uint8_t* dst) {
+  for (int i = 0; i < 4; ++i) {
+    dst[i] = static_cast<uint8_t>(v >> (8 * i));
+  }
+}
+
+uint32_t DecodeU32(const uint8_t* src) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(src[i]) << (8 * i);
+  }
+  return v;
+}
+
+size_t VarintLength(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+size_t EncodeVarint64(uint64_t v, std::vector<uint8_t>* out) {
+  size_t n = 0;
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+    ++n;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+  return n + 1;
+}
+
+uint64_t DecodeVarint64(const uint8_t* src, size_t limit, size_t* offset) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (*offset < limit && shift <= 63) {
+    uint8_t byte = src[(*offset)++];
+    v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return v;
+    shift += 7;
+  }
+  return v;  // Malformed input: best-effort value, offset at limit.
+}
+
+Status PageFormat::Pack(std::span<const Entry> entries, size_t block_size,
+                        std::vector<uint8_t>* out) {
+  if (entries.size() > CapacityFor(block_size)) {
+    return Status::ResourceExhausted("entries do not fit in one block");
+  }
+  out->assign(block_size, 0);
+  EncodeU64(entries.size(), out->data());
+  uint8_t* cursor = out->data() + kHeaderSize;
+  for (const Entry& e : entries) {
+    EncodeU64(e.key, cursor);
+    EncodeU64(e.value, cursor + sizeof(uint64_t));
+    cursor += kEntrySize;
+  }
+  return Status::OK();
+}
+
+Status PageFormat::Unpack(const std::vector<uint8_t>& block,
+                          std::vector<Entry>* out) {
+  if (block.size() < kHeaderSize) {
+    return Status::Corruption("block smaller than page header");
+  }
+  uint64_t n = DecodeU64(block.data());
+  if (kHeaderSize + n * kEntrySize > block.size()) {
+    return Status::Corruption("entry count exceeds block capacity");
+  }
+  out->clear();
+  out->reserve(n);
+  const uint8_t* cursor = block.data() + kHeaderSize;
+  for (uint64_t i = 0; i < n; ++i) {
+    Entry e;
+    e.key = DecodeU64(cursor);
+    e.value = DecodeU64(cursor + sizeof(uint64_t));
+    out->push_back(e);
+    cursor += kEntrySize;
+  }
+  return Status::OK();
+}
+
+size_t PageFormat::PeekCount(const std::vector<uint8_t>& block) {
+  if (block.size() < kHeaderSize) return 0;
+  return static_cast<size_t>(DecodeU64(block.data()));
+}
+
+}  // namespace rum

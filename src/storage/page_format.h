@@ -1,0 +1,61 @@
+#ifndef RUMLAB_STORAGE_PAGE_FORMAT_H_
+#define RUMLAB_STORAGE_PAGE_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/status.h"
+#include "core/types.h"
+
+namespace rum {
+
+/// Serialization of fixed-width Entry records into device blocks.
+///
+/// Layout of an entry page (little-endian):
+///   [0, 8)   uint64   entry count `n`
+///   [8, ...) n x { uint64 key, uint64 value }
+///
+/// The 8-byte header is part of the access method's physical footprint --
+/// the kind of small structural overhead the paper's MO accounting charges.
+class PageFormat {
+ public:
+  /// Maximum entries that fit in a page of `block_size` bytes.
+  static constexpr size_t CapacityFor(size_t block_size) {
+    return (block_size - kHeaderSize) / kEntrySize;
+  }
+
+  /// Serializes `entries` into a block of exactly `block_size` bytes.
+  /// Fails with kResourceExhausted if they do not fit.
+  static Status Pack(std::span<const Entry> entries, size_t block_size,
+                     std::vector<uint8_t>* out);
+
+  /// Deserializes a block previously produced by Pack.
+  static Status Unpack(const std::vector<uint8_t>& block,
+                       std::vector<Entry>* out);
+
+  /// Reads just the entry count from a packed block.
+  static size_t PeekCount(const std::vector<uint8_t>& block);
+
+  static constexpr size_t kHeaderSize = sizeof(uint64_t);
+};
+
+/// Little-endian scalar helpers shared by all page codecs.
+void EncodeU64(uint64_t v, uint8_t* dst);
+uint64_t DecodeU64(const uint8_t* src);
+void EncodeU32(uint32_t v, uint8_t* dst);
+uint32_t DecodeU32(const uint8_t* src);
+
+/// LEB128 varint helpers (used by compressed run pages). EncodeVarint64
+/// appends to `out` and returns bytes written; DecodeVarint64 reads from
+/// `src`, advances `*offset`, and returns the value (offset clamped to
+/// `limit` on malformed input).
+size_t EncodeVarint64(uint64_t v, std::vector<uint8_t>* out);
+/// Bytes EncodeVarint64 would emit for `v`.
+size_t VarintLength(uint64_t v);
+uint64_t DecodeVarint64(const uint8_t* src, size_t limit, size_t* offset);
+
+}  // namespace rum
+
+#endif  // RUMLAB_STORAGE_PAGE_FORMAT_H_

@@ -1,0 +1,111 @@
+#include "workload/distribution.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace rum {
+
+uint64_t Rng::Next() {
+  state_ ^= state_ >> 12;
+  state_ ^= state_ << 25;
+  state_ ^= state_ >> 27;
+  return state_ * 0x2545F4914F6CDD1DULL;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  assert(bound > 0);
+  return Next() % bound;
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) /
+         static_cast<double>(1ULL << 53);
+}
+
+namespace {
+double Zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+}  // namespace
+
+KeyGenerator::KeyGenerator(KeyDistribution distribution, Key key_range,
+                           uint64_t seed, double theta)
+    : distribution_(distribution),
+      key_range_(key_range),
+      rng_(seed),
+      theta_(theta) {
+  assert(key_range_ > 0);
+  if (distribution_ == KeyDistribution::kZipfian) {
+    // Cap the harmonic precomputation; beyond this the tail contributes
+    // negligibly and we fold larger ranges onto the precomputed prefix.
+    uint64_t n = key_range_;
+    if (n > (1u << 22)) n = 1u << 22;
+    zipf_n_ = n;
+    zetan_ = Zeta(n, theta_);
+    zeta2_ = Zeta(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+}
+
+Key KeyGenerator::NextZipfian() {
+  // Gray et al., "Quickly generating billion-record synthetic databases".
+  double u = rng_.NextDouble();
+  double uz = u * zetan_;
+  uint64_t n = zipf_n_;
+  uint64_t rank;
+  if (uz < 1.0) {
+    rank = 0;
+  } else if (uz < 1.0 + std::pow(0.5, theta_)) {
+    rank = 1;
+  } else {
+    rank = static_cast<uint64_t>(
+        static_cast<double>(n) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    if (rank >= n) rank = n - 1;
+  }
+  // Scatter ranks over the key range so hot keys are not clustered.
+  return (rank * 0x9E3779B97F4A7C15ULL) % key_range_;
+}
+
+Key KeyGenerator::Next() {
+  switch (distribution_) {
+    case KeyDistribution::kUniform:
+      return rng_.NextBelow(key_range_);
+    case KeyDistribution::kZipfian:
+      return NextZipfian();
+    case KeyDistribution::kSequential: {
+      Key k = cursor_;
+      cursor_ = (cursor_ + 1) % key_range_;
+      return k;
+    }
+    case KeyDistribution::kClustered: {
+      // 1/64th-of-range window that slides forward.
+      Key window = key_range_ / 64 + 1;
+      Key base = cursor_;
+      cursor_ = (cursor_ + window / 16 + 1) % key_range_;
+      return (base + rng_.NextBelow(window)) % key_range_;
+    }
+  }
+  return 0;
+}
+
+std::vector<Entry> MakeSortedEntries(size_t n, Key first, Key stride) {
+  std::vector<Entry> entries;
+  entries.reserve(n);
+  Key k = first;
+  for (size_t i = 0; i < n; ++i) {
+    entries.push_back(Entry{k, ValueFor(k)});
+    k += stride;
+  }
+  return entries;
+}
+
+Value ValueFor(Key key) { return key * 0x100000001B3ULL + 0xCBF29CE4ULL; }
+
+}  // namespace rum

@@ -1,0 +1,76 @@
+#ifndef RUMLAB_WORKLOAD_DISTRIBUTION_H_
+#define RUMLAB_WORKLOAD_DISTRIBUTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/types.h"
+
+namespace rum {
+
+/// A deterministic pseudo-random source (xorshift64*). All rumlab
+/// randomness flows through this so every experiment replays exactly.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed == 0 ? 0x9E3779B9ULL : seed) {}
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+  /// Uniform in [0, bound).
+  uint64_t NextBelow(uint64_t bound);
+  /// Uniform in [0, 1).
+  double NextDouble();
+
+ private:
+  uint64_t state_;
+};
+
+/// Key distributions for workload generation.
+enum class KeyDistribution {
+  kUniform,     ///< Uniform over the key range.
+  kZipfian,     ///< Zipf-skewed: few keys dominate (theta ~ 0.99).
+  kSequential,  ///< Monotonically increasing (append pattern).
+  kClustered,   ///< Uniform within a small moving window (locality).
+};
+
+/// Draws keys in [0, key_range) under a given distribution.
+class KeyGenerator {
+ public:
+  /// `theta` applies to kZipfian (higher = more skew, in (0,1)).
+  KeyGenerator(KeyDistribution distribution, Key key_range, uint64_t seed,
+               double theta = 0.99);
+
+  /// Next key under the distribution.
+  Key Next();
+
+  Key key_range() const { return key_range_; }
+
+ private:
+  Key NextZipfian();
+
+  KeyDistribution distribution_;
+  Key key_range_;
+  Rng rng_;
+  double theta_;
+  // Zipfian (Gray et al. method) precomputed constants.
+  uint64_t zipf_n_ = 0;
+  double zetan_ = 0;
+  double zeta2_ = 0;
+  double alpha_ = 0;
+  double eta_ = 0;
+  // Sequential / clustered state.
+  Key cursor_ = 0;
+};
+
+/// Builds `n` strictly-ascending entries with deterministic values, spaced
+/// `stride` apart starting at `first` -- the canonical bulk-load input.
+std::vector<Entry> MakeSortedEntries(size_t n, Key first = 0,
+                                     Key stride = 1);
+
+/// Deterministic value derived from a key (so tests can validate payloads).
+Value ValueFor(Key key);
+
+}  // namespace rum
+
+#endif  // RUMLAB_WORKLOAD_DISTRIBUTION_H_

@@ -1,0 +1,134 @@
+#include "workload/runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "workload/distribution.h"
+
+namespace rum {
+
+CostPercentiles CostPercentiles::From(std::vector<uint64_t> samples) {
+  CostPercentiles out;
+  if (samples.empty()) return out;
+  std::sort(samples.begin(), samples.end());
+  auto at = [&](double q) {
+    size_t idx = static_cast<size_t>(q * static_cast<double>(samples.size()));
+    if (idx >= samples.size()) idx = samples.size() - 1;
+    return samples[idx];
+  };
+  out.p50 = at(0.50);
+  out.p95 = at(0.95);
+  out.p99 = at(0.99);
+  out.max = samples.back();
+  return out;
+}
+
+double RumProfile::bytes_read_per_op() const {
+  uint64_t ops = delta.point_queries + delta.range_queries + delta.inserts +
+                 delta.updates + delta.deletes;
+  return ops == 0 ? 0.0
+                  : static_cast<double>(delta.total_bytes_read()) /
+                        static_cast<double>(ops);
+}
+
+double RumProfile::bytes_written_per_op() const {
+  uint64_t ops = delta.point_queries + delta.range_queries + delta.inserts +
+                 delta.updates + delta.deletes;
+  return ops == 0 ? 0.0
+                  : static_cast<double>(delta.total_bytes_written()) /
+                        static_cast<double>(ops);
+}
+
+std::string RumProfile::ToString() const {
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "%-16s RO=%8.2f UO=%8.2f MO=%8.3f  read/op=%10.1fB "
+                "write/op=%10.1fB  (%.3fs)",
+                method.c_str(), point.read_overhead, point.update_overhead,
+                point.memory_overhead, bytes_read_per_op(),
+                bytes_written_per_op(), wall_seconds);
+  return std::string(buf);
+}
+
+Result<RumProfile> WorkloadRunner::Run(AccessMethod* method,
+                                       const WorkloadSpec& spec) {
+  KeyGenerator keys(spec.distribution, spec.key_range, spec.seed + 1,
+                    spec.zipf_theta);
+  Rng op_rng(spec.seed + 2);
+  Rng value_rng(spec.seed + 3);
+
+  CounterSnapshot before = method->stats();
+  auto start = std::chrono::steady_clock::now();
+
+  Key scan_width = static_cast<Key>(
+      static_cast<double>(spec.key_range) * spec.scan_selectivity);
+  if (scan_width == 0) scan_width = 1;
+
+  std::vector<uint64_t> read_samples;
+  std::vector<uint64_t> write_samples;
+  read_samples.reserve(spec.operations);
+  write_samples.reserve(spec.operations);
+  uint64_t last_read = before.total_bytes_read();
+  uint64_t last_written = before.total_bytes_written();
+
+  std::vector<Entry> scan_buffer;
+  for (uint64_t i = 0; i < spec.operations; ++i) {
+    double dice = op_rng.NextDouble();
+    Key key = keys.Next();
+    if (dice < spec.insert_fraction) {
+      Status s = method->Insert(key, value_rng.Next());
+      if (!s.ok() && s.code() != Code::kOutOfRange) return s;
+    } else if (dice < spec.insert_fraction + spec.update_fraction) {
+      Status s = method->Update(key, value_rng.Next());
+      if (!s.ok() && s.code() != Code::kOutOfRange) return s;
+    } else if (dice < spec.insert_fraction + spec.update_fraction +
+                          spec.delete_fraction) {
+      Status s = method->Delete(key);
+      if (!s.ok() && s.code() != Code::kOutOfRange) return s;
+    } else if (dice < spec.insert_fraction + spec.update_fraction +
+                          spec.delete_fraction + spec.scan_fraction) {
+      Key hi = key > kMaxKey - scan_width ? kMaxKey : key + scan_width;
+      scan_buffer.clear();
+      Status s = method->Scan(key, hi, &scan_buffer);
+      if (!s.ok()) return s;
+    } else {
+      Result<Value> r = method->Get(key);
+      if (!r.ok() && r.code() != Code::kNotFound &&
+          r.code() != Code::kOutOfRange) {
+        return r.status();
+      }
+    }
+    CounterSnapshot now = method->stats();
+    read_samples.push_back(now.total_bytes_read() - last_read);
+    write_samples.push_back(now.total_bytes_written() - last_written);
+    last_read = now.total_bytes_read();
+    last_written = now.total_bytes_written();
+  }
+
+  auto end = std::chrono::steady_clock::now();
+  RumProfile profile;
+  profile.method = std::string(method->name());
+  profile.spec = spec;
+  profile.delta = method->stats() - before;
+  profile.point = RumPoint::FromSnapshot(profile.delta);
+  profile.wall_seconds =
+      std::chrono::duration<double>(end - start).count();
+  profile.read_cost = CostPercentiles::From(std::move(read_samples));
+  profile.write_cost = CostPercentiles::From(std::move(write_samples));
+  return profile;
+}
+
+Result<RumProfile> WorkloadRunner::LoadAndRun(AccessMethod* method, size_t n,
+                                              const WorkloadSpec& spec) {
+  std::vector<Entry> entries = MakeSortedEntries(n);
+  Status s = method->BulkLoad(entries);
+  if (!s.ok()) return s;
+  s = method->Flush();
+  if (!s.ok()) return s;
+  method->ResetStats();
+  return Run(method, spec);
+}
+
+}  // namespace rum

@@ -1,0 +1,63 @@
+#ifndef RUMLAB_WORKLOAD_RUNNER_H_
+#define RUMLAB_WORKLOAD_RUNNER_H_
+
+#include <string>
+
+#include "core/access_method.h"
+#include "core/counters.h"
+#include "core/rum_point.h"
+#include "core/status.h"
+#include "workload/spec.h"
+
+namespace rum {
+
+/// Order statistics of a per-operation cost distribution (bytes touched).
+struct CostPercentiles {
+  uint64_t p50 = 0;
+  uint64_t p95 = 0;
+  uint64_t p99 = 0;
+  uint64_t max = 0;
+
+  /// Computes percentiles from raw per-op samples (sorted internally).
+  static CostPercentiles From(std::vector<uint64_t> samples);
+};
+
+/// Result of running a workload phase against an access method: the
+/// counter delta over the phase plus derived RUM coordinates.
+struct RumProfile {
+  std::string method;
+  WorkloadSpec spec;
+  CounterSnapshot delta;  ///< Traffic during the phase; space = at end.
+  RumPoint point;         ///< Derived from `delta`.
+  double wall_seconds = 0;
+  /// Per-operation bytes-read distribution: means hide tails (an LSM's
+  /// occasional compaction, a sorted column's shift cascade); these don't.
+  CostPercentiles read_cost;
+  /// Per-operation bytes-written distribution.
+  CostPercentiles write_cost;
+
+  /// Per-operation averages.
+  double bytes_read_per_op() const;
+  double bytes_written_per_op() const;
+
+  std::string ToString() const;
+};
+
+/// Executes workload specs against access methods and snapshots RUM
+/// accounting around each phase.
+class WorkloadRunner {
+ public:
+  /// Runs `spec` against `method`, returning the phase profile. The method
+  /// may already contain data (e.g. bulk-loaded); the profile measures only
+  /// this phase's traffic.
+  static Result<RumProfile> Run(AccessMethod* method,
+                                const WorkloadSpec& spec);
+
+  /// Convenience: bulk-loads `n` dense entries, then runs `spec`.
+  static Result<RumProfile> LoadAndRun(AccessMethod* method, size_t n,
+                                       const WorkloadSpec& spec);
+};
+
+}  // namespace rum
+
+#endif  // RUMLAB_WORKLOAD_RUNNER_H_

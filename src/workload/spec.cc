@@ -1,0 +1,65 @@
+#include "workload/spec.h"
+
+#include <cstdio>
+
+namespace rum {
+
+WorkloadSpec WorkloadSpec::ReadOnly(uint64_t ops, Key key_range) {
+  WorkloadSpec spec;
+  spec.operations = ops;
+  spec.key_range = key_range;
+  return spec;
+}
+
+WorkloadSpec WorkloadSpec::WriteOnly(uint64_t ops, Key key_range) {
+  WorkloadSpec spec;
+  spec.operations = ops;
+  spec.key_range = key_range;
+  spec.insert_fraction = 1.0;
+  return spec;
+}
+
+WorkloadSpec WorkloadSpec::ReadMostly(uint64_t ops, Key key_range) {
+  WorkloadSpec spec;
+  spec.operations = ops;
+  spec.key_range = key_range;
+  spec.insert_fraction = 0.05;
+  spec.update_fraction = 0.05;
+  return spec;
+}
+
+WorkloadSpec WorkloadSpec::Mixed(uint64_t ops, Key key_range) {
+  WorkloadSpec spec;
+  spec.operations = ops;
+  spec.key_range = key_range;
+  spec.insert_fraction = 0.25;
+  spec.update_fraction = 0.15;
+  spec.delete_fraction = 0.05;
+  spec.scan_fraction = 0.05;
+  return spec;
+}
+
+WorkloadSpec WorkloadSpec::ScanHeavy(uint64_t ops, Key key_range) {
+  WorkloadSpec spec;
+  spec.operations = ops;
+  spec.key_range = key_range;
+  spec.scan_fraction = 0.5;
+  spec.insert_fraction = 0.1;
+  return spec;
+}
+
+std::string WorkloadSpec::ToString() const {
+  double reads = 1.0 - insert_fraction - update_fraction - delete_fraction -
+                 scan_fraction;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "ops=%llu keys=%llu get=%.2f ins=%.2f upd=%.2f del=%.2f "
+                "scan=%.2f(sel=%.4f)",
+                static_cast<unsigned long long>(operations),
+                static_cast<unsigned long long>(key_range), reads,
+                insert_fraction, update_fraction, delete_fraction,
+                scan_fraction, scan_selectivity);
+  return std::string(buf);
+}
+
+}  // namespace rum

@@ -1,0 +1,53 @@
+#ifndef RUMLAB_WORKLOAD_SPEC_H_
+#define RUMLAB_WORKLOAD_SPEC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/types.h"
+#include "workload/distribution.h"
+
+namespace rum {
+
+/// Declarative description of a workload phase: an operation mix over a key
+/// space, plus scan selectivity. Fractions must sum to <= 1; the remainder
+/// is point queries.
+struct WorkloadSpec {
+  /// Operations to execute.
+  uint64_t operations = 10000;
+  /// Key space [0, key_range).
+  Key key_range = 1u << 16;
+  /// Key distribution for every operation's key.
+  KeyDistribution distribution = KeyDistribution::kUniform;
+  /// Zipfian skew (when distribution == kZipfian).
+  double zipf_theta = 0.99;
+
+  /// Fraction of operations that are inserts.
+  double insert_fraction = 0;
+  /// Fraction that are updates (value overwrite).
+  double update_fraction = 0;
+  /// Fraction that are deletes.
+  double delete_fraction = 0;
+  /// Fraction that are range scans.
+  double scan_fraction = 0;
+  // The remaining fraction is point queries (Get).
+
+  /// Width of each range scan as a fraction of the key range.
+  double scan_selectivity = 0.001;
+
+  /// RNG seed (operation choice and keys derive from it).
+  uint64_t seed = 42;
+
+  /// Canonical mixes used across the benches.
+  static WorkloadSpec ReadOnly(uint64_t ops, Key key_range);
+  static WorkloadSpec WriteOnly(uint64_t ops, Key key_range);
+  static WorkloadSpec ReadMostly(uint64_t ops, Key key_range);
+  static WorkloadSpec Mixed(uint64_t ops, Key key_range);
+  static WorkloadSpec ScanHeavy(uint64_t ops, Key key_range);
+
+  std::string ToString() const;
+};
+
+}  // namespace rum
+
+#endif  // RUMLAB_WORKLOAD_SPEC_H_

@@ -1,0 +1,140 @@
+// Tests for the UpdateAbsorber wrapper (Section 5's quotient-filter-guarded
+// update buffering).
+#include <gtest/gtest.h>
+
+#include "methods/approx/update_absorber.h"
+#include "methods/bitmap/bitmap_index.h"
+#include "methods/btree/btree.h"
+#include "tests/testing_util.h"
+#include "workload/distribution.h"
+
+namespace rum {
+namespace {
+
+using testing_util::SmallOptions;
+
+std::unique_ptr<UpdateAbsorber> MakeAbsorbedBTree(Options options) {
+  return std::make_unique<UpdateAbsorber>(std::make_unique<BTree>(options),
+                                          options);
+}
+
+TEST(UpdateAbsorberTest, UpdatesStayBufferedUntilThreshold) {
+  Options options = SmallOptions();
+  options.absorber.delta_entries = 100;
+  auto absorber = MakeAbsorbedBTree(options);
+  for (Key k = 0; k < 99; ++k) {
+    ASSERT_TRUE(absorber->Insert(k, k).ok());
+  }
+  EXPECT_EQ(absorber->pending_updates(), 99u);
+  ASSERT_TRUE(absorber->Insert(99, 99).ok());  // Hits the threshold.
+  EXPECT_EQ(absorber->pending_updates(), 0u);
+  // Everything readable after the drain.
+  for (Key k = 0; k < 100; k += 7) {
+    EXPECT_EQ(absorber->Get(k).value(), k);
+  }
+}
+
+TEST(UpdateAbsorberTest, BufferedStateVisibleToReads) {
+  Options options = SmallOptions();
+  options.absorber.delta_entries = 1u << 20;  // Never drain.
+  auto absorber = MakeAbsorbedBTree(options);
+  std::vector<Entry> entries = MakeSortedEntries(1000);
+  ASSERT_TRUE(absorber->BulkLoad(entries).ok());
+  ASSERT_TRUE(absorber->Insert(5000, 1).ok());
+  ASSERT_TRUE(absorber->Delete(10).ok());
+  ASSERT_TRUE(absorber->Update(20, 99).ok());
+  EXPECT_EQ(absorber->Get(5000).value(), 1u);
+  EXPECT_TRUE(absorber->Get(10).status().IsNotFound());
+  EXPECT_EQ(absorber->Get(20).value(), 99u);
+  // Scans merge pending state with the base.
+  std::vector<Entry> out;
+  ASSERT_TRUE(absorber->Scan(0, 30, &out).ok());
+  ASSERT_EQ(out.size(), 30u);  // 0..30 without 10.
+  for (const Entry& e : out) {
+    ASSERT_NE(e.key, 10u);
+    if (e.key == 20) {
+      EXPECT_EQ(e.value, 99u);
+    }
+  }
+}
+
+TEST(UpdateAbsorberTest, FilterKeepsReadOverheadNearTheBareBase) {
+  Options options = SmallOptions();
+  options.absorber.delta_entries = 1u << 20;
+  auto absorber = MakeAbsorbedBTree(options);
+  BTree bare(options);
+  std::vector<Entry> entries = MakeSortedEntries(5000);
+  ASSERT_TRUE(absorber->BulkLoad(entries).ok());
+  ASSERT_TRUE(bare.BulkLoad(entries).ok());
+  // A handful of pending updates on the absorber.
+  for (Key k = 0; k < 32; ++k) {
+    ASSERT_TRUE(absorber->Update(k, k + 1).ok());
+  }
+  absorber->ResetStats();
+  bare.ResetStats();
+  // Read keys far from the buffered ones: the filter answers "no" and the
+  // only added cost over the bare base is its probes (a few bytes/read).
+  const int kReads = 100;
+  for (Key k = 1000; k < 2000; k += 10) {
+    ASSERT_TRUE(absorber->Get(k).ok());
+    ASSERT_TRUE(bare.Get(k).ok());
+  }
+  uint64_t absorbed_reads = absorber->stats().total_bytes_read();
+  uint64_t bare_reads = bare.stats().total_bytes_read();
+  EXPECT_GE(absorbed_reads, bare_reads);
+  EXPECT_LT(absorbed_reads, bare_reads + kReads * 64);
+}
+
+TEST(UpdateAbsorberTest, CutsBaseWriteCostForExpensiveBases) {
+  // The flagship use: a direct-mode bitmap index pays ~cardinality bits of
+  // compressed-bitmap writes per insert; absorbed, inserts batch.
+  Options options = SmallOptions();
+  options.bitmap.cardinality = 128;
+  options.bitmap.update_friendly = false;
+  options.absorber.delta_entries = 2048;
+
+  BitmapIndex direct(options);
+  UpdateAbsorber absorbed(std::make_unique<BitmapIndex>(options), options);
+  Rng rng(31);
+  for (int i = 0; i < 1500; ++i) {
+    Key k = rng.NextBelow(1u << 15);
+    ASSERT_TRUE(direct.Insert(k, i).ok());
+    ASSERT_TRUE(absorbed.Insert(k, i).ok());
+  }
+  // No drain yet: the absorber wrote only delta records and filter slots.
+  EXPECT_LT(absorbed.stats().total_bytes_written(),
+            direct.stats().total_bytes_written() / 2);
+}
+
+TEST(UpdateAbsorberTest, FlushDrainsAndBaseAnswers) {
+  Options options = SmallOptions();
+  options.absorber.delta_entries = 1u << 20;
+  auto absorber = MakeAbsorbedBTree(options);
+  for (Key k = 0; k < 500; ++k) {
+    ASSERT_TRUE(absorber->Insert(k, ValueFor(k)).ok());
+  }
+  EXPECT_EQ(absorber->pending_updates(), 500u);
+  ASSERT_TRUE(absorber->Flush().ok());
+  EXPECT_EQ(absorber->pending_updates(), 0u);
+  EXPECT_EQ(absorber->size(), 500u);
+  for (Key k = 0; k < 500; k += 31) {
+    EXPECT_EQ(absorber->Get(k).value(), ValueFor(k));
+  }
+  // The quotient filter drained too: it must be empty.
+  EXPECT_EQ(absorber->filter().element_count(), 0u);
+}
+
+TEST(UpdateAbsorberTest, RepeatedOverwritesOfOneKeyDoNotGrowFilter) {
+  Options options = SmallOptions();
+  options.absorber.delta_entries = 1u << 20;
+  auto absorber = MakeAbsorbedBTree(options);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(absorber->Insert(42, i).ok());
+  }
+  EXPECT_EQ(absorber->pending_updates(), 1u);
+  EXPECT_EQ(absorber->filter().element_count(), 1u);
+  EXPECT_EQ(absorber->Get(42).value(), 999u);
+}
+
+}  // namespace
+}  // namespace rum

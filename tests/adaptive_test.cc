@@ -1,0 +1,298 @@
+// Tests for the adaptive layer: morphing shape selection and migration,
+// the wizard's predictions, the online tuner's knob moves.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "adaptive/morphing.h"
+#include "adaptive/tuner.h"
+#include "adaptive/wizard.h"
+#include "methods/lsm/lsm_tree.h"
+#include "tests/testing_util.h"
+#include "workload/distribution.h"
+
+namespace rum {
+namespace {
+
+using testing_util::SmallOptions;
+
+TEST(MorphShapeTest, SelectionRules) {
+  EXPECT_EQ(MorphingAccessMethod::ChooseShape(1, 1, 10),
+            MorphShape::kSpaceDense);
+  EXPECT_EQ(MorphingAccessMethod::ChooseShape(10, 1, 1),
+            MorphShape::kReadTree);
+  EXPECT_EQ(MorphingAccessMethod::ChooseShape(1, 10, 1),
+            MorphShape::kWriteLog);
+  EXPECT_EQ(MorphingAccessMethod::ChooseShape(5, 5, 1),
+            MorphShape::kBalanced);
+  EXPECT_EQ(MorphingAccessMethod::ChooseShape(5, 5.5, 1),
+            MorphShape::kBalanced);  // Within 25%.
+  EXPECT_EQ(MorphingAccessMethod::ChooseShape(0, 0, 0),
+            MorphShape::kBalanced);
+}
+
+TEST(MorphingTest, MorphPreservesEveryEntry) {
+  Options options = SmallOptions();
+  options.morphing.write_priority = 10;
+  options.morphing.read_priority = 1;
+  options.morphing.space_priority = 1;
+  MorphingAccessMethod method(options);
+  EXPECT_EQ(method.shape(), MorphShape::kWriteLog);
+
+  Rng rng(1);
+  std::map<Key, Value> reference;
+  for (int i = 0; i < 3000; ++i) {
+    Key k = rng.NextBelow(1u << 12);
+    Value v = rng.Next();
+    ASSERT_TRUE(method.Insert(k, v).ok());
+    reference[k] = v;
+  }
+  // Morph through every shape; contents must survive each migration.
+  for (auto [r, w, m] : {std::tuple<double, double, double>{10, 1, 1},
+                         {1, 1, 10},
+                         {5, 5, 1},
+                         {1, 10, 1}}) {
+    ASSERT_TRUE(method.SetPriorities(r, w, m).ok());
+    ASSERT_EQ(method.size(), reference.size())
+        << "shape " << MorphShapeName(method.shape());
+    for (const auto& [k, v] : reference) {
+      Result<Value> got = method.Get(k);
+      ASSERT_TRUE(got.ok()) << "key " << k << " lost in "
+                            << MorphShapeName(method.shape());
+      ASSERT_EQ(got.value(), v);
+    }
+  }
+  EXPECT_EQ(method.morph_count(), 4u);
+}
+
+TEST(MorphingTest, MorphCostIsMeasured) {
+  Options options = SmallOptions();
+  MorphingAccessMethod method(options);
+  std::vector<Entry> entries = MakeSortedEntries(2000);
+  ASSERT_TRUE(method.BulkLoad(entries).ok());
+  CounterSnapshot before = method.stats();
+  ASSERT_TRUE(method.SetPriorities(10, 1, 1).ok());
+  CounterSnapshot after = method.stats();
+  // Migration read the old shape and wrote the new one.
+  EXPECT_GT(after.total_bytes_read(), before.total_bytes_read());
+  EXPECT_GT(after.total_bytes_written(), before.total_bytes_written());
+}
+
+TEST(MorphingTest, NoMorphWhenShapeUnchanged) {
+  Options options = SmallOptions();
+  options.morphing.read_priority = 10;
+  options.morphing.write_priority = 1;
+  options.morphing.space_priority = 1;
+  MorphingAccessMethod method(options);
+  ASSERT_TRUE(method.Insert(1, 1).ok());
+  ASSERT_TRUE(method.SetPriorities(20, 2, 2).ok());  // Same winner.
+  EXPECT_EQ(method.morph_count(), 0u);
+}
+
+TEST(MorphingTest, ShapesMoveInRumSpace) {
+  // The same workload measured under different shapes lands at different
+  // RUM points -- Figure 3's arrow across the triangle.
+  auto run_workload = [](MorphingAccessMethod* method) {
+    Rng rng(2);
+    for (int i = 0; i < 3000; ++i) {
+      Key k = rng.NextBelow(1u << 12);
+      (void)method->Insert(k, i);
+    }
+    for (int i = 0; i < 1000; ++i) {
+      (void)method->Get(rng.NextBelow(1u << 12));
+    }
+  };
+  Options options = SmallOptions();
+  options.morphing.write_priority = 10;
+  options.morphing.read_priority = 1;
+  MorphingAccessMethod write_shape(options);
+  run_workload(&write_shape);
+
+  options.morphing.write_priority = 1;
+  options.morphing.read_priority = 10;
+  MorphingAccessMethod read_shape(options);
+  run_workload(&read_shape);
+
+  RumPoint wp = write_shape.rum_point();
+  RumPoint rp = read_shape.rum_point();
+  // The write shape writes less per logical write; the read shape reads
+  // less per logical read.
+  EXPECT_LT(wp.update_overhead, rp.update_overhead);
+  EXPECT_LT(rp.read_overhead, wp.read_overhead);
+}
+
+TEST(WizardTest, WriteHeavyWorkloadAvoidsBTree) {
+  Options options;
+  RumWizard wizard(options);
+  WorkloadSpec spec = WorkloadSpec::WriteOnly(10000, 1u << 20);
+  std::vector<Recommendation> ranked = wizard.Rank(spec, 1u << 20);
+  ASSERT_FALSE(ranked.empty());
+  // The winner must be an append/differential family, not the B-tree.
+  EXPECT_NE(ranked.front().method, "btree");
+  EXPECT_NE(ranked.front().method, "sorted-column");
+  // B-tree's predicted write cost exceeds the LSM's.
+  Recommendation btree = wizard.Predict("btree", spec, 1u << 20, 0);
+  Recommendation lsm = wizard.Predict("lsm-tiered", spec, 1u << 20, 0);
+  EXPECT_GT(btree.write_cost, lsm.write_cost);
+}
+
+TEST(WizardTest, PointReadWorkloadLikesHashOverSortedScan) {
+  Options options;
+  RumWizard wizard(options);
+  WorkloadSpec spec = WorkloadSpec::ReadOnly(10000, 1u << 20);
+  Recommendation hash = wizard.Predict("hash", spec, 1u << 20, 0);
+  Recommendation unsorted = wizard.Predict("unsorted-column", spec,
+                                           1u << 20, 0);
+  EXPECT_LT(hash.predicted_cost, unsorted.predicted_cost);
+}
+
+TEST(WizardTest, ScanHeavyWorkloadPrefersOrderedStructures) {
+  Options options;
+  RumWizard wizard(options);
+  WorkloadSpec spec = WorkloadSpec::ScanHeavy(10000, 1u << 20);
+  Recommendation btree = wizard.Predict("btree", spec, 1u << 20, 0);
+  Recommendation hash = wizard.Predict("hash", spec, 1u << 20, 0);
+  EXPECT_LT(btree.predicted_cost, hash.predicted_cost);
+}
+
+TEST(WizardTest, SpaceWeightElevatesSparseIndexes) {
+  Options options;
+  RumWizard wizard(options);
+  WorkloadSpec spec = WorkloadSpec::ReadMostly(10000, 1u << 20);
+  Recommendation zonemap_cheap = wizard.Predict("zonemap", spec, 1u << 20,
+                                                /*space_weight=*/0.0);
+  Recommendation trie_cheap = wizard.Predict("trie", spec, 1u << 20, 0.0);
+  Recommendation zonemap_dear = wizard.Predict("zonemap", spec, 1u << 20,
+                                               /*space_weight=*/50.0);
+  Recommendation trie_dear = wizard.Predict("trie", spec, 1u << 20, 50.0);
+  // With free space the trie's fast probes win; at heavy space weight the
+  // ordering flips.
+  EXPECT_LT(trie_cheap.predicted_cost, zonemap_cheap.predicted_cost);
+  EXPECT_LT(zonemap_dear.predicted_cost, trie_dear.predicted_cost);
+}
+
+TEST(WizardTest, UnknownMethodGetsInfiniteCost) {
+  Options options;
+  RumWizard wizard(options);
+  Recommendation rec = wizard.Predict("flux-capacitor",
+                                      WorkloadSpec::ReadOnly(1, 10), 100, 0);
+  EXPECT_TRUE(std::isinf(rec.predicted_cost));
+}
+
+TEST(WizardTest, RankIsSortedAndSkipsExtremes) {
+  Options options;
+  RumWizard wizard(options);
+  std::vector<Recommendation> ranked =
+      wizard.Rank(WorkloadSpec::Mixed(1000, 1u << 16), 1u << 16);
+  for (size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_LE(ranked[i - 1].predicted_cost, ranked[i].predicted_cost);
+  }
+  for (const Recommendation& rec : ranked) {
+    EXPECT_NE(rec.method, "magic-array");
+    EXPECT_NE(rec.method, "pure-log");
+    EXPECT_NE(rec.method, "dense-array");
+  }
+}
+
+TEST(TunerTest, WithinToleranceMakesNoChange) {
+  OnlineTuner tuner(0.2);
+  Options options;
+  RumPoint measured{2.0, 3.0, 1.2};
+  RumPoint target{2.0, 3.0, 1.2};
+  TuningAction action = tuner.Observe("lsm-leveled", options, measured,
+                                      target);
+  EXPECT_FALSE(action.changed);
+}
+
+TEST(TunerTest, LsmReadPainSwitchesTieredToLeveled) {
+  OnlineTuner tuner(0.2);
+  Options options;
+  options.lsm.policy = CompactionPolicy::kTiered;
+  RumPoint measured{20.0, 1.5, 1.3};
+  RumPoint target{5.0, 1.5, 1.3};
+  TuningAction action = tuner.Observe("lsm-tiered", options, measured,
+                                      target);
+  EXPECT_TRUE(action.changed);
+  EXPECT_EQ(action.options.lsm.policy, CompactionPolicy::kLeveled);
+}
+
+TEST(TunerTest, LsmWritePainSwitchesLeveledToTiered) {
+  OnlineTuner tuner(0.2);
+  Options options;
+  options.lsm.policy = CompactionPolicy::kLeveled;
+  RumPoint measured{2.0, 30.0, 1.3};
+  RumPoint target{2.0, 5.0, 1.3};
+  TuningAction action = tuner.Observe("lsm-leveled", options, measured,
+                                      target);
+  EXPECT_TRUE(action.changed);
+  EXPECT_EQ(action.options.lsm.policy, CompactionPolicy::kTiered);
+}
+
+TEST(TunerTest, BTreeNodeSizeMovesWithPain) {
+  OnlineTuner tuner(0.2);
+  Options options;
+  options.btree.node_size = 4096;
+  TuningAction bigger = tuner.Observe(
+      "btree", options, RumPoint{30, 2, 1.4}, RumPoint{5, 2, 1.4});
+  EXPECT_TRUE(bigger.changed);
+  EXPECT_EQ(bigger.options.btree.node_size, 8192u);
+  TuningAction smaller = tuner.Observe(
+      "btree", options, RumPoint{5, 40, 1.4}, RumPoint{5, 2, 1.4});
+  EXPECT_TRUE(smaller.changed);
+  EXPECT_EQ(smaller.options.btree.node_size, 2048u);
+}
+
+TEST(TunerTest, ClosedLoopDrivesLsmReadCostDown) {
+  // The full Section-5 loop: measure -> observe -> re-tune -> re-measure.
+  // A filterless tiered LSM has painful point reads; the tuner must steer
+  // it (policy flip, filter bits) until measured reads genuinely improve.
+  Options options = SmallOptions();
+  options.lsm.policy = CompactionPolicy::kTiered;
+  options.lsm.bloom_bits_per_key = 0;
+
+  auto measure = [](const Options& opts) {
+    LsmTree tree(opts);
+    Rng rng(51);
+    for (int i = 0; i < 8000; ++i) {
+      (void)tree.Insert(rng.NextBelow(1u << 13), i);
+    }
+    tree.ResetStats();
+    for (int i = 0; i < 1500; ++i) {
+      (void)tree.Get(rng.NextBelow(1u << 13));
+    }
+    return RumPoint::FromSnapshot(tree.stats());
+  };
+
+  RumPoint initial = measure(options);
+  RumPoint target = initial;
+  target.read_overhead = std::max(1.0, initial.read_overhead / 4);
+
+  OnlineTuner tuner(0.15);
+  Options tuned = options;
+  RumPoint measured = initial;
+  std::string_view name = "lsm-tiered";
+  for (int round = 0; round < 6; ++round) {
+    TuningAction action = tuner.Observe(name, tuned, measured, target);
+    if (!action.changed) break;
+    tuned = action.options;
+    name = tuned.lsm.policy == CompactionPolicy::kLeveled ? "lsm-leveled"
+                                                          : "lsm-tiered";
+    measured = measure(tuned);
+  }
+  // The loop must have reached a materially better read cost.
+  EXPECT_LT(measured.read_overhead, initial.read_overhead / 2)
+      << "initial RO=" << initial.read_overhead
+      << " final RO=" << measured.read_overhead;
+}
+
+TEST(TunerTest, UnknownMethodReportsNoKnobs) {
+  OnlineTuner tuner(0.2);
+  Options options;
+  TuningAction action = tuner.Observe(
+      "pure-log", options, RumPoint{100, 1, 100}, RumPoint{1, 1, 1});
+  EXPECT_FALSE(action.changed);
+  EXPECT_FALSE(action.reason.empty());
+}
+
+}  // namespace
+}  // namespace rum

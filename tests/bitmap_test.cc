@@ -1,0 +1,147 @@
+// Tests for WAH compression and the bitmap index's delta machinery.
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "methods/bitmap/bitmap_index.h"
+#include "methods/bitmap/wah.h"
+#include "tests/testing_util.h"
+#include "workload/distribution.h"
+
+namespace rum {
+namespace {
+
+using testing_util::SmallOptions;
+
+std::vector<uint64_t> Decode(const WahBitmap& bitmap) {
+  std::vector<uint64_t> out;
+  bitmap.ForEachSetBit([&](uint64_t pos) { out.push_back(pos); });
+  return out;
+}
+
+TEST(WahBitmapTest, AppendBitRoundTrip) {
+  WahBitmap bitmap;
+  std::vector<uint64_t> expected;
+  Rng rng(9);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    bool bit = rng.NextBelow(10) == 0;
+    bitmap.AppendBit(bit);
+    if (bit) expected.push_back(i);
+  }
+  EXPECT_EQ(Decode(bitmap), expected);
+  EXPECT_EQ(bitmap.bit_count(), 1000u);
+  EXPECT_EQ(bitmap.set_count(), expected.size());
+}
+
+TEST(WahBitmapTest, LongRunsCompressToFills) {
+  WahBitmap bitmap;
+  bitmap.AppendRun(false, 31 * 1000);
+  bitmap.AppendBit(true);
+  bitmap.AppendRun(false, 31 * 1000);
+  // Two fill words + one literal + partial active word.
+  EXPECT_LE(bitmap.word_count(), 4u);
+  std::vector<uint64_t> set = Decode(bitmap);
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set[0], 31u * 1000);
+}
+
+TEST(WahBitmapTest, AllOnesRunsCompress) {
+  WahBitmap bitmap;
+  bitmap.AppendRun(true, 31 * 500);
+  EXPECT_LE(bitmap.word_count(), 2u);
+  EXPECT_EQ(bitmap.set_count(), 31u * 500);
+}
+
+TEST(WahBitmapTest, MixedAppendsMatchReference) {
+  WahBitmap bitmap;
+  std::vector<uint64_t> expected;
+  uint64_t pos = 0;
+  Rng rng(77);
+  for (int i = 0; i < 200; ++i) {
+    if (rng.NextBelow(2) == 0) {
+      uint64_t run = rng.NextBelow(100);
+      bool bit = rng.NextBelow(4) == 0;
+      bitmap.AppendRun(bit, run);
+      if (bit) {
+        for (uint64_t j = 0; j < run; ++j) expected.push_back(pos + j);
+      }
+      pos += run;
+    } else {
+      bool bit = rng.NextBelow(3) == 0;
+      bitmap.AppendBit(bit);
+      if (bit) expected.push_back(pos);
+      ++pos;
+    }
+  }
+  EXPECT_EQ(Decode(bitmap), expected);
+  EXPECT_EQ(bitmap.bit_count(), pos);
+}
+
+TEST(WahBitmapTest, SparseBitmapsAreTiny) {
+  WahBitmap bitmap;
+  for (uint64_t i = 0; i < 100000; ++i) {
+    bitmap.AppendBit(i % 10000 == 0);  // 10 set bits in 100k.
+  }
+  // Raw: 12.5 KB. Compressed: tens of bytes.
+  EXPECT_LT(bitmap.space_bytes(), 200u);
+}
+
+TEST(WahBitmapTest, ClearResets) {
+  WahBitmap bitmap;
+  bitmap.AppendRun(true, 100);
+  bitmap.Clear();
+  EXPECT_EQ(bitmap.bit_count(), 0u);
+  EXPECT_EQ(bitmap.set_count(), 0u);
+  EXPECT_TRUE(Decode(bitmap).empty());
+}
+
+TEST(BitmapIndexTest, DeltaModeDefersCompressedWrites) {
+  Options options = SmallOptions();
+  // With many bins, a direct insert appends a bit to every bin while a
+  // delta insert records a single row id.
+  options.bitmap.cardinality = 256;
+  options.bitmap.update_friendly = true;
+  options.bitmap.delta_merge_threshold = 1u << 30;  // Never merge.
+  BitmapIndex deferred(options);
+
+  options.bitmap.update_friendly = false;
+  BitmapIndex direct(options);
+
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    Key k = rng.NextBelow(1u << 15);
+    ASSERT_TRUE(deferred.Insert(k, i).ok());
+    ASSERT_TRUE(direct.Insert(k, i).ok());
+  }
+  // Direct mode appends a bit to every bin per insert; delta mode writes
+  // one row id.
+  EXPECT_LT(deferred.stats().bytes_written_aux,
+            direct.stats().bytes_written_aux);
+  EXPECT_GT(deferred.pending_deltas(), 0u);
+  EXPECT_EQ(direct.pending_deltas(), 0u);
+}
+
+TEST(BitmapIndexTest, MergeEmptiesDeltas) {
+  Options options = SmallOptions();
+  options.bitmap.update_friendly = true;
+  options.bitmap.delta_merge_threshold = 100;
+  BitmapIndex index(options);
+  for (Key k = 0; k < 1000; ++k) {
+    ASSERT_TRUE(index.Insert(k * 13 % (1u << 15), k).ok());
+  }
+  EXPECT_LT(index.pending_deltas(), 100u);  // Merges fired.
+}
+
+TEST(BitmapIndexTest, CompressionBeatsRawBits) {
+  Options options = SmallOptions();
+  options.bitmap.cardinality = 16;
+  BitmapIndex index(options);
+  std::vector<Entry> entries = MakeSortedEntries(20000, 0, 3);
+  ASSERT_TRUE(index.BulkLoad(entries).ok());
+  // Raw: 16 bins x 20000 bits = 40 KB. Sorted keys make bins contiguous:
+  // WAH crushes them.
+  EXPECT_LT(index.compressed_bytes(), 8000u);
+}
+
+}  // namespace
+}  // namespace rum

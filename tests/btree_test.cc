@@ -1,0 +1,214 @@
+// Structural tests for the B+-Tree beyond the generic contract: node
+// codecs, height growth, tuning knobs, leaf-chain integrity.
+#include <gtest/gtest.h>
+
+#include "methods/btree/btree.h"
+#include "methods/btree/btree_node.h"
+#include "tests/testing_util.h"
+#include "workload/distribution.h"
+
+namespace rum {
+namespace {
+
+using testing_util::SmallOptions;
+
+TEST(BTreeNodeTest, LeafRoundTrip) {
+  BTreeLeaf leaf;
+  leaf.entries = {{1, 10}, {5, 50}, {9, 90}};
+  leaf.next = 77;
+  std::vector<uint8_t> block;
+  ASSERT_TRUE(leaf.EncodeTo(512, &block).ok());
+  EXPECT_TRUE(IsLeafBlock(block));
+  BTreeLeaf out;
+  ASSERT_TRUE(BTreeLeaf::DecodeFrom(block, &out).ok());
+  EXPECT_EQ(out.entries, leaf.entries);
+  EXPECT_EQ(out.next, leaf.next);
+}
+
+TEST(BTreeNodeTest, InnerRoundTrip) {
+  BTreeInner inner;
+  inner.keys = {10, 20, 30};
+  inner.children = {100, 101, 102, 103};
+  std::vector<uint8_t> block;
+  ASSERT_TRUE(inner.EncodeTo(512, &block).ok());
+  EXPECT_FALSE(IsLeafBlock(block));
+  BTreeInner out;
+  ASSERT_TRUE(BTreeInner::DecodeFrom(block, &out).ok());
+  EXPECT_EQ(out.keys, inner.keys);
+  EXPECT_EQ(out.children, inner.children);
+}
+
+TEST(BTreeNodeTest, ChildIndexForRoutesBySeparator) {
+  BTreeInner inner;
+  inner.keys = {10, 20};
+  inner.children = {0, 1, 2};
+  EXPECT_EQ(inner.ChildIndexFor(5), 0u);
+  EXPECT_EQ(inner.ChildIndexFor(10), 1u);  // Separator = lower bound right.
+  EXPECT_EQ(inner.ChildIndexFor(15), 1u);
+  EXPECT_EQ(inner.ChildIndexFor(20), 2u);
+  EXPECT_EQ(inner.ChildIndexFor(99), 2u);
+}
+
+TEST(BTreeNodeTest, OverflowRejected) {
+  BTreeLeaf leaf;
+  leaf.entries.resize(BTreeLeaf::CapacityFor(512) + 1);
+  std::vector<uint8_t> block;
+  EXPECT_EQ(leaf.EncodeTo(512, &block).code(), Code::kResourceExhausted);
+  BTreeInner inner;
+  inner.keys.resize(BTreeInner::CapacityFor(512) + 1);
+  inner.children.resize(inner.keys.size() + 1);
+  EXPECT_EQ(inner.EncodeTo(512, &block).code(), Code::kResourceExhausted);
+}
+
+TEST(BTreeNodeTest, DecodeRejectsWrongType) {
+  BTreeLeaf leaf;
+  leaf.entries = {{1, 1}};
+  std::vector<uint8_t> block;
+  ASSERT_TRUE(leaf.EncodeTo(512, &block).ok());
+  BTreeInner inner;
+  EXPECT_EQ(BTreeInner::DecodeFrom(block, &inner).code(), Code::kCorruption);
+}
+
+TEST(BTreeTest, HeightGrowsLogarithmically) {
+  Options options = SmallOptions();
+  BTree tree(options);
+  size_t leaf_cap = BTreeLeaf::CapacityFor(512);
+  // Fill one leaf exactly: height 1.
+  for (Key k = 0; k < leaf_cap; ++k) {
+    ASSERT_TRUE(tree.Insert(k, k).ok());
+  }
+  EXPECT_EQ(tree.height(), 1u);
+  ASSERT_TRUE(tree.Insert(leaf_cap, 0).ok());
+  EXPECT_EQ(tree.height(), 2u);
+  for (Key k = leaf_cap + 1; k < 20000; ++k) {
+    ASSERT_TRUE(tree.Insert(k, k).ok());
+  }
+  // log_31(20000/31) ~ 3; allow 3..5.
+  EXPECT_GE(tree.height(), 3u);
+  EXPECT_LE(tree.height(), 5u);
+}
+
+TEST(BTreeTest, BulkLoadProducesShallowPackedTree) {
+  Options options = SmallOptions();
+  options.btree.bulk_fill = 1.0;
+  BTree packed(options);
+  std::vector<Entry> entries = MakeSortedEntries(10000);
+  ASSERT_TRUE(packed.BulkLoad(entries).ok());
+
+  options.btree.bulk_fill = 0.5;
+  BTree loose(options);
+  ASSERT_TRUE(loose.BulkLoad(entries).ok());
+
+  // Half-full leaves double the base footprint.
+  EXPECT_GT(loose.stats().space_base,
+            packed.stats().space_base * 3 / 2);
+  // Both answer queries identically.
+  for (Key k = 0; k < 10000; k += 531) {
+    ASSERT_EQ(packed.Get(k).value(), loose.Get(k).value());
+  }
+}
+
+TEST(BTreeTest, LowBulkFillAbsorbsInsertsWithFewerSplits) {
+  std::vector<Entry> entries = MakeSortedEntries(5000, 0, 2);
+  Options options = SmallOptions();
+  options.btree.bulk_fill = 1.0;
+  BTree packed(options);
+  ASSERT_TRUE(packed.BulkLoad(entries).ok());
+  options.btree.bulk_fill = 0.6;
+  BTree loose(options);
+  ASSERT_TRUE(loose.BulkLoad(entries).ok());
+
+  packed.ResetStats();
+  loose.ResetStats();
+  // Insert into the odd gaps: packed splits constantly, loose absorbs.
+  Rng rng(3);
+  for (int i = 0; i < 1500; ++i) {
+    Key k = rng.NextBelow(5000) * 2 + 1;
+    ASSERT_TRUE(packed.Insert(k, 1).ok());
+    ASSERT_TRUE(loose.Insert(k, 1).ok());
+  }
+  EXPECT_LT(loose.stats().total_bytes_written(),
+            packed.stats().total_bytes_written());
+}
+
+TEST(BTreeTest, NodeSizeKnobTradesReadBlocksForWriteBytes) {
+  std::vector<Entry> entries = MakeSortedEntries(20000);
+  Options small = SmallOptions();
+  small.btree.node_size = 512;
+  Options large = SmallOptions();
+  large.btree.node_size = 8192;
+
+  BTree small_tree(small);
+  BTree large_tree(large);
+  ASSERT_TRUE(small_tree.BulkLoad(entries).ok());
+  ASSERT_TRUE(large_tree.BulkLoad(entries).ok());
+  EXPECT_GT(small_tree.height(), large_tree.height());
+
+  small_tree.ResetStats();
+  large_tree.ResetStats();
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    Key k = rng.NextBelow(20000);
+    ASSERT_TRUE(small_tree.Get(k).ok());
+    ASSERT_TRUE(large_tree.Get(k).ok());
+  }
+  // Big nodes: fewer blocks but more bytes per probe.
+  EXPECT_LE(large_tree.stats().blocks_read, small_tree.stats().blocks_read);
+  EXPECT_GT(large_tree.stats().total_bytes_read(),
+            small_tree.stats().total_bytes_read());
+}
+
+TEST(BTreeTest, LeafChainSurvivesRandomDeletes) {
+  Options options = SmallOptions();
+  BTree tree(options);
+  std::vector<Entry> entries = MakeSortedEntries(4000);
+  ASSERT_TRUE(tree.BulkLoad(entries).ok());
+  Rng rng(11);
+  std::vector<bool> alive(4000, true);
+  for (int i = 0; i < 3000; ++i) {
+    Key k = rng.NextBelow(4000);
+    ASSERT_TRUE(tree.Delete(k).ok());
+    alive[k] = false;
+    if (i % 500 == 0) {
+      // A full scan must see exactly the live keys, in order.
+      std::vector<Entry> scan;
+      ASSERT_TRUE(tree.Scan(0, 4000, &scan).ok());
+      size_t expected = 0;
+      for (bool a : alive) expected += a ? 1 : 0;
+      ASSERT_EQ(scan.size(), expected) << "after " << i << " deletes";
+      for (size_t j = 1; j < scan.size(); ++j) {
+        ASSERT_LT(scan[j - 1].key, scan[j].key);
+      }
+    }
+  }
+}
+
+TEST(BTreeTest, SplitFractionNearOneFavorsSequentialInserts) {
+  Options seq = SmallOptions();
+  seq.btree.split_fraction = 0.9;  // Leave the left node nearly full.
+  Options mid = SmallOptions();
+  mid.btree.split_fraction = 0.5;
+
+  BTree seq_tree(seq);
+  BTree mid_tree(mid);
+  for (Key k = 0; k < 10000; ++k) {
+    ASSERT_TRUE(seq_tree.Insert(k, k).ok());
+    ASSERT_TRUE(mid_tree.Insert(k, k).ok());
+  }
+  // Sequential fills: high split fraction packs leaves tighter.
+  EXPECT_LT(seq_tree.stats().space_base, mid_tree.stats().space_base);
+}
+
+TEST(BTreeTest, InnerAndLeafSpaceSplitIsTagged) {
+  Options options = SmallOptions();
+  BTree tree(options);
+  std::vector<Entry> entries = MakeSortedEntries(10000);
+  ASSERT_TRUE(tree.BulkLoad(entries).ok());
+  CounterSnapshot snap = tree.stats();
+  EXPECT_GT(snap.space_base, 0u);  // Leaves.
+  EXPECT_GT(snap.space_aux, 0u);   // Inner nodes.
+  EXPECT_LT(snap.space_aux, snap.space_base);  // Fanout keeps inners small.
+}
+
+}  // namespace
+}  // namespace rum

@@ -1,0 +1,117 @@
+// Fault-injection tests: an I/O error at the device must propagate as a
+// Status through every layer without crashes or silent corruption.
+#include <gtest/gtest.h>
+
+#include "methods/btree/btree.h"
+#include "methods/column/sorted_column.h"
+#include "methods/lsm/lsm_tree.h"
+#include "storage/append_log.h"
+#include "storage/block_device.h"
+#include "storage/heap_file.h"
+#include "tests/testing_util.h"
+#include "workload/distribution.h"
+
+namespace rum {
+namespace {
+
+using testing_util::SmallOptions;
+
+TEST(FaultTest, DeviceFailsAfterBudget) {
+  RumCounters counters;
+  BlockDevice device(512, &counters);
+  PageId p = device.Allocate(DataClass::kBase);
+  std::vector<uint8_t> data(512, 1);
+  device.InjectFailureAfter(2);
+  EXPECT_TRUE(device.Write(p, data).ok());
+  std::vector<uint8_t> out;
+  EXPECT_TRUE(device.Read(p, &out).ok());
+  EXPECT_TRUE(device.fault_active());
+  EXPECT_EQ(device.Read(p, &out).code(), Code::kIOError);
+  EXPECT_EQ(device.Write(p, data).code(), Code::kIOError);
+  device.ClearFaults();
+  EXPECT_TRUE(device.Read(p, &out).ok());
+}
+
+TEST(FaultTest, FaultyIoIsNotCharged) {
+  RumCounters counters;
+  BlockDevice device(512, &counters);
+  PageId p = device.Allocate(DataClass::kBase);
+  device.InjectFailureAfter(0);
+  std::vector<uint8_t> out;
+  EXPECT_FALSE(device.Read(p, &out).ok());
+  EXPECT_EQ(counters.snapshot().blocks_read, 0u);
+}
+
+TEST(FaultTest, AppendLogPropagates) {
+  RumCounters counters;
+  BlockDevice device(512, &counters);
+  AppendLog log(&device, DataClass::kBase, &counters);
+  // Fill almost one block, then make the sealing write fail.
+  for (size_t i = 0; i + 1 < log.records_per_block(); ++i) {
+    ASSERT_TRUE(log.Append(LogRecord{i, i, LogOp::kPut}).ok());
+  }
+  device.InjectFailureAfter(0);
+  Status s = log.Append(LogRecord{999, 0, LogOp::kPut});
+  EXPECT_EQ(s.code(), Code::kIOError);
+}
+
+TEST(FaultTest, HeapFilePropagates) {
+  RumCounters counters;
+  BlockDevice device(512, &counters);
+  HeapFile heap(&device, DataClass::kBase, &counters);
+  for (uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(heap.Append(Entry{i, i}).ok());
+  }
+  device.InjectFailureAfter(0);
+  EXPECT_EQ(heap.At(0).code(), Code::kIOError);
+  EXPECT_EQ(heap.Set(0, Entry{0, 1}).code(), Code::kIOError);
+  device.ClearFaults();
+  EXPECT_TRUE(heap.At(0).ok());
+}
+
+TEST(FaultTest, BTreePropagatesAndRecovers) {
+  RumCounters counters;
+  BlockDevice device(512, &counters);
+  Options options = SmallOptions();
+  BTree tree(options, &device);
+  std::vector<Entry> entries = MakeSortedEntries(2000);
+  ASSERT_TRUE(tree.BulkLoad(entries).ok());
+
+  device.InjectFailureAfter(0);
+  EXPECT_EQ(tree.Get(100).code(), Code::kIOError);
+  std::vector<Entry> out;
+  EXPECT_EQ(tree.Scan(0, 100, &out).code(), Code::kIOError);
+
+  device.ClearFaults();
+  EXPECT_EQ(tree.Get(100).value(), ValueFor(100));
+}
+
+TEST(FaultTest, LsmReadPathPropagates) {
+  RumCounters counters;
+  BlockDevice device(512, &counters);
+  Options options = SmallOptions();
+  options.lsm.bloom_bits_per_key = 0;  // Force page reads.
+  LsmTree tree(options, &device);
+  for (Key k = 0; k < 1000; ++k) {
+    ASSERT_TRUE(tree.Insert(k, k).ok());
+  }
+  ASSERT_TRUE(tree.Flush().ok());
+  device.InjectFailureAfter(0);
+  EXPECT_EQ(tree.Get(500).code(), Code::kIOError);
+  device.ClearFaults();
+  EXPECT_TRUE(tree.Get(500).ok());
+}
+
+TEST(FaultTest, MidBulkLoadFailureSurfaces) {
+  RumCounters counters;
+  BlockDevice device(512, &counters);
+  Options options = SmallOptions();
+  SortedColumn column(options, &device);
+  std::vector<Entry> entries = MakeSortedEntries(5000);
+  device.InjectFailureAfter(10);
+  Status s = column.BulkLoad(entries);
+  EXPECT_EQ(s.code(), Code::kIOError);
+}
+
+}  // namespace
+}  // namespace rum

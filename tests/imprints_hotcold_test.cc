@@ -1,0 +1,164 @@
+// Structure-specific tests for Column Imprints and the hot/cold store.
+#include <gtest/gtest.h>
+
+#include "methods/hotcold/hot_cold.h"
+#include "methods/imprints/imprints.h"
+#include "tests/testing_util.h"
+#include "workload/distribution.h"
+
+namespace rum {
+namespace {
+
+using testing_util::SmallOptions;
+
+TEST(ImprintsTest, IndexIsOneWordPerBlock) {
+  Options options = SmallOptions();
+  ImprintsColumn column(options);
+  std::vector<Entry> entries = MakeSortedEntries(5000, 0, 3);
+  ASSERT_TRUE(column.BulkLoad(entries).ok());
+  size_t blocks = (5000 + 30) / 31;  // 31 entries per 512-byte block.
+  EXPECT_EQ(column.imprint_count(), blocks);
+  EXPECT_EQ(column.imprint_bytes(), blocks * 8);
+  // Far smaller than the base data.
+  EXPECT_LT(column.stats().space_aux, column.stats().space_base / 50);
+}
+
+TEST(ImprintsTest, RangeScansSkipNonMatchingBlocks) {
+  Options options = SmallOptions();
+  options.bitmap.key_domain = 1u << 16;
+  ImprintsColumn column(options);
+  // Clustered load: block i holds keys near i -- imprints are selective.
+  std::vector<Entry> entries = MakeSortedEntries(10000, 0, 6);
+  ASSERT_TRUE(column.BulkLoad(entries).ok());
+  column.ResetStats();
+  std::vector<Entry> out;
+  ASSERT_TRUE(column.Scan(3000, 3300, &out).ok());
+  EXPECT_EQ(out.size(), 51u);  // Keys 3000..3300 at stride 6.
+  // A full scan would read ~323 blocks; the imprint narrows to the blocks
+  // of 1-2 bins (~1/64 to 2/64 of the domain).
+  EXPECT_LT(column.stats().blocks_read, 30u);
+}
+
+TEST(ImprintsTest, SurvivesUnclusteredData) {
+  // The ZoneMap's min/max summaries die on interleaved data; imprints set
+  // two bits and stay selective.
+  Options options = SmallOptions();
+  options.bitmap.key_domain = 1u << 16;
+  ImprintsColumn column(options);
+  // Alternate between two distant key regions (bins 0 and 63).
+  Key high = (1u << 16) - 2000;
+  for (Key i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(column.Insert(i % 2 == 0 ? i : high + i, i).ok());
+  }
+  column.ResetStats();
+  std::vector<Entry> out;
+  // Query a region NEITHER half touches.
+  ASSERT_TRUE(column.Scan(30000, 31000, &out).ok());
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(column.stats().blocks_read, 0u);  // Every block pruned.
+}
+
+TEST(ImprintsTest, DeletesRebuildEventually) {
+  Options options = SmallOptions();
+  options.approx.rebuild_deleted_fraction = 0.2;
+  ImprintsColumn column(options);
+  std::vector<Entry> entries = MakeSortedEntries(2000);
+  ASSERT_TRUE(column.BulkLoad(entries).ok());
+  for (Key k = 0; k < 800; ++k) {
+    ASSERT_TRUE(column.Delete(k).ok());
+  }
+  EXPECT_EQ(column.size(), 1200u);
+  for (Key k = 800; k < 850; ++k) {
+    EXPECT_EQ(column.Get(k).value(), ValueFor(k));
+  }
+}
+
+TEST(HotColdTest, SkewPromotesHotKeys) {
+  Options options = SmallOptions();
+  options.hot_cold.hot_capacity = 64;
+  options.hot_cold.promote_estimate = 3;
+  HotColdStore store(options);
+  std::vector<Entry> entries = MakeSortedEntries(4000);
+  ASSERT_TRUE(store.BulkLoad(entries).ok());
+  // Hammer a few keys.
+  for (int round = 0; round < 10; ++round) {
+    for (Key k = 100; k < 116; ++k) {
+      ASSERT_TRUE(store.Get(k).ok());
+    }
+  }
+  EXPECT_GE(store.promotions(), 16u);
+  EXPECT_LE(store.hot_count(), 64u);
+}
+
+TEST(HotColdTest, HotReadsStopTouchingTheDevice) {
+  Options options = SmallOptions();
+  options.hot_cold.promote_estimate = 2;
+  HotColdStore store(options);
+  std::vector<Entry> entries = MakeSortedEntries(4000);
+  ASSERT_TRUE(store.BulkLoad(entries).ok());
+  // Warm one key past the promotion threshold.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(store.Get(7).ok());
+  }
+  store.ResetStats();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(store.Get(7).value(), ValueFor(7));
+  }
+  EXPECT_EQ(store.stats().blocks_read, 0u);  // Served from memory.
+}
+
+TEST(HotColdTest, DirtyHotWritesReachColdOnFlush) {
+  Options options = SmallOptions();
+  options.hot_cold.promote_estimate = 2;
+  HotColdStore store(options);
+  std::vector<Entry> entries = MakeSortedEntries(1000);
+  ASSERT_TRUE(store.BulkLoad(entries).ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(store.Get(42).ok());  // Promote.
+  }
+  ASSERT_TRUE(store.Insert(42, 9999).ok());  // Dirty the hot entry.
+  ASSERT_TRUE(store.Flush().ok());
+  // A scan (which consults the cold structure) must see the new value.
+  std::vector<Entry> out;
+  ASSERT_TRUE(store.Scan(42, 42, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].value, 9999u);
+}
+
+TEST(HotColdTest, EvictionWritesBackAndBounds) {
+  Options options = SmallOptions();
+  options.hot_cold.hot_capacity = 16;
+  options.hot_cold.promote_estimate = 2;
+  HotColdStore store(options);
+  std::vector<Entry> entries = MakeSortedEntries(2000);
+  ASSERT_TRUE(store.BulkLoad(entries).ok());
+  // Promote many more keys than the capacity.
+  for (Key k = 0; k < 200; ++k) {
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(store.Get(k).ok());
+    }
+  }
+  EXPECT_LE(store.hot_count(), 17u);
+  EXPECT_GT(store.evictions(), 0u);
+  // Nothing lost.
+  for (Key k = 0; k < 200; k += 13) {
+    EXPECT_EQ(store.Get(k).value(), ValueFor(k));
+  }
+}
+
+TEST(HotColdTest, SpaceOverheadIsBoundedByCapacity) {
+  Options options = SmallOptions();
+  options.hot_cold.hot_capacity = 32;
+  options.hot_cold.promote_estimate = 1;  // Promote everything touched.
+  HotColdStore store(options);
+  std::vector<Entry> entries = MakeSortedEntries(3000);
+  ASSERT_TRUE(store.BulkLoad(entries).ok());
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(store.Get(rng.NextBelow(3000)).ok());
+  }
+  EXPECT_LE(store.hot_count(), 33u);
+}
+
+}  // namespace
+}  // namespace rum

@@ -1,0 +1,398 @@
+// Structural tests for the LSM-tree: run layout, compaction policies,
+// Bloom-filter effect, tombstone GC, space accounting.
+#include <gtest/gtest.h>
+
+#include "methods/lsm/lsm_tree.h"
+#include "methods/lsm/sorted_run.h"
+#include "storage/block_device.h"
+#include "tests/testing_util.h"
+#include "workload/distribution.h"
+
+namespace rum {
+namespace {
+
+using testing_util::SmallOptions;
+
+std::vector<LogRecord> MakeRecords(size_t n, Key first = 0, Key stride = 1) {
+  std::vector<LogRecord> records;
+  records.reserve(n);
+  Key k = first;
+  for (size_t i = 0; i < n; ++i) {
+    records.push_back(LogRecord{k, ValueFor(k), LogOp::kPut});
+    k += stride;
+  }
+  return records;
+}
+
+TEST(SortedRunTest, BuildAndGet) {
+  RumCounters counters;
+  BlockDevice device(512, &counters);
+  std::unique_ptr<SortedRun> run;
+  ASSERT_TRUE(
+      SortedRun::Build(&device, &counters, MakeRecords(1000, 0, 2), 10, &run)
+          .ok());
+  EXPECT_EQ(run->record_count(), 1000u);
+  EXPECT_EQ(run->min_key(), 0u);
+  EXPECT_EQ(run->max_key(), 1998u);
+  Result<std::optional<LogRecord>> hit = run->Get(500);
+  ASSERT_TRUE(hit.ok());
+  ASSERT_TRUE(hit.value().has_value());
+  EXPECT_EQ(hit.value()->value, ValueFor(500));
+  // A key in range but absent (odd).
+  hit = run->Get(501);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_FALSE(hit.value().has_value());
+}
+
+TEST(SortedRunTest, GetReadsOnePageViaFences) {
+  RumCounters counters;
+  BlockDevice device(512, &counters);
+  std::unique_ptr<SortedRun> run;
+  ASSERT_TRUE(SortedRun::Build(&device, &counters, MakeRecords(5000), 0,
+                               &run)
+                  .ok());
+  CounterSnapshot before = counters.snapshot();
+  ASSERT_TRUE(run->Get(2500).ok());
+  CounterSnapshot delta = counters.snapshot() - before;
+  EXPECT_EQ(delta.blocks_read, 1u);  // Fences narrowed to one page.
+}
+
+TEST(SortedRunTest, BloomSkipsAbsentKeysWithoutIo) {
+  RumCounters counters;
+  BlockDevice device(512, &counters);
+  std::unique_ptr<SortedRun> run;
+  ASSERT_TRUE(SortedRun::Build(&device, &counters, MakeRecords(2000, 0, 2),
+                               12, &run)
+                  .ok());
+  CounterSnapshot before = counters.snapshot();
+  size_t io_probes = 0;
+  for (Key k = 1; k < 2000; k += 2) {  // All absent.
+    ASSERT_TRUE(run->Get(k).ok());
+  }
+  CounterSnapshot delta = counters.snapshot() - before;
+  io_probes = delta.blocks_read;
+  // Nearly all misses are filtered before any page read.
+  EXPECT_LT(io_probes, 50u);
+}
+
+TEST(SortedRunTest, SparseFencesTradeSpaceForPageReads) {
+  RumCounters dense_counters, sparse_counters;
+  BlockDevice dense_device(512, &dense_counters);
+  BlockDevice sparse_device(512, &sparse_counters);
+  std::unique_ptr<SortedRun> dense, sparse;
+  // 31 records/page at 512 B; 8 pages per fence for the sparse run.
+  ASSERT_TRUE(SortedRun::Build(&dense_device, &dense_counters,
+                               MakeRecords(5000), 0, &dense,
+                               /*fence_entries=*/0)
+                  .ok());
+  ASSERT_TRUE(SortedRun::Build(&sparse_device, &sparse_counters,
+                               MakeRecords(5000), 0, &sparse,
+                               /*fence_entries=*/31 * 8)
+                  .ok());
+  // Sparse fences are smaller auxiliary state...
+  EXPECT_LT(sparse_counters.snapshot().space_aux,
+            dense_counters.snapshot().space_aux);
+  // ...but every lookup may scan up to the fence-group width.
+  CounterSnapshot before_d = dense_counters.snapshot();
+  CounterSnapshot before_s = sparse_counters.snapshot();
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    Key k = rng.NextBelow(5000);
+    Result<std::optional<LogRecord>> d = dense->Get(k);
+    Result<std::optional<LogRecord>> s = sparse->Get(k);
+    ASSERT_TRUE(d.ok());
+    ASSERT_TRUE(s.ok());
+    // Same answers regardless of fence granularity.
+    ASSERT_EQ(d.value().has_value(), s.value().has_value()) << k;
+  }
+  uint64_t dense_blocks =
+      (dense_counters.snapshot() - before_d).blocks_read;
+  uint64_t sparse_blocks =
+      (sparse_counters.snapshot() - before_s).blocks_read;
+  EXPECT_GT(sparse_blocks, dense_blocks);
+}
+
+TEST(SortedRunTest, CompressedRunsRoundTripExactly) {
+  RumCounters counters;
+  BlockDevice device(512, &counters);
+  // Irregular deltas, tombstones, and big jumps all survive the codec.
+  std::vector<LogRecord> records;
+  Rng rng(61);
+  Key k = 0;
+  for (int i = 0; i < 3000; ++i) {
+    k += 1 + rng.NextBelow(1u << (1 + rng.NextBelow(20)));
+    records.push_back(LogRecord{k, rng.Next(),
+                                rng.NextBelow(5) == 0 ? LogOp::kDelete
+                                                      : LogOp::kPut});
+  }
+  std::unique_ptr<SortedRun> run;
+  ASSERT_TRUE(SortedRun::Build(&device, &counters, records, 0, &run, 0,
+                               /*compress=*/true)
+                  .ok());
+  EXPECT_TRUE(run->compressed());
+  // Every record readable via Get...
+  for (size_t i = 0; i < records.size(); i += 97) {
+    Result<std::optional<LogRecord>> hit = run->Get(records[i].key);
+    ASSERT_TRUE(hit.ok());
+    ASSERT_TRUE(hit.value().has_value()) << i;
+    EXPECT_EQ(hit.value()->value, records[i].value);
+    EXPECT_EQ(hit.value()->op, records[i].op);
+  }
+  // ...and the full stream replays in order.
+  std::vector<LogRecord> replay;
+  ASSERT_TRUE(
+      run->VisitAll([&](const LogRecord& r) { replay.push_back(r); }).ok());
+  ASSERT_EQ(replay.size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    ASSERT_EQ(replay[i].key, records[i].key) << i;
+    ASSERT_EQ(replay[i].value, records[i].value) << i;
+  }
+}
+
+TEST(SortedRunTest, CompressionShrinksDenseRuns) {
+  RumCounters raw_counters, comp_counters;
+  BlockDevice raw_device(512, &raw_counters);
+  BlockDevice comp_device(512, &comp_counters);
+  std::vector<LogRecord> records = MakeRecords(10000);  // Dense keys.
+  std::unique_ptr<SortedRun> raw, comp;
+  ASSERT_TRUE(
+      SortedRun::Build(&raw_device, &raw_counters, records, 0, &raw).ok());
+  ASSERT_TRUE(SortedRun::Build(&comp_device, &comp_counters, records, 0,
+                               &comp, 0, /*compress=*/true)
+                  .ok());
+  // Dense keys: ~10 bytes/record vs 17 -- expect a solid page reduction.
+  EXPECT_LT(comp->page_count(), raw->page_count() * 3 / 4);
+  // Range reads touch proportionally fewer blocks.
+  CounterSnapshot rb = raw_counters.snapshot();
+  CounterSnapshot cb = comp_counters.snapshot();
+  ASSERT_TRUE(raw->VisitRange(2000, 4000, [](const LogRecord&) {}).ok());
+  ASSERT_TRUE(comp->VisitRange(2000, 4000, [](const LogRecord&) {}).ok());
+  uint64_t raw_blocks = (raw_counters.snapshot() - rb).blocks_read;
+  uint64_t comp_blocks = (comp_counters.snapshot() - cb).blocks_read;
+  EXPECT_LT(comp_blocks, raw_blocks);
+}
+
+TEST(LsmTreeTest, CompressedTreeShrinksResidency) {
+  Options raw_opts = SmallOptions();
+  Options comp_opts = SmallOptions();
+  comp_opts.lsm.compress_runs = true;
+  LsmTree raw(raw_opts);
+  LsmTree comp(comp_opts);
+  EXPECT_EQ(comp.name(), "lsm-compressed");
+  for (Key k = 0; k < 20000; ++k) {
+    ASSERT_TRUE(raw.Insert(k, k).ok());
+    ASSERT_TRUE(comp.Insert(k, k).ok());
+  }
+  ASSERT_TRUE(raw.Flush().ok());
+  ASSERT_TRUE(comp.Flush().ok());
+  EXPECT_LT(comp.stats().total_space(), raw.stats().total_space() * 3 / 4);
+  // Same answers.
+  for (Key k = 0; k < 20000; k += 977) {
+    ASSERT_EQ(comp.Get(k).value(), raw.Get(k).value());
+  }
+}
+
+TEST(SortedRunTest, VisitRangeHonorsBounds) {
+  RumCounters counters;
+  BlockDevice device(512, &counters);
+  std::unique_ptr<SortedRun> run;
+  ASSERT_TRUE(
+      SortedRun::Build(&device, &counters, MakeRecords(1000), 0, &run).ok());
+  std::vector<Key> keys;
+  ASSERT_TRUE(
+      run->VisitRange(100, 110, [&](const LogRecord& r) {
+           keys.push_back(r.key);
+         }).ok());
+  ASSERT_EQ(keys.size(), 11u);
+  EXPECT_EQ(keys.front(), 100u);
+  EXPECT_EQ(keys.back(), 110u);
+}
+
+TEST(SortedRunTest, DestroyReleasesAllSpace) {
+  RumCounters counters;
+  BlockDevice device(512, &counters);
+  {
+    std::unique_ptr<SortedRun> run;
+    ASSERT_TRUE(SortedRun::Build(&device, &counters, MakeRecords(1000), 10,
+                                 &run)
+                    .ok());
+    EXPECT_GT(counters.snapshot().total_space(), 0u);
+    ASSERT_TRUE(run->Destroy().ok());
+  }
+  EXPECT_EQ(counters.snapshot().total_space(), 0u);
+  EXPECT_EQ(device.live_pages(), 0u);
+}
+
+TEST(SortedRunTest, EmptyBuildRejected) {
+  RumCounters counters;
+  BlockDevice device(512, &counters);
+  std::unique_ptr<SortedRun> run;
+  EXPECT_EQ(
+      SortedRun::Build(&device, &counters, {}, 10, &run).code(),
+      Code::kInvalidArgument);
+}
+
+TEST(MergeStreamsTest, NewestStreamShadowsOlder) {
+  std::vector<std::vector<LogRecord>> streams(2);
+  streams[0] = {{1, 100, LogOp::kPut}, {3, 300, LogOp::kPut}};
+  streams[1] = {{1, 1, LogOp::kPut}, {2, 2, LogOp::kPut}};
+  std::vector<LogRecord> merged =
+      LsmTree::MergeStreams(std::move(streams), false);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].key, 1u);
+  EXPECT_EQ(merged[0].value, 100u);  // Newest wins.
+  EXPECT_EQ(merged[1].key, 2u);
+  EXPECT_EQ(merged[2].key, 3u);
+}
+
+TEST(MergeStreamsTest, TombstonesDroppedOnlyWhenAsked) {
+  std::vector<std::vector<LogRecord>> streams(2);
+  streams[0] = {{1, 0, LogOp::kDelete}};
+  streams[1] = {{1, 11, LogOp::kPut}, {2, 22, LogOp::kPut}};
+  std::vector<std::vector<LogRecord>> copy = streams;
+
+  std::vector<LogRecord> keep = LsmTree::MergeStreams(std::move(copy), false);
+  ASSERT_EQ(keep.size(), 2u);
+  EXPECT_EQ(keep[0].op, LogOp::kDelete);
+
+  std::vector<LogRecord> drop =
+      LsmTree::MergeStreams(std::move(streams), true);
+  ASSERT_EQ(drop.size(), 1u);
+  EXPECT_EQ(drop[0].key, 2u);
+}
+
+TEST(LsmTreeTest, LeveledKeepsOneRunPerLevel) {
+  Options options = SmallOptions();
+  options.lsm.policy = CompactionPolicy::kLeveled;
+  LsmTree tree(options);
+  for (Key k = 0; k < 5000; ++k) {
+    ASSERT_TRUE(tree.Insert(k, k).ok());
+  }
+  for (size_t level = 0; level < tree.level_count(); ++level) {
+    EXPECT_LE(tree.runs_at(level), 1u) << "level " << level;
+  }
+}
+
+TEST(LsmTreeTest, TieredAccumulatesRunsPerLevel) {
+  Options options = SmallOptions();
+  options.lsm.policy = CompactionPolicy::kTiered;
+  LsmTree tree(options);
+  for (Key k = 0; k < 5000; ++k) {
+    ASSERT_TRUE(tree.Insert(k, k).ok());
+  }
+  for (size_t level = 0; level < tree.level_count(); ++level) {
+    EXPECT_LT(tree.runs_at(level), options.lsm.size_ratio)
+        << "level " << level;
+  }
+  EXPECT_GT(tree.total_runs(), 1u);
+}
+
+TEST(LsmTreeTest, TieredWritesLessThanLeveled) {
+  Options options = SmallOptions();
+  options.lsm.policy = CompactionPolicy::kLeveled;
+  LsmTree leveled(options);
+  options.lsm.policy = CompactionPolicy::kTiered;
+  LsmTree tiered(options);
+  Rng rng(21);
+  for (int i = 0; i < 20000; ++i) {
+    Key k = rng.NextBelow(1u << 14);
+    ASSERT_TRUE(leveled.Insert(k, i).ok());
+    ASSERT_TRUE(tiered.Insert(k, i).ok());
+  }
+  EXPECT_LT(tiered.stats().total_bytes_written(),
+            leveled.stats().total_bytes_written());
+}
+
+TEST(LsmTreeTest, LeveledReadsLessThanTieredWithoutFilters) {
+  Options options = SmallOptions();
+  options.lsm.bloom_bits_per_key = 0;  // Isolate run-count effect.
+  options.lsm.policy = CompactionPolicy::kLeveled;
+  LsmTree leveled(options);
+  options.lsm.policy = CompactionPolicy::kTiered;
+  LsmTree tiered(options);
+  Rng rng(22);
+  for (int i = 0; i < 20000; ++i) {
+    Key k = rng.NextBelow(1u << 14);
+    ASSERT_TRUE(leveled.Insert(k, i).ok());
+    ASSERT_TRUE(tiered.Insert(k, i).ok());
+  }
+  leveled.ResetStats();
+  tiered.ResetStats();
+  for (int i = 0; i < 2000; ++i) {
+    Key k = rng.NextBelow(1u << 14);
+    (void)leveled.Get(k);
+    (void)tiered.Get(k);
+  }
+  EXPECT_LT(leveled.stats().total_bytes_read(),
+            tiered.stats().total_bytes_read());
+}
+
+TEST(LsmTreeTest, BloomFiltersCutReadBytes) {
+  Options with = SmallOptions();
+  with.lsm.bloom_bits_per_key = 10;
+  Options without = SmallOptions();
+  without.lsm.bloom_bits_per_key = 0;
+  LsmTree filtered(with);
+  LsmTree naked(without);
+  for (Key k = 0; k < 10000; k += 2) {
+    ASSERT_TRUE(filtered.Insert(k, k).ok());
+    ASSERT_TRUE(naked.Insert(k, k).ok());
+  }
+  filtered.ResetStats();
+  naked.ResetStats();
+  for (Key k = 1; k < 10000; k += 2) {  // All misses.
+    (void)filtered.Get(k);
+    (void)naked.Get(k);
+  }
+  EXPECT_LT(filtered.stats().blocks_read, naked.stats().blocks_read / 2);
+}
+
+TEST(LsmTreeTest, TombstonesCollectedAtBottomLevel) {
+  Options options = SmallOptions();
+  LsmTree tree(options);
+  for (Key k = 0; k < 2000; ++k) {
+    ASSERT_TRUE(tree.Insert(k, k).ok());
+  }
+  for (Key k = 0; k < 2000; ++k) {
+    ASSERT_TRUE(tree.Delete(k).ok());
+  }
+  // Keep inserting a disjoint range so compaction keeps running and the
+  // tombstones reach the bottom.
+  for (Key k = 10000; k < 14000; ++k) {
+    ASSERT_TRUE(tree.Insert(k, k).ok());
+  }
+  ASSERT_TRUE(tree.Flush().ok());
+  EXPECT_EQ(tree.size(), 4000u);
+  // Every original key really reads as absent.
+  for (Key k = 0; k < 2000; k += 97) {
+    EXPECT_TRUE(tree.Get(k).status().IsNotFound()) << k;
+  }
+}
+
+TEST(LsmTreeTest, StatsSplitLiveFromStale) {
+  Options options = SmallOptions();
+  LsmTree tree(options);
+  // Overwrite the same small key set many times: most bytes are stale.
+  for (int round = 0; round < 20; ++round) {
+    for (Key k = 0; k < 500; ++k) {
+      ASSERT_TRUE(tree.Insert(k, round).ok());
+    }
+  }
+  CounterSnapshot snap = tree.stats();
+  EXPECT_EQ(snap.space_base, 500u * kEntrySize);
+  EXPECT_GT(snap.space_aux, 0u);
+  EXPECT_GT(snap.space_amplification(), 1.2);
+}
+
+TEST(LsmTreeTest, BulkLoadLandsInOneDeepRun) {
+  Options options = SmallOptions();
+  LsmTree tree(options);
+  std::vector<Entry> entries = MakeSortedEntries(5000);
+  ASSERT_TRUE(tree.BulkLoad(entries).ok());
+  EXPECT_EQ(tree.total_runs(), 1u);
+  EXPECT_EQ(tree.size(), 5000u);
+  EXPECT_EQ(tree.Get(123).value(), ValueFor(123));
+}
+
+}  // namespace
+}  // namespace rum

@@ -1,0 +1,377 @@
+// Unit tests for the storage substrate: block device, page codec, caching
+// device, append log, heap file.
+#include <gtest/gtest.h>
+
+#include "core/counters.h"
+#include "storage/append_log.h"
+#include "storage/block_device.h"
+#include "storage/caching_device.h"
+#include "storage/heap_file.h"
+#include "storage/page_format.h"
+
+namespace rum {
+namespace {
+
+constexpr size_t kBlock = 512;
+
+TEST(BlockDeviceTest, AllocateChargesSpaceByClass) {
+  RumCounters counters;
+  BlockDevice device(kBlock, &counters);
+  PageId base = device.Allocate(DataClass::kBase);
+  PageId aux = device.Allocate(DataClass::kAux);
+  EXPECT_NE(base, aux);
+  EXPECT_EQ(counters.snapshot().space_base, kBlock);
+  EXPECT_EQ(counters.snapshot().space_aux, kBlock);
+  EXPECT_EQ(device.live_pages(), 2u);
+  EXPECT_EQ(device.live_pages(DataClass::kBase), 1u);
+}
+
+TEST(BlockDeviceTest, FreeReturnsSpaceAndRecyclesIds) {
+  RumCounters counters;
+  BlockDevice device(kBlock, &counters);
+  PageId p = device.Allocate(DataClass::kBase);
+  ASSERT_TRUE(device.Free(p).ok());
+  EXPECT_EQ(counters.snapshot().space_base, 0u);
+  PageId q = device.Allocate(DataClass::kAux);
+  EXPECT_EQ(q, p);  // Recycled.
+  EXPECT_EQ(counters.snapshot().space_aux, kBlock);
+}
+
+TEST(BlockDeviceTest, DoubleFreeFails) {
+  RumCounters counters;
+  BlockDevice device(kBlock, &counters);
+  PageId p = device.Allocate(DataClass::kBase);
+  ASSERT_TRUE(device.Free(p).ok());
+  EXPECT_FALSE(device.Free(p).ok());
+}
+
+TEST(BlockDeviceTest, ReadWriteRoundTripAndCharges) {
+  RumCounters counters;
+  BlockDevice device(kBlock, &counters);
+  PageId p = device.Allocate(DataClass::kBase);
+  std::vector<uint8_t> data(kBlock, 0xAB);
+  ASSERT_TRUE(device.Write(p, data).ok());
+  std::vector<uint8_t> readback;
+  ASSERT_TRUE(device.Read(p, &readback).ok());
+  EXPECT_EQ(readback, data);
+  EXPECT_EQ(counters.snapshot().bytes_written_base, kBlock);
+  EXPECT_EQ(counters.snapshot().bytes_read_base, kBlock);
+  EXPECT_EQ(counters.snapshot().blocks_read, 1u);
+  EXPECT_EQ(counters.snapshot().blocks_written, 1u);
+}
+
+TEST(BlockDeviceTest, WriteWrongSizeRejected) {
+  RumCounters counters;
+  BlockDevice device(kBlock, &counters);
+  PageId p = device.Allocate(DataClass::kBase);
+  std::vector<uint8_t> tiny(10);
+  EXPECT_EQ(device.Write(p, tiny).code(), Code::kInvalidArgument);
+}
+
+TEST(BlockDeviceTest, ReadOfDeadPageFails) {
+  RumCounters counters;
+  BlockDevice device(kBlock, &counters);
+  std::vector<uint8_t> out;
+  EXPECT_FALSE(device.Read(0, &out).ok());
+}
+
+TEST(BlockDeviceTest, ReclassifyMovesSpace) {
+  RumCounters counters;
+  BlockDevice device(kBlock, &counters);
+  PageId p = device.Allocate(DataClass::kBase);
+  ASSERT_TRUE(device.Reclassify(p, DataClass::kAux).ok());
+  EXPECT_EQ(counters.snapshot().space_base, 0u);
+  EXPECT_EQ(counters.snapshot().space_aux, kBlock);
+  EXPECT_EQ(device.live_pages(DataClass::kAux), 1u);
+}
+
+TEST(PageFormatTest, RoundTrip) {
+  std::vector<Entry> entries = {{1, 10}, {2, 20}, {300, 3000}};
+  std::vector<uint8_t> block;
+  ASSERT_TRUE(PageFormat::Pack(entries, kBlock, &block).ok());
+  EXPECT_EQ(block.size(), kBlock);
+  EXPECT_EQ(PageFormat::PeekCount(block), 3u);
+  std::vector<Entry> out;
+  ASSERT_TRUE(PageFormat::Unpack(block, &out).ok());
+  EXPECT_EQ(out, entries);
+}
+
+TEST(PageFormatTest, CapacityAndOverflow) {
+  size_t cap = PageFormat::CapacityFor(kBlock);
+  EXPECT_EQ(cap, (kBlock - 8) / 16);
+  std::vector<Entry> too_many(cap + 1);
+  std::vector<uint8_t> block;
+  EXPECT_EQ(PageFormat::Pack(too_many, kBlock, &block).code(),
+            Code::kResourceExhausted);
+}
+
+TEST(PageFormatTest, UnpackRejectsCorruptCount) {
+  std::vector<uint8_t> block(kBlock, 0);
+  EncodeU64(1u << 20, block.data());  // Absurd count.
+  std::vector<Entry> out;
+  EXPECT_EQ(PageFormat::Unpack(block, &out).code(), Code::kCorruption);
+}
+
+TEST(ScalarCodecTest, RoundTrip) {
+  uint8_t buf[8];
+  EncodeU64(0x0123456789ABCDEFULL, buf);
+  EXPECT_EQ(DecodeU64(buf), 0x0123456789ABCDEFULL);
+  EncodeU32(0xDEADBEEF, buf);
+  EXPECT_EQ(DecodeU32(buf), 0xDEADBEEFu);
+}
+
+TEST(CachingDeviceTest, HitsAreServedWithoutBaseTraffic) {
+  RumCounters counters;
+  BlockDevice device(kBlock, &counters);
+  CachingDevice cache(&device, /*capacity_pages=*/4);
+  PageId p = cache.Allocate(DataClass::kBase);
+  std::vector<uint8_t> data(kBlock, 1);
+  ASSERT_TRUE(cache.Write(p, data).ok());
+  uint64_t base_reads_before = counters.snapshot().bytes_read_base;
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(cache.Read(p, &out).ok());  // Hit: dirty page in cache.
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(counters.snapshot().bytes_read_base, base_reads_before);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(CachingDeviceTest, EvictionWritesBackDirtyPages) {
+  RumCounters counters;
+  BlockDevice device(kBlock, &counters);
+  CachingDevice cache(&device, /*capacity_pages=*/2);
+  std::vector<PageId> pages;
+  for (int i = 0; i < 3; ++i) {
+    PageId p = cache.Allocate(DataClass::kBase);
+    std::vector<uint8_t> data(kBlock, static_cast<uint8_t>(i + 1));
+    ASSERT_TRUE(cache.Write(p, data).ok());
+    pages.push_back(p);
+  }
+  // Page 0 was evicted (capacity 2) and must have reached the device.
+  EXPECT_EQ(cache.cached_pages(), 2u);
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(device.Read(pages[0], &out).ok());
+  EXPECT_EQ(out[0], 1);
+  // Reading page 0 through the cache is now a miss.
+  ASSERT_TRUE(cache.Read(pages[0], &out).ok());
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(CachingDeviceTest, FlushAllPushesDirtyPagesDown) {
+  RumCounters counters;
+  BlockDevice device(kBlock, &counters);
+  CachingDevice cache(&device, 8);
+  PageId p = cache.Allocate(DataClass::kBase);
+  std::vector<uint8_t> data(kBlock, 7);
+  ASSERT_TRUE(cache.Write(p, data).ok());
+  ASSERT_TRUE(cache.FlushAll().ok());
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(device.Read(p, &out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(CachingDeviceTest, ZeroCapacityIsWriteThrough) {
+  RumCounters counters;
+  BlockDevice device(kBlock, &counters);
+  CachingDevice cache(&device, 0);
+  PageId p = cache.Allocate(DataClass::kBase);
+  std::vector<uint8_t> data(kBlock, 9);
+  ASSERT_TRUE(cache.Write(p, data).ok());
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(device.Read(p, &out).ok());
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(cache.cached_pages(), 0u);
+}
+
+TEST(CachingDeviceTest, FreeDropsCachedCopy) {
+  RumCounters counters;
+  BlockDevice device(kBlock, &counters);
+  CachingDevice cache(&device, 4);
+  PageId p = cache.Allocate(DataClass::kBase);
+  std::vector<uint8_t> data(kBlock, 3);
+  ASSERT_TRUE(cache.Write(p, data).ok());
+  ASSERT_TRUE(cache.Free(p).ok());
+  EXPECT_EQ(cache.cached_pages(), 0u);
+}
+
+TEST(CachingDeviceTest, LevelStatsTrackResidency) {
+  RumCounters counters;
+  BlockDevice device(kBlock, &counters);
+  CachingDevice cache(&device, 4);
+  PageId p = cache.Allocate(DataClass::kBase);
+  std::vector<uint8_t> data(kBlock, 3);
+  ASSERT_TRUE(cache.Write(p, data).ok());
+  EXPECT_EQ(cache.level_stats().space_aux, kBlock);
+}
+
+TEST(AppendLogTest, AppendsAmortizeToOneWritePerRecord) {
+  RumCounters counters;
+  BlockDevice device(kBlock, &counters);
+  AppendLog log(&device, DataClass::kBase, &counters);
+  const uint64_t kRecords = 10 * log.records_per_block();
+  for (uint64_t i = 0; i < kRecords; ++i) {
+    ASSERT_TRUE(log.Append(LogRecord{i, i * 2, LogOp::kPut}).ok());
+  }
+  EXPECT_EQ(log.record_count(), kRecords);
+  EXPECT_EQ(log.page_count(), 10u);
+  // Exactly 10 block writes: each sealed block written once.
+  EXPECT_EQ(counters.snapshot().blocks_written, 10u);
+}
+
+TEST(AppendLogTest, ForEachReplaysInOrderIncludingTail) {
+  RumCounters counters;
+  BlockDevice device(kBlock, &counters);
+  AppendLog log(&device, DataClass::kBase, &counters);
+  const uint64_t kRecords = log.records_per_block() + 5;  // Partial tail.
+  for (uint64_t i = 0; i < kRecords; ++i) {
+    ASSERT_TRUE(log
+                    .Append(LogRecord{i, i,
+                                      i % 3 == 0 ? LogOp::kDelete
+                                                 : LogOp::kPut})
+                    .ok());
+  }
+  uint64_t next = 0;
+  ASSERT_TRUE(log.ForEach([&](const LogRecord& r) {
+                   EXPECT_EQ(r.key, next);
+                   EXPECT_EQ(r.op,
+                             next % 3 == 0 ? LogOp::kDelete : LogOp::kPut);
+                   ++next;
+                   return Status::OK();
+                 })
+                  .ok());
+  EXPECT_EQ(next, kRecords);
+}
+
+TEST(AppendLogTest, FlushPersistsPartialTail) {
+  RumCounters counters;
+  BlockDevice device(kBlock, &counters);
+  AppendLog log(&device, DataClass::kBase, &counters);
+  ASSERT_TRUE(log.Append(LogRecord{1, 2, LogOp::kPut}).ok());
+  uint64_t writes_before = counters.snapshot().blocks_written;
+  ASSERT_TRUE(log.Flush().ok());
+  EXPECT_EQ(counters.snapshot().blocks_written, writes_before + 1);
+}
+
+TEST(AppendLogTest, ClearFreesEverything) {
+  RumCounters counters;
+  BlockDevice device(kBlock, &counters);
+  AppendLog log(&device, DataClass::kBase, &counters);
+  for (uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(log.Append(LogRecord{i, i, LogOp::kPut}).ok());
+  }
+  ASSERT_TRUE(log.Clear().ok());
+  EXPECT_EQ(log.record_count(), 0u);
+  EXPECT_EQ(device.live_pages(), 0u);
+  EXPECT_EQ(counters.snapshot().space_base, 0u);
+}
+
+class HeapFileTest : public ::testing::Test {
+ protected:
+  HeapFileTest()
+      : device_(kBlock, &counters_),
+        heap_(&device_, DataClass::kBase, &counters_) {}
+
+  RumCounters counters_;
+  BlockDevice device_;
+  HeapFile heap_;
+};
+
+TEST_F(HeapFileTest, AppendAssignsSequentialRows) {
+  for (uint64_t i = 0; i < 100; ++i) {
+    Result<RowId> row = heap_.Append(Entry{i, i * 10});
+    ASSERT_TRUE(row.ok());
+    EXPECT_EQ(row.value(), i);
+  }
+  EXPECT_EQ(heap_.row_count(), 100u);
+}
+
+TEST_F(HeapFileTest, AtReadsAnyRow) {
+  for (uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(heap_.Append(Entry{i, i * 10}).ok());
+  }
+  for (uint64_t i = 0; i < 100; i += 7) {
+    Result<Entry> e = heap_.At(i);
+    ASSERT_TRUE(e.ok());
+    EXPECT_EQ(e.value().key, i);
+    EXPECT_EQ(e.value().value, i * 10);
+  }
+  EXPECT_FALSE(heap_.At(100).ok());
+}
+
+TEST_F(HeapFileTest, SetOverwritesInPlace) {
+  for (uint64_t i = 0; i < 64; ++i) {
+    ASSERT_TRUE(heap_.Append(Entry{i, 0}).ok());
+  }
+  ASSERT_TRUE(heap_.Set(3, Entry{3, 999}).ok());
+  EXPECT_EQ(heap_.At(3).value().value, 999u);
+  ASSERT_TRUE(heap_.Set(63, Entry{63, 888}).ok());  // Tail row.
+  EXPECT_EQ(heap_.At(63).value().value, 888u);
+}
+
+TEST_F(HeapFileTest, PopBackShrinksAcrossPageBoundary) {
+  size_t per_page = heap_.rows_per_page();
+  for (uint64_t i = 0; i < per_page + 1; ++i) {
+    ASSERT_TRUE(heap_.Append(Entry{i, i}).ok());
+  }
+  ASSERT_TRUE(heap_.PopBack().ok());  // Tail row goes.
+  ASSERT_TRUE(heap_.PopBack().ok());  // Unseals the full page.
+  EXPECT_EQ(heap_.row_count(), per_page - 1);
+  EXPECT_EQ(heap_.At(per_page - 2).value().key, per_page - 2);
+  // Drain to empty.
+  while (heap_.row_count() > 0) {
+    ASSERT_TRUE(heap_.PopBack().ok());
+  }
+  EXPECT_EQ(device_.live_pages(), 0u);
+}
+
+TEST_F(HeapFileTest, PopBackOnEmptyFails) {
+  EXPECT_EQ(heap_.PopBack().code(), Code::kOutOfRange);
+}
+
+TEST_F(HeapFileTest, ForEachVisitsEverythingInOrder) {
+  for (uint64_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(heap_.Append(Entry{i, i}).ok());
+  }
+  uint64_t next = 0;
+  ASSERT_TRUE(heap_
+                  .ForEach([&](RowId row, const Entry& e) {
+                    EXPECT_EQ(row, next);
+                    EXPECT_EQ(e.key, next);
+                    ++next;
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(next, 200u);
+}
+
+TEST_F(HeapFileTest, ForRowsReadsEachPageOnce) {
+  size_t per_page = heap_.rows_per_page();
+  for (uint64_t i = 0; i < 4 * per_page; ++i) {
+    ASSERT_TRUE(heap_.Append(Entry{i, i}).ok());
+  }
+  uint64_t blocks_before = counters_.snapshot().blocks_read;
+  // Three rows on the same (first) page.
+  std::vector<RowId> rows = {0, 1, 2};
+  size_t visited = 0;
+  ASSERT_TRUE(heap_
+                  .ForRows(rows,
+                           [&](RowId, const Entry&) {
+                             ++visited;
+                             return Status::OK();
+                           })
+                  .ok());
+  EXPECT_EQ(visited, 3u);
+  EXPECT_EQ(counters_.snapshot().blocks_read, blocks_before + 1);
+}
+
+TEST_F(HeapFileTest, ClearFreesAllPages) {
+  for (uint64_t i = 0; i < 300; ++i) {
+    ASSERT_TRUE(heap_.Append(Entry{i, i}).ok());
+  }
+  ASSERT_TRUE(heap_.Clear().ok());
+  EXPECT_EQ(heap_.row_count(), 0u);
+  EXPECT_EQ(device_.live_pages(), 0u);
+}
+
+}  // namespace
+}  // namespace rum

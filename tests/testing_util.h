@@ -1,0 +1,67 @@
+#ifndef RUMLAB_TESTS_TESTING_UTIL_H_
+#define RUMLAB_TESTS_TESTING_UTIL_H_
+
+#include <map>
+#include <vector>
+
+#include "core/access_method.h"
+#include "core/options.h"
+#include "workload/distribution.h"
+
+namespace rum {
+namespace testing_util {
+
+/// Options shrunk so small tests exercise page splits, memtable flushes,
+/// zone splits, directory rehashes, and delta merges.
+inline Options SmallOptions() {
+  Options options;
+  options.block_size = 512;
+  options.lsm.memtable_entries = 64;
+  options.lsm.size_ratio = 3;
+  options.lsm.bloom_bits_per_key = 8;
+  options.zonemap.zone_entries = 128;
+  options.stepped.buffer_entries = 64;
+  options.stepped.runs_per_level = 3;
+  options.bitmap.cardinality = 16;
+  options.bitmap.key_domain = 1u << 16;
+  options.bitmap.delta_merge_threshold = 128;
+  options.cracking.min_piece_entries = 16;
+  options.cracking.delta_merge_threshold = 256;
+  options.approx.zone_entries = 128;
+  options.extremes.magic_array_domain = 1u << 16;
+  options.hash.directory_fanout = 1.25;
+  options.skiplist.max_height = 8;
+  return options;
+}
+
+/// An exact reference model with the same semantics as AccessMethod.
+class ReferenceModel {
+ public:
+  void Insert(Key key, Value value) { map_[key] = value; }
+  void Update(Key key, Value value) { map_[key] = value; }
+  void Delete(Key key) { map_.erase(key); }
+  bool Get(Key key, Value* out) const {
+    auto it = map_.find(key);
+    if (it == map_.end()) return false;
+    *out = it->second;
+    return true;
+  }
+  std::vector<Entry> Scan(Key lo, Key hi) const {
+    std::vector<Entry> out;
+    for (auto it = map_.lower_bound(lo); it != map_.end() && it->first <= hi;
+         ++it) {
+      out.push_back(Entry{it->first, it->second});
+    }
+    return out;
+  }
+  size_t size() const { return map_.size(); }
+  const std::map<Key, Value>& map() const { return map_; }
+
+ private:
+  std::map<Key, Value> map_;
+};
+
+}  // namespace testing_util
+}  // namespace rum
+
+#endif  // RUMLAB_TESTS_TESTING_UTIL_H_

@@ -1,0 +1,189 @@
+// Tests for the workload framework: RNG determinism, key distributions,
+// spec mixes, the runner's profile accounting.
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "methods/factory.h"
+#include "tests/testing_util.h"
+#include "workload/distribution.h"
+#include "workload/runner.h"
+#include "workload/spec.h"
+
+namespace rum {
+namespace {
+
+using testing_util::SmallOptions;
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    uint64_t av = a.Next();
+    EXPECT_EQ(av, b.Next());
+    (void)c;
+  }
+  Rng d(43);
+  EXPECT_NE(Rng(42).Next(), d.Next());
+}
+
+TEST(RngTest, NextBelowInRangeAndRoughlyUniform) {
+  Rng rng(7);
+  std::vector<int> buckets(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t v = rng.NextBelow(10);
+    ASSERT_LT(v, 10u);
+    ++buckets[v];
+  }
+  for (int count : buckets) {
+    EXPECT_GT(count, 700);
+    EXPECT_LT(count, 1300);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(KeyGeneratorTest, UniformCoversRange) {
+  KeyGenerator gen(KeyDistribution::kUniform, 1000, 5);
+  std::vector<bool> seen(1000, false);
+  for (int i = 0; i < 20000; ++i) {
+    Key k = gen.Next();
+    ASSERT_LT(k, 1000u);
+    seen[k] = true;
+  }
+  size_t covered = 0;
+  for (bool s : seen) covered += s ? 1 : 0;
+  EXPECT_GT(covered, 950u);
+}
+
+TEST(KeyGeneratorTest, ZipfianIsSkewed) {
+  KeyGenerator gen(KeyDistribution::kZipfian, 100000, 5, 0.99);
+  std::unordered_map<Key, int> counts;
+  const int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[gen.Next()];
+  }
+  // The hottest key should take a noticeable share; uniform would give
+  // ~0.5 hits per key.
+  int hottest = 0;
+  for (const auto& [k, c] : counts) hottest = std::max(hottest, c);
+  EXPECT_GT(hottest, kDraws / 100);
+  // And far fewer distinct keys than draws.
+  EXPECT_LT(counts.size(), static_cast<size_t>(kDraws) / 2);
+}
+
+TEST(KeyGeneratorTest, SequentialWraps) {
+  KeyGenerator gen(KeyDistribution::kSequential, 5, 1);
+  for (Key expect : {0, 1, 2, 3, 4, 0, 1}) {
+    EXPECT_EQ(gen.Next(), expect);
+  }
+}
+
+TEST(KeyGeneratorTest, ClusteredStaysInRange) {
+  KeyGenerator gen(KeyDistribution::kClustered, 10000, 3);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_LT(gen.Next(), 10000u);
+  }
+}
+
+TEST(MakeSortedEntriesTest, StrideAndValues) {
+  std::vector<Entry> entries = MakeSortedEntries(5, 10, 3);
+  ASSERT_EQ(entries.size(), 5u);
+  EXPECT_EQ(entries[0].key, 10u);
+  EXPECT_EQ(entries[4].key, 22u);
+  for (const Entry& e : entries) {
+    EXPECT_EQ(e.value, ValueFor(e.key));
+  }
+}
+
+TEST(WorkloadSpecTest, CannedMixesSumSanely) {
+  for (const WorkloadSpec& spec :
+       {WorkloadSpec::ReadOnly(10, 10), WorkloadSpec::WriteOnly(10, 10),
+        WorkloadSpec::ReadMostly(10, 10), WorkloadSpec::Mixed(10, 10),
+        WorkloadSpec::ScanHeavy(10, 10)}) {
+    double total = spec.insert_fraction + spec.update_fraction +
+                   spec.delete_fraction + spec.scan_fraction;
+    EXPECT_GE(total, 0.0);
+    EXPECT_LE(total, 1.0);
+    EXPECT_FALSE(spec.ToString().empty());
+  }
+}
+
+TEST(WorkloadRunnerTest, ProfilesCountOperations) {
+  Options options = SmallOptions();
+  auto method = MakeAccessMethod("btree", options);
+  WorkloadSpec spec = WorkloadSpec::Mixed(2000, 1u << 12);
+  Result<RumProfile> profile =
+      WorkloadRunner::LoadAndRun(method.get(), 4000, spec);
+  ASSERT_TRUE(profile.ok());
+  const CounterSnapshot& delta = profile.value().delta;
+  uint64_t total_ops = delta.point_queries + delta.range_queries +
+                       delta.inserts + delta.updates + delta.deletes;
+  EXPECT_EQ(total_ops, 2000u);
+  // The mix has all operation kinds.
+  EXPECT_GT(delta.point_queries, 0u);
+  EXPECT_GT(delta.inserts, 0u);
+  EXPECT_GT(delta.updates, 0u);
+  EXPECT_GT(delta.deletes, 0u);
+  EXPECT_GT(delta.range_queries, 0u);
+  EXPECT_GT(profile.value().bytes_read_per_op(), 0.0);
+}
+
+TEST(WorkloadRunnerTest, ReadOnlyPhaseWritesNothing) {
+  Options options = SmallOptions();
+  auto method = MakeAccessMethod("sorted-column", options);
+  WorkloadSpec spec = WorkloadSpec::ReadOnly(500, 1u << 10);
+  Result<RumProfile> profile =
+      WorkloadRunner::LoadAndRun(method.get(), 1024, spec);
+  ASSERT_TRUE(profile.ok());
+  EXPECT_EQ(profile.value().delta.total_bytes_written(), 0u);
+  EXPECT_GT(profile.value().delta.total_bytes_read(), 0u);
+}
+
+TEST(CostPercentilesTest, OrderStatisticsFromSamples) {
+  std::vector<uint64_t> samples;
+  for (uint64_t i = 1; i <= 100; ++i) samples.push_back(i);
+  CostPercentiles p = CostPercentiles::From(samples);
+  EXPECT_EQ(p.p50, 51u);
+  EXPECT_EQ(p.p95, 96u);
+  EXPECT_EQ(p.p99, 100u);
+  EXPECT_EQ(p.max, 100u);
+  EXPECT_EQ(CostPercentiles::From({}).max, 0u);
+}
+
+TEST(WorkloadRunnerTest, TailCostsExposeCompactionSpikes) {
+  // An LSM's median insert touches only the memtable; its p99/max insert
+  // carries a flush or compaction. The percentiles must show that gap.
+  Options options = SmallOptions();
+  auto method = MakeAccessMethod("lsm-leveled", options);
+  WorkloadSpec spec = WorkloadSpec::WriteOnly(5000, 1u << 13);
+  Result<RumProfile> profile = WorkloadRunner::Run(method.get(), spec);
+  ASSERT_TRUE(profile.ok());
+  const CostPercentiles& w = profile.value().write_cost;
+  EXPECT_LT(w.p50, 200u);          // Memtable-only writes.
+  EXPECT_GT(w.max, 50u * w.p50 + 1);  // Compaction spike dwarfs the median.
+}
+
+TEST(WorkloadRunnerTest, DeterministicAcrossRuns) {
+  Options options = SmallOptions();
+  auto a = MakeAccessMethod("lsm-leveled", options);
+  auto b = MakeAccessMethod("lsm-leveled", options);
+  WorkloadSpec spec = WorkloadSpec::Mixed(3000, 1u << 12);
+  Result<RumProfile> pa = WorkloadRunner::LoadAndRun(a.get(), 2000, spec);
+  Result<RumProfile> pb = WorkloadRunner::LoadAndRun(b.get(), 2000, spec);
+  ASSERT_TRUE(pa.ok());
+  ASSERT_TRUE(pb.ok());
+  EXPECT_EQ(pa.value().delta.total_bytes_read(),
+            pb.value().delta.total_bytes_read());
+  EXPECT_EQ(pa.value().delta.total_bytes_written(),
+            pb.value().delta.total_bytes_written());
+}
+
+}  // namespace
+}  // namespace rum
