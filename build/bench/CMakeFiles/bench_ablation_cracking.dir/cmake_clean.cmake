@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cracking.dir/bench_ablation_cracking.cc.o"
+  "CMakeFiles/bench_ablation_cracking.dir/bench_ablation_cracking.cc.o.d"
+  "bench_ablation_cracking"
+  "bench_ablation_cracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hotcold.dir/bench_ablation_hotcold.cc.o"
+  "CMakeFiles/bench_ablation_hotcold.dir/bench_ablation_hotcold.cc.o.d"
+  "bench_ablation_hotcold"
+  "bench_ablation_hotcold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hotcold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_tunable.dir/bench_fig3_tunable.cc.o"
+  "CMakeFiles/bench_fig3_tunable.dir/bench_fig3_tunable.cc.o.d"
+  "bench_fig3_tunable"
+  "bench_fig3_tunable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_tunable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_props.dir/bench_props.cc.o"
+  "CMakeFiles/bench_props.dir/bench_props.cc.o.d"
+  "bench_props"
+  "bench_props.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_props.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

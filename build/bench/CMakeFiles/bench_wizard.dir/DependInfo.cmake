@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_wizard.cc" "bench/CMakeFiles/bench_wizard.dir/bench_wizard.cc.o" "gcc" "bench/CMakeFiles/bench_wizard.dir/bench_wizard.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/adaptive/CMakeFiles/rum_adaptive.dir/DependInfo.cmake"
+  "/root/repo/build/src/methods/CMakeFiles/rum_methods.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/rum_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/rum_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rum_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

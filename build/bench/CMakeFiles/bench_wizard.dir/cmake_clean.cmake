@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wizard.dir/bench_wizard.cc.o"
+  "CMakeFiles/bench_wizard.dir/bench_wizard.cc.o.d"
+  "bench_wizard"
+  "bench_wizard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wizard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morphing_store.dir/morphing_store.cpp.o"
+  "CMakeFiles/morphing_store.dir/morphing_store.cpp.o.d"
+  "morphing_store"
+  "morphing_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morphing_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rum_explorer.dir/rum_explorer.cpp.o"
+  "CMakeFiles/rum_explorer.dir/rum_explorer.cpp.o.d"
+  "rum_explorer"
+  "rum_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rum_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rum_adaptive.dir/morphing.cc.o"
+  "CMakeFiles/rum_adaptive.dir/morphing.cc.o.d"
+  "CMakeFiles/rum_adaptive.dir/tuner.cc.o"
+  "CMakeFiles/rum_adaptive.dir/tuner.cc.o.d"
+  "CMakeFiles/rum_adaptive.dir/wizard.cc.o"
+  "CMakeFiles/rum_adaptive.dir/wizard.cc.o.d"
+  "librum_adaptive.a"
+  "librum_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rum_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/access_method.cc" "src/core/CMakeFiles/rum_core.dir/access_method.cc.o" "gcc" "src/core/CMakeFiles/rum_core.dir/access_method.cc.o.d"
+  "/root/repo/src/core/counters.cc" "src/core/CMakeFiles/rum_core.dir/counters.cc.o" "gcc" "src/core/CMakeFiles/rum_core.dir/counters.cc.o.d"
+  "/root/repo/src/core/options.cc" "src/core/CMakeFiles/rum_core.dir/options.cc.o" "gcc" "src/core/CMakeFiles/rum_core.dir/options.cc.o.d"
+  "/root/repo/src/core/rum_point.cc" "src/core/CMakeFiles/rum_core.dir/rum_point.cc.o" "gcc" "src/core/CMakeFiles/rum_core.dir/rum_point.cc.o.d"
+  "/root/repo/src/core/status.cc" "src/core/CMakeFiles/rum_core.dir/status.cc.o" "gcc" "src/core/CMakeFiles/rum_core.dir/status.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

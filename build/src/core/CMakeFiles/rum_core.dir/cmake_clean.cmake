@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rum_core.dir/access_method.cc.o"
+  "CMakeFiles/rum_core.dir/access_method.cc.o.d"
+  "CMakeFiles/rum_core.dir/counters.cc.o"
+  "CMakeFiles/rum_core.dir/counters.cc.o.d"
+  "CMakeFiles/rum_core.dir/options.cc.o"
+  "CMakeFiles/rum_core.dir/options.cc.o.d"
+  "CMakeFiles/rum_core.dir/rum_point.cc.o"
+  "CMakeFiles/rum_core.dir/rum_point.cc.o.d"
+  "CMakeFiles/rum_core.dir/status.cc.o"
+  "CMakeFiles/rum_core.dir/status.cc.o.d"
+  "librum_core.a"
+  "librum_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rum_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

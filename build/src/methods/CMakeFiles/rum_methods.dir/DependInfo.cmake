@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/methods/approx/bloom_column.cc" "src/methods/CMakeFiles/rum_methods.dir/approx/bloom_column.cc.o" "gcc" "src/methods/CMakeFiles/rum_methods.dir/approx/bloom_column.cc.o.d"
+  "/root/repo/src/methods/approx/update_absorber.cc" "src/methods/CMakeFiles/rum_methods.dir/approx/update_absorber.cc.o" "gcc" "src/methods/CMakeFiles/rum_methods.dir/approx/update_absorber.cc.o.d"
+  "/root/repo/src/methods/bitmap/bitmap_index.cc" "src/methods/CMakeFiles/rum_methods.dir/bitmap/bitmap_index.cc.o" "gcc" "src/methods/CMakeFiles/rum_methods.dir/bitmap/bitmap_index.cc.o.d"
+  "/root/repo/src/methods/bitmap/wah.cc" "src/methods/CMakeFiles/rum_methods.dir/bitmap/wah.cc.o" "gcc" "src/methods/CMakeFiles/rum_methods.dir/bitmap/wah.cc.o.d"
+  "/root/repo/src/methods/btree/btree.cc" "src/methods/CMakeFiles/rum_methods.dir/btree/btree.cc.o" "gcc" "src/methods/CMakeFiles/rum_methods.dir/btree/btree.cc.o.d"
+  "/root/repo/src/methods/btree/btree_node.cc" "src/methods/CMakeFiles/rum_methods.dir/btree/btree_node.cc.o" "gcc" "src/methods/CMakeFiles/rum_methods.dir/btree/btree_node.cc.o.d"
+  "/root/repo/src/methods/column/sorted_column.cc" "src/methods/CMakeFiles/rum_methods.dir/column/sorted_column.cc.o" "gcc" "src/methods/CMakeFiles/rum_methods.dir/column/sorted_column.cc.o.d"
+  "/root/repo/src/methods/column/unsorted_column.cc" "src/methods/CMakeFiles/rum_methods.dir/column/unsorted_column.cc.o" "gcc" "src/methods/CMakeFiles/rum_methods.dir/column/unsorted_column.cc.o.d"
+  "/root/repo/src/methods/cracking/cracking.cc" "src/methods/CMakeFiles/rum_methods.dir/cracking/cracking.cc.o" "gcc" "src/methods/CMakeFiles/rum_methods.dir/cracking/cracking.cc.o.d"
+  "/root/repo/src/methods/diff/stepped_merge.cc" "src/methods/CMakeFiles/rum_methods.dir/diff/stepped_merge.cc.o" "gcc" "src/methods/CMakeFiles/rum_methods.dir/diff/stepped_merge.cc.o.d"
+  "/root/repo/src/methods/extremes/dense_array.cc" "src/methods/CMakeFiles/rum_methods.dir/extremes/dense_array.cc.o" "gcc" "src/methods/CMakeFiles/rum_methods.dir/extremes/dense_array.cc.o.d"
+  "/root/repo/src/methods/extremes/magic_array.cc" "src/methods/CMakeFiles/rum_methods.dir/extremes/magic_array.cc.o" "gcc" "src/methods/CMakeFiles/rum_methods.dir/extremes/magic_array.cc.o.d"
+  "/root/repo/src/methods/extremes/pure_log.cc" "src/methods/CMakeFiles/rum_methods.dir/extremes/pure_log.cc.o" "gcc" "src/methods/CMakeFiles/rum_methods.dir/extremes/pure_log.cc.o.d"
+  "/root/repo/src/methods/factory.cc" "src/methods/CMakeFiles/rum_methods.dir/factory.cc.o" "gcc" "src/methods/CMakeFiles/rum_methods.dir/factory.cc.o.d"
+  "/root/repo/src/methods/hash/hash_index.cc" "src/methods/CMakeFiles/rum_methods.dir/hash/hash_index.cc.o" "gcc" "src/methods/CMakeFiles/rum_methods.dir/hash/hash_index.cc.o.d"
+  "/root/repo/src/methods/hotcold/hot_cold.cc" "src/methods/CMakeFiles/rum_methods.dir/hotcold/hot_cold.cc.o" "gcc" "src/methods/CMakeFiles/rum_methods.dir/hotcold/hot_cold.cc.o.d"
+  "/root/repo/src/methods/imprints/imprints.cc" "src/methods/CMakeFiles/rum_methods.dir/imprints/imprints.cc.o" "gcc" "src/methods/CMakeFiles/rum_methods.dir/imprints/imprints.cc.o.d"
+  "/root/repo/src/methods/lsm/lsm_tree.cc" "src/methods/CMakeFiles/rum_methods.dir/lsm/lsm_tree.cc.o" "gcc" "src/methods/CMakeFiles/rum_methods.dir/lsm/lsm_tree.cc.o.d"
+  "/root/repo/src/methods/lsm/sorted_run.cc" "src/methods/CMakeFiles/rum_methods.dir/lsm/sorted_run.cc.o" "gcc" "src/methods/CMakeFiles/rum_methods.dir/lsm/sorted_run.cc.o.d"
+  "/root/repo/src/methods/pbt/pbt.cc" "src/methods/CMakeFiles/rum_methods.dir/pbt/pbt.cc.o" "gcc" "src/methods/CMakeFiles/rum_methods.dir/pbt/pbt.cc.o.d"
+  "/root/repo/src/methods/sketch/blocked_bloom.cc" "src/methods/CMakeFiles/rum_methods.dir/sketch/blocked_bloom.cc.o" "gcc" "src/methods/CMakeFiles/rum_methods.dir/sketch/blocked_bloom.cc.o.d"
+  "/root/repo/src/methods/sketch/bloom_filter.cc" "src/methods/CMakeFiles/rum_methods.dir/sketch/bloom_filter.cc.o" "gcc" "src/methods/CMakeFiles/rum_methods.dir/sketch/bloom_filter.cc.o.d"
+  "/root/repo/src/methods/sketch/count_min.cc" "src/methods/CMakeFiles/rum_methods.dir/sketch/count_min.cc.o" "gcc" "src/methods/CMakeFiles/rum_methods.dir/sketch/count_min.cc.o.d"
+  "/root/repo/src/methods/sketch/quotient_filter.cc" "src/methods/CMakeFiles/rum_methods.dir/sketch/quotient_filter.cc.o" "gcc" "src/methods/CMakeFiles/rum_methods.dir/sketch/quotient_filter.cc.o.d"
+  "/root/repo/src/methods/skiplist/skiplist.cc" "src/methods/CMakeFiles/rum_methods.dir/skiplist/skiplist.cc.o" "gcc" "src/methods/CMakeFiles/rum_methods.dir/skiplist/skiplist.cc.o.d"
+  "/root/repo/src/methods/trie/trie.cc" "src/methods/CMakeFiles/rum_methods.dir/trie/trie.cc.o" "gcc" "src/methods/CMakeFiles/rum_methods.dir/trie/trie.cc.o.d"
+  "/root/repo/src/methods/zonemap/zonemap.cc" "src/methods/CMakeFiles/rum_methods.dir/zonemap/zonemap.cc.o" "gcc" "src/methods/CMakeFiles/rum_methods.dir/zonemap/zonemap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rum_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/rum_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

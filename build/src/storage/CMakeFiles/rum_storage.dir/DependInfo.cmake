@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/append_log.cc" "src/storage/CMakeFiles/rum_storage.dir/append_log.cc.o" "gcc" "src/storage/CMakeFiles/rum_storage.dir/append_log.cc.o.d"
+  "/root/repo/src/storage/block_device.cc" "src/storage/CMakeFiles/rum_storage.dir/block_device.cc.o" "gcc" "src/storage/CMakeFiles/rum_storage.dir/block_device.cc.o.d"
+  "/root/repo/src/storage/caching_device.cc" "src/storage/CMakeFiles/rum_storage.dir/caching_device.cc.o" "gcc" "src/storage/CMakeFiles/rum_storage.dir/caching_device.cc.o.d"
+  "/root/repo/src/storage/heap_file.cc" "src/storage/CMakeFiles/rum_storage.dir/heap_file.cc.o" "gcc" "src/storage/CMakeFiles/rum_storage.dir/heap_file.cc.o.d"
+  "/root/repo/src/storage/page_format.cc" "src/storage/CMakeFiles/rum_storage.dir/page_format.cc.o" "gcc" "src/storage/CMakeFiles/rum_storage.dir/page_format.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rum_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rum_storage.dir/append_log.cc.o"
+  "CMakeFiles/rum_storage.dir/append_log.cc.o.d"
+  "CMakeFiles/rum_storage.dir/block_device.cc.o"
+  "CMakeFiles/rum_storage.dir/block_device.cc.o.d"
+  "CMakeFiles/rum_storage.dir/caching_device.cc.o"
+  "CMakeFiles/rum_storage.dir/caching_device.cc.o.d"
+  "CMakeFiles/rum_storage.dir/heap_file.cc.o"
+  "CMakeFiles/rum_storage.dir/heap_file.cc.o.d"
+  "CMakeFiles/rum_storage.dir/page_format.cc.o"
+  "CMakeFiles/rum_storage.dir/page_format.cc.o.d"
+  "librum_storage.a"
+  "librum_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rum_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librum_storage.a"
+)

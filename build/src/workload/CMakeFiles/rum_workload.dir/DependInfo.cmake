@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/distribution.cc" "src/workload/CMakeFiles/rum_workload.dir/distribution.cc.o" "gcc" "src/workload/CMakeFiles/rum_workload.dir/distribution.cc.o.d"
+  "/root/repo/src/workload/runner.cc" "src/workload/CMakeFiles/rum_workload.dir/runner.cc.o" "gcc" "src/workload/CMakeFiles/rum_workload.dir/runner.cc.o.d"
+  "/root/repo/src/workload/spec.cc" "src/workload/CMakeFiles/rum_workload.dir/spec.cc.o" "gcc" "src/workload/CMakeFiles/rum_workload.dir/spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rum_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

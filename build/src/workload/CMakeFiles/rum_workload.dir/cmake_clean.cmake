@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rum_workload.dir/distribution.cc.o"
+  "CMakeFiles/rum_workload.dir/distribution.cc.o.d"
+  "CMakeFiles/rum_workload.dir/runner.cc.o"
+  "CMakeFiles/rum_workload.dir/runner.cc.o.d"
+  "CMakeFiles/rum_workload.dir/spec.cc.o"
+  "CMakeFiles/rum_workload.dir/spec.cc.o.d"
+  "librum_workload.a"
+  "librum_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rum_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

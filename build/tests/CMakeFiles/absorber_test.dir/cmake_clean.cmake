@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/absorber_test.dir/absorber_test.cc.o"
+  "CMakeFiles/absorber_test.dir/absorber_test.cc.o.d"
+  "absorber_test"
+  "absorber_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/absorber_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imprints_hotcold_test.dir/imprints_hotcold_test.cc.o"
+  "CMakeFiles/imprints_hotcold_test.dir/imprints_hotcold_test.cc.o.d"
+  "imprints_hotcold_test"
+  "imprints_hotcold_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imprints_hotcold_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

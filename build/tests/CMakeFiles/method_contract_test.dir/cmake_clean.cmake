@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/method_contract_test.dir/method_contract_test.cc.o"
+  "CMakeFiles/method_contract_test.dir/method_contract_test.cc.o.d"
+  "method_contract_test"
+  "method_contract_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/method_contract_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rum_conjecture_test.dir/rum_conjecture_test.cc.o"
+  "CMakeFiles/rum_conjecture_test.dir/rum_conjecture_test.cc.o.d"
+  "rum_conjecture_test"
+  "rum_conjecture_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rum_conjecture_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
