@@ -1,0 +1,107 @@
+// Concurrency sweep: threads x shards for sharded access methods, driven by
+// the parallel WorkloadRunner. Reports wall-clock throughput plus the merged
+// RUM amplifications, showing (a) the scaling curve of per-shard locking,
+// (b) that the merged accounting stays on the same amplification floors as
+// the serial runner, and (c) the cost of over-sharding a serial workload.
+#include <chrono>
+#include <memory>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "core/access_method.h"
+#include "methods/factory.h"
+#include "workload/runner.h"
+
+namespace rum {
+namespace {
+
+using bench::Banner;
+using bench::Fmt;
+using bench::FmtU;
+using bench::Table;
+
+constexpr size_t kPreload = 50000;
+constexpr uint64_t kOps = 200000;
+constexpr Key kRange = 1u << 18;
+
+Options BenchOptions(size_t shards) {
+  Options options;
+  options.block_size = 4096;
+  options.sharded.shards = shards;
+  return options;
+}
+
+WorkloadSpec MixedSpec(uint32_t threads) {
+  WorkloadSpec spec;
+  spec.operations = kOps;
+  spec.key_range = kRange;
+  spec.insert_fraction = 0.25;
+  spec.update_fraction = 0.15;
+  spec.delete_fraction = 0.10;
+  spec.scan_fraction = 0;  // Keep runs comparable: scans fan out to all
+                           // shards and serialize the sweep's upper rows.
+  spec.seed = 42;
+  spec.concurrency = threads;
+  return spec;
+}
+
+void SweepMethod(const std::string& inner) {
+  Banner(("threads x shards sweep: sharded-" + inner).c_str());
+  Table table({"threads", "shards", "wall ms", "Mops/s", "speedup", "RO",
+               "UO", "MO", "ops"});
+  double baseline_ms = 0;
+  for (size_t shards : {1, 2, 4, 8}) {
+    for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+      auto method =
+          MakeAccessMethod("sharded-" + inner, BenchOptions(shards));
+      if (method == nullptr) {
+        std::printf("  (unknown method sharded-%s)\n", inner.c_str());
+        return;
+      }
+      WorkloadSpec spec = MixedSpec(threads);
+      auto start = std::chrono::steady_clock::now();
+      Result<RumProfile> profile =
+          WorkloadRunner::LoadAndRun(method.get(), kPreload, spec);
+      auto stop = std::chrono::steady_clock::now();
+      if (!profile.ok()) {
+        std::printf("  run failed: %s\n", profile.status().ToString().c_str());
+        return;
+      }
+      double ms =
+          std::chrono::duration<double, std::milli>(stop - start).count();
+      if (baseline_ms == 0) baseline_ms = ms;
+      const CounterSnapshot& d = profile.value().delta;
+      table.AddRow({FmtU(threads), FmtU(shards), Fmt("%.1f", ms),
+                    Fmt("%.2f", static_cast<double>(kOps) / (ms * 1000.0)),
+                    Fmt("%.2fx", baseline_ms / ms),
+                    Fmt("%.2f", d.read_amplification()),
+                    Fmt("%.2f", d.write_amplification()),
+                    Fmt("%.2f", d.space_amplification()),
+                    FmtU(d.inserts + d.updates + d.deletes + d.point_queries +
+                         d.range_queries)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nNote: workers cap at the shard count (threads > shards rows repeat\n"
+      "the capped configuration), and the runner keys each worker to its own\n"
+      "partitions, so 'speedup' reflects per-shard locking, not oversubscription.\n");
+}
+
+}  // namespace
+}  // namespace rum
+
+int main() {
+  rum::bench::Banner(
+      "Concurrency sweep: parallel runner over sharded methods "
+      "(mixed read/write, zero-scan workload)");
+  rum::SweepMethod("btree");
+  rum::SweepMethod("hash");
+  rum::SweepMethod("lsm-leveled");
+  std::printf(
+      "\nExpected shape: throughput climbs with threads until threads ==\n"
+      "shards, then flattens; amplifications stay within noise of the\n"
+      "1-thread row because the merged counters are exact regardless of\n"
+      "interleaving.\n");
+  return 0;
+}

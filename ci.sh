@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# rumlab CI: the tier-1 suite in Release, then the same suite under
+# AddressSanitizer, then the concurrency tier under ThreadSanitizer.
+#
+#   ./ci.sh            # all three stages
+#   ./ci.sh release    # just the Release build + tests
+#   ./ci.sh asan       # just the ASan build + tests
+#   ./ci.sh tsan       # just the TSan build + concurrency tier
+#
+# The TSan stage runs the concurrency and differential tests by default
+# (TSan's ~10x slowdown makes the full suite take tens of minutes); set
+# RUMLAB_CI_FULL_TSAN=1 to run everything under TSan as well.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
+STAGE="${1:-all}"
+case "${STAGE}" in
+  all|release|asan|tsan) ;;
+  *)
+    echo "usage: $0 [all|release|asan|tsan]" >&2
+    exit 2
+    ;;
+esac
+
+run_stage() {
+  local name="$1" build_dir="$2" sanitize="$3" test_filter="$4"
+  echo "=== ${name}: configure + build (${build_dir}) ==="
+  cmake -B "${build_dir}" -S . \
+    -DCMAKE_BUILD_TYPE="${5}" \
+    -DRUMLAB_SANITIZE="${sanitize}"
+  cmake --build "${build_dir}" -j "${JOBS}"
+  echo "=== ${name}: ctest ==="
+  (cd "${build_dir}" && ctest --output-on-failure -j "${JOBS}" ${test_filter})
+}
+
+if [[ "${STAGE}" == "all" || "${STAGE}" == "release" ]]; then
+  run_stage "release" "build-ci" "" "" "Release"
+fi
+
+if [[ "${STAGE}" == "all" || "${STAGE}" == "asan" ]]; then
+  run_stage "asan" "build-asan" "address" "" "Debug"
+fi
+
+if [[ "${STAGE}" == "all" || "${STAGE}" == "tsan" ]]; then
+  TSAN_FILTER="-R concurrency_test|differential_test"
+  if [[ "${RUMLAB_CI_FULL_TSAN:-0}" == "1" ]]; then
+    TSAN_FILTER=""
+  fi
+  run_stage "tsan" "build-tsan" "thread" "${TSAN_FILTER}" "Debug"
+fi
+
+echo "=== ci.sh: all requested stages passed ==="

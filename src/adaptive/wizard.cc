@@ -173,6 +173,9 @@ std::vector<Recommendation> RumWizard::Rank(const WorkloadSpec& workload,
         name == "dense-array") {
       continue;  // Theoretical extremes are not practical candidates.
     }
+    if (name.substr(0, 8) == "sharded-") {
+      continue;  // Concurrency wrappers have the inner method's RUM shape.
+    }
     recs.push_back(Predict(name, workload, resident_entries, space_weight));
   }
   std::sort(recs.begin(), recs.end(),

@@ -13,6 +13,21 @@
 
 namespace rum {
 
+/// Optional mixin for access methods that hash-partition the key space
+/// across independent internal shards (ShardedMethod). WorkloadRunner uses
+/// it to give each worker thread a disjoint set of partitions, which is what
+/// makes concurrent RUM accounting deterministic: every partition sees a
+/// reproducible operation order, so physical traffic replays exactly.
+class KeyPartitioned {
+ public:
+  virtual ~KeyPartitioned() = default;
+
+  /// Number of independent partitions (>= 1).
+  virtual size_t partitions() const = 0;
+  /// The partition a key routes to, in [0, partitions()).
+  virtual size_t PartitionOf(Key key) const = 0;
+};
+
 /// The uniform interface every rumlab access method implements.
 ///
 /// Semantics (chosen so in-place and differential structures behave

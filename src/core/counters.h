@@ -2,7 +2,10 @@
 #define RUMLAB_CORE_COUNTERS_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 namespace rum {
 
@@ -87,74 +90,102 @@ struct CounterSnapshot {
 
 /// Mutable accumulator fed by devices, memory trackers, and access methods.
 ///
-/// Not thread-safe: every access method owns one and rumlab access methods
-/// are single-threaded (matching the paper's single-operation cost model).
+/// Threading model (see DESIGN.md "Threading model"): traffic is recorded
+/// into *per-thread shards* -- every thread that touches a RumCounters gets
+/// its own cache-line-aligned accumulator, so the hot path is a plain
+/// (non-atomic, uncontended) integer add. `snapshot()` merges the shards
+/// under a registry mutex; because every increment lands in exactly one
+/// shard, the merged totals are exact, and deltas between two quiescent
+/// snapshots are exact too.
+///
+/// Synchronization contract: concurrent threads may *record* traffic
+/// concurrently with each other, but `snapshot()`, `ResetTraffic()` and
+/// `SetSpace()` require external synchronization with recorders -- either a
+/// happens-before edge (thread join, worker-pool barrier, as WorkloadRunner
+/// establishes around a phase) or a common lock serializing all access (as
+/// ShardedMethod's per-shard mutex provides for inner-method counters).
+/// Under that contract the class is exact and data-race-free; it is *not* a
+/// linearizable concurrent counter read mid-flight.
 class RumCounters {
  public:
-  RumCounters() = default;
+  RumCounters();
+  ~RumCounters();
+
+  RumCounters(const RumCounters&) = delete;
+  RumCounters& operator=(const RumCounters&) = delete;
 
   /// Records `bytes` physically read from data of class `cls`.
   void OnRead(DataClass cls, uint64_t bytes) {
+    CounterSnapshot& s = local();
     if (cls == DataClass::kBase) {
-      snap_.bytes_read_base += bytes;
+      s.bytes_read_base += bytes;
     } else {
-      snap_.bytes_read_aux += bytes;
+      s.bytes_read_aux += bytes;
     }
   }
 
   /// Records `bytes` physically written to data of class `cls`.
   void OnWrite(DataClass cls, uint64_t bytes) {
+    CounterSnapshot& s = local();
     if (cls == DataClass::kBase) {
-      snap_.bytes_written_base += bytes;
+      s.bytes_written_base += bytes;
     } else {
-      snap_.bytes_written_aux += bytes;
+      s.bytes_written_aux += bytes;
     }
   }
 
   /// Records a whole-block device read/write (granularity accounting).
-  void OnBlockRead() { ++snap_.blocks_read; }
-  void OnBlockWrite() { ++snap_.blocks_written; }
+  void OnBlockRead() { ++local().blocks_read; }
+  void OnBlockWrite() { ++local().blocks_written; }
 
   /// Adjusts resident space of class `cls` by `delta` bytes (may shrink).
+  /// A shard's level may go transiently "negative" (two's-complement wrap)
+  /// when one thread frees what another allocated; the merged sum is exact.
   void AdjustSpace(DataClass cls, int64_t delta);
-  /// Sets resident space of class `cls` to an absolute level.
-  void SetSpace(DataClass cls, uint64_t bytes) {
-    if (cls == DataClass::kBase) {
-      snap_.space_base = bytes;
-    } else {
-      snap_.space_aux = bytes;
-    }
-  }
+  /// Sets resident space of class `cls` to an absolute level (requires the
+  /// external-synchronization contract above: no concurrent recorders).
+  void SetSpace(DataClass cls, uint64_t bytes);
 
   /// Records that the caller logically retrieved `bytes` of base data.
-  void OnLogicalRead(uint64_t bytes) { snap_.logical_bytes_read += bytes; }
+  void OnLogicalRead(uint64_t bytes) { local().logical_bytes_read += bytes; }
   /// Records that the caller logically updated `bytes` of base data.
-  void OnLogicalWrite(uint64_t bytes) { snap_.logical_bytes_written += bytes; }
-
-  /// Rebooks the most recent insert as an update (used by the default
-  /// AccessMethod::Update, which delegates to Insert).
-  void ReclassifyInsertAsUpdate() {
-    if (snap_.inserts > 0) {
-      --snap_.inserts;
-      ++snap_.updates;
-    }
+  void OnLogicalWrite(uint64_t bytes) {
+    local().logical_bytes_written += bytes;
   }
 
-  void OnPointQuery() { ++snap_.point_queries; }
-  void OnRangeQuery() { ++snap_.range_queries; }
-  void OnInsert() { ++snap_.inserts; }
-  void OnUpdate() { ++snap_.updates; }
-  void OnDelete() { ++snap_.deletes; }
+  /// Rebooks the most recent insert as an update (used by the default
+  /// AccessMethod::Update, which delegates to Insert). The insert being
+  /// reclassified always happened on the calling thread, so this touches
+  /// only the local shard.
+  void ReclassifyInsertAsUpdate();
 
-  /// Returns the current accounting state.
-  const CounterSnapshot& snapshot() const { return snap_; }
+  void OnPointQuery() { ++local().point_queries; }
+  void OnRangeQuery() { ++local().range_queries; }
+  void OnInsert() { ++local().inserts; }
+  void OnUpdate() { ++local().updates; }
+  void OnDelete() { ++local().deletes; }
+
+  /// Returns the accounting state merged across all per-thread shards.
+  CounterSnapshot snapshot() const;
 
   /// Zeroes all accumulators but preserves the space levels (resident data
   /// does not disappear when stats are reset).
   void ResetTraffic();
 
  private:
-  CounterSnapshot snap_;
+  struct Shard;
+
+  /// The calling thread's shard, registering one on first touch.
+  CounterSnapshot& local();
+
+  /// Distinguishes instances in thread-local caches; never reused, so a
+  /// destroyed RumCounters can never alias a live cache entry.
+  const uint64_t id_;
+  /// Guards shard registration and merged reads; recorders do not take it.
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Residue of ResetTraffic/SetSpace (space levels folded out of shards).
+  CounterSnapshot base_;
 };
 
 }  // namespace rum

@@ -74,6 +74,9 @@ Status ValidateOptions(const Options& options) {
   if (options.extremes.magic_array_domain < 1) {
     return Status::InvalidArgument("magic_array_domain must be >= 1");
   }
+  if (options.sharded.shards < 1 || options.sharded.shards > 256) {
+    return Status::InvalidArgument("sharded.shards must be in [1, 256]");
+  }
   if (options.absorber.delta_entries < 1) {
     return Status::InvalidArgument("absorber.delta_entries must be >= 1");
   }

@@ -170,6 +170,15 @@ struct Options {
     size_t sketch_depth = 4;
   } hot_cold;
 
+  // ------------------------------------------------------------- Sharding
+  struct Sharded {
+    /// Inner AccessMethod instances a ShardedMethod hash-partitions keys
+    /// across. More shards lower lock contention under concurrent load at
+    /// the cost of per-shard fixed overheads (one structure's metadata per
+    /// shard raises MO slightly).
+    size_t shards = 4;
+  } sharded;
+
   // -------------------------------------------------------------- Morphing
   struct Morphing {
     /// Target point in RUM space; the morphing method picks its internal

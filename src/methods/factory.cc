@@ -16,6 +16,7 @@
 #include "methods/imprints/imprints.h"
 #include "methods/lsm/lsm_tree.h"
 #include "methods/pbt/pbt.h"
+#include "methods/sharded/sharded_method.h"
 #include "methods/skiplist/skiplist.h"
 #include "methods/trie/trie.h"
 #include "methods/zonemap/zonemap.h"
@@ -25,6 +26,24 @@ namespace rum {
 std::unique_ptr<AccessMethod> MakeAccessMethod(std::string_view name,
                                                const Options& options) {
   if (!ValidateOptions(options).ok()) return nullptr;
+  // "sharded-<inner>" wraps options.sharded.shards instances of <inner> in
+  // a ShardedMethod (hash partitioning + per-shard locking).
+  constexpr std::string_view kShardedPrefix = "sharded-";
+  if (name.substr(0, kShardedPrefix.size()) == kShardedPrefix) {
+    std::string_view inner = name.substr(kShardedPrefix.size());
+    if (inner.substr(0, kShardedPrefix.size()) == kShardedPrefix) {
+      return nullptr;  // No nested sharding.
+    }
+    std::vector<std::unique_ptr<AccessMethod>> shards;
+    shards.reserve(options.sharded.shards);
+    for (size_t i = 0; i < options.sharded.shards; ++i) {
+      auto method = MakeAccessMethod(inner, options);
+      if (method == nullptr) return nullptr;
+      shards.push_back(std::move(method));
+    }
+    return std::make_unique<ShardedMethod>(std::string(name),
+                                           std::move(shards));
+  }
   if (name == "btree") return std::make_unique<BTree>(options);
   if (name == "hash") return std::make_unique<HashIndex>(options);
   if (name == "zonemap") return std::make_unique<ZoneMapColumn>(options);
@@ -102,6 +121,8 @@ std::vector<std::string_view> AllAccessMethodNames() {
       "pbt",           "sparse-index",
       "absorbed-btree", "absorbed-bitmap",
       "magic-array",   "pure-log",      "dense-array",
+      "sharded-btree", "sharded-hash",  "sharded-skiplist",
+      "sharded-lsm-leveled",
   };
 }
 

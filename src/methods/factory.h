@@ -16,6 +16,10 @@ namespace rum {
 ///   "bitmap", "bitmap-delta", "cracking", "stepped-merge",
 ///   "bloom-zones", "absorbed-btree", "absorbed-bitmap" (UpdateAbsorber
 ///   wrappers), "magic-array", "pure-log", "dense-array".
+/// Any name may be prefixed with "sharded-" (e.g. "sharded-btree") to wrap
+/// `options.sharded.shards` instances of the inner method in a ShardedMethod
+/// (hash partitioning, per-shard locking, merged stats); nesting is
+/// rejected.
 /// Returns null for an unknown name. ("bitmap"/"bitmap-delta" and the LSM
 /// names override the corresponding Options fields.)
 std::unique_ptr<AccessMethod> MakeAccessMethod(std::string_view name,

@@ -1,0 +1,131 @@
+#include "methods/sharded/sharded_method.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace rum {
+
+ShardedMethod::ShardedMethod(
+    std::string name, std::vector<std::unique_ptr<AccessMethod>> shards)
+    : name_(std::move(name)) {
+  assert(!shards.empty());
+  shards_.reserve(shards.size());
+  for (auto& method : shards) {
+    auto shard = std::make_unique<Shard>();
+    shard->method = std::move(method);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ShardedMethod::~ShardedMethod() = default;
+
+size_t ShardedMethod::PartitionOf(Key key) const {
+  // SplitMix64 finalizer: decorrelates shard choice from key order so
+  // sequential and clustered workloads still spread across shards.
+  uint64_t x = key + 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return static_cast<size_t>(x % shards_.size());
+}
+
+Status ShardedMethod::Insert(Key key, Value value) {
+  Shard& shard = *shards_[PartitionOf(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.method->Insert(key, value);
+}
+
+Status ShardedMethod::Update(Key key, Value value) {
+  Shard& shard = *shards_[PartitionOf(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.method->Update(key, value);
+}
+
+Status ShardedMethod::Delete(Key key) {
+  Shard& shard = *shards_[PartitionOf(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.method->Delete(key);
+}
+
+Result<Value> ShardedMethod::Get(Key key) {
+  Shard& shard = *shards_[PartitionOf(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.method->Get(key);
+}
+
+Status ShardedMethod::Scan(Key lo, Key hi, std::vector<Entry>* out) {
+  if (lo > hi) {
+    return Status::InvalidArgument("Scan range is inverted");
+  }
+  own_.OnRangeQuery();
+  std::vector<Entry> merged;
+  for (auto& shard : shards_) {
+    std::vector<Entry> part;
+    std::lock_guard<std::mutex> lock(shard->mu);
+    Status s = shard->method->Scan(lo, hi, &part);
+    if (!s.ok()) return s;
+    merged.insert(merged.end(), part.begin(), part.end());
+  }
+  // Shards hold disjoint key sets, each scanned in ascending order; one
+  // sort restores the global order.
+  std::sort(merged.begin(), merged.end());
+  out->insert(out->end(), merged.begin(), merged.end());
+  return Status::OK();
+}
+
+Status ShardedMethod::BulkLoad(std::span<const Entry> entries) {
+  Status s = CheckBulkLoadPreconditions(entries);
+  if (!s.ok()) return s;
+  std::vector<std::vector<Entry>> parts(shards_.size());
+  for (auto& part : parts) part.reserve(entries.size() / shards_.size() + 1);
+  for (const Entry& e : entries) {
+    parts[PartitionOf(e.key)].push_back(e);
+  }
+  // A subsequence of strictly-ascending entries is strictly ascending, so
+  // each shard sees a valid bulk load.
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i]->mu);
+    s = shards_[i]->method->BulkLoad(parts[i]);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+Status ShardedMethod::Flush() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    Status s = shard->method->Flush();
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+size_t ShardedMethod::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->method->size();
+  }
+  return total;
+}
+
+CounterSnapshot ShardedMethod::stats() const {
+  CounterSnapshot out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out += shard->method->stats();
+  }
+  out.range_queries = own_.snapshot().range_queries;
+  return out;
+}
+
+void ShardedMethod::ResetStats() {
+  own_.ResetTraffic();
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->method->ResetStats();
+  }
+}
+
+}  // namespace rum

@@ -10,9 +10,28 @@ CachingDevice::CachingDevice(Device* base, size_t capacity_pages)
   assert(base_ != nullptr);
 }
 
-PageId CachingDevice::Allocate(DataClass cls) { return base_->Allocate(cls); }
+PageId CachingDevice::Allocate(DataClass cls) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return base_->Allocate(cls);
+}
+
+size_t CachingDevice::cached_pages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+uint64_t CachingDevice::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t CachingDevice::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
 
 Status CachingDevice::Free(PageId page) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(page);
   if (it != entries_.end()) {
     counters_.AdjustSpace(DataClass::kAux,
@@ -66,6 +85,7 @@ Status CachingDevice::InsertEntry(PageId page, std::vector<uint8_t> bytes,
 }
 
 Status CachingDevice::Read(PageId page, std::vector<uint8_t>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(page);
   if (it != entries_.end()) {
     ++hits_;
@@ -83,6 +103,7 @@ Status CachingDevice::Read(PageId page, std::vector<uint8_t>* out) {
 }
 
 Status CachingDevice::Write(PageId page, const std::vector<uint8_t>& data) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (data.size() != block_size()) {
     return Status::InvalidArgument("write size must equal block size");
   }
@@ -99,6 +120,7 @@ Status CachingDevice::Write(PageId page, const std::vector<uint8_t>& data) {
 }
 
 Status CachingDevice::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [page, entry] : entries_) {
     if (entry.dirty) {
       Status s = base_->Write(page, entry.bytes);

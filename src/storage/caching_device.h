@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <list>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -21,6 +22,11 @@ namespace rum {
 /// underlying device, which charges *its* counters. The cache's resident
 /// bytes (its memory overhead MO at level n-1) are reported in this level's
 /// counters as auxiliary space.
+///
+/// Thread safety: one internal mutex serializes every operation (LRU lists
+/// do not shard well), so a CachingDevice may be shared by concurrent
+/// access-method shards. Calls into the base device happen under that lock,
+/// serializing the whole stack beneath this level.
 class CachingDevice : public Device {
  public:
   /// Wraps `base` (borrowed, must outlive this) with an LRU cache holding at
@@ -37,13 +43,13 @@ class CachingDevice : public Device {
   size_t live_pages() const override { return base_->live_pages(); }
 
   /// This cache level's own accounting (hits served, resident bytes).
-  const CounterSnapshot& level_stats() const { return counters_.snapshot(); }
+  CounterSnapshot level_stats() const { return counters_.snapshot(); }
   void ResetLevelStats() { counters_.ResetTraffic(); }
 
   size_t capacity_pages() const { return capacity_pages_; }
-  size_t cached_pages() const { return entries_.size(); }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  size_t cached_pages() const;
+  uint64_t hits() const;
+  uint64_t misses() const;
 
  private:
   struct CacheEntry {
@@ -62,6 +68,7 @@ class CachingDevice : public Device {
   Device* base_;  // Not owned.
   size_t capacity_pages_;
   RumCounters counters_;
+  mutable std::mutex mu_;  // Guards everything below (and base_ calls).
   std::unordered_map<PageId, CacheEntry> entries_;
   std::list<PageId> lru_;  // Front = MRU, back = LRU.
   uint64_t hits_ = 0;

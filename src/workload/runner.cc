@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <thread>
 #include <vector>
 
 #include "workload/distribution.h"
@@ -52,8 +53,58 @@ std::string RumProfile::ToString() const {
   return std::string(buf);
 }
 
-Result<RumProfile> WorkloadRunner::Run(AccessMethod* method,
-                                       const WorkloadSpec& spec) {
+namespace {
+
+/// SplitMix64 finalizer, used to derive independent per-worker seed streams
+/// from (spec.seed, worker index) without correlation between workers.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+Key ScanWidthFor(const WorkloadSpec& spec) {
+  Key width = static_cast<Key>(static_cast<double>(spec.key_range) *
+                               spec.scan_selectivity);
+  return width == 0 ? 1 : width;
+}
+
+/// Executes one operation of the spec's mix against `method`. `dice` picks
+/// the operation, `key` its target. Tolerates the same benign statuses the
+/// serial runner always has (kOutOfRange for bounded-domain methods,
+/// kNotFound for point-query misses).
+Status ExecuteOne(AccessMethod* method, const WorkloadSpec& spec, double dice,
+                  Key key, Key scan_width, Rng* value_rng,
+                  std::vector<Entry>* scan_buffer) {
+  if (dice < spec.insert_fraction) {
+    Status s = method->Insert(key, value_rng->Next());
+    if (!s.ok() && s.code() != Code::kOutOfRange) return s;
+  } else if (dice < spec.insert_fraction + spec.update_fraction) {
+    Status s = method->Update(key, value_rng->Next());
+    if (!s.ok() && s.code() != Code::kOutOfRange) return s;
+  } else if (dice < spec.insert_fraction + spec.update_fraction +
+                        spec.delete_fraction) {
+    Status s = method->Delete(key);
+    if (!s.ok() && s.code() != Code::kOutOfRange) return s;
+  } else if (dice < spec.insert_fraction + spec.update_fraction +
+                        spec.delete_fraction + spec.scan_fraction) {
+    Key hi = key > kMaxKey - scan_width ? kMaxKey : key + scan_width;
+    scan_buffer->clear();
+    Status s = method->Scan(key, hi, scan_buffer);
+    if (!s.ok()) return s;
+  } else {
+    Result<Value> r = method->Get(key);
+    if (!r.ok() && r.code() != Code::kNotFound &&
+        r.code() != Code::kOutOfRange) {
+      return r.status();
+    }
+  }
+  return Status::OK();
+}
+
+/// The classic single-threaded phase, with per-op cost sampling.
+Result<RumProfile> RunSerial(AccessMethod* method, const WorkloadSpec& spec) {
   KeyGenerator keys(spec.distribution, spec.key_range, spec.seed + 1,
                     spec.zipf_theta);
   Rng op_rng(spec.seed + 2);
@@ -62,9 +113,7 @@ Result<RumProfile> WorkloadRunner::Run(AccessMethod* method,
   CounterSnapshot before = method->stats();
   auto start = std::chrono::steady_clock::now();
 
-  Key scan_width = static_cast<Key>(
-      static_cast<double>(spec.key_range) * spec.scan_selectivity);
-  if (scan_width == 0) scan_width = 1;
+  Key scan_width = ScanWidthFor(spec);
 
   std::vector<uint64_t> read_samples;
   std::vector<uint64_t> write_samples;
@@ -77,29 +126,10 @@ Result<RumProfile> WorkloadRunner::Run(AccessMethod* method,
   for (uint64_t i = 0; i < spec.operations; ++i) {
     double dice = op_rng.NextDouble();
     Key key = keys.Next();
-    if (dice < spec.insert_fraction) {
-      Status s = method->Insert(key, value_rng.Next());
-      if (!s.ok() && s.code() != Code::kOutOfRange) return s;
-    } else if (dice < spec.insert_fraction + spec.update_fraction) {
-      Status s = method->Update(key, value_rng.Next());
-      if (!s.ok() && s.code() != Code::kOutOfRange) return s;
-    } else if (dice < spec.insert_fraction + spec.update_fraction +
-                          spec.delete_fraction) {
-      Status s = method->Delete(key);
-      if (!s.ok() && s.code() != Code::kOutOfRange) return s;
-    } else if (dice < spec.insert_fraction + spec.update_fraction +
-                          spec.delete_fraction + spec.scan_fraction) {
-      Key hi = key > kMaxKey - scan_width ? kMaxKey : key + scan_width;
-      scan_buffer.clear();
-      Status s = method->Scan(key, hi, &scan_buffer);
-      if (!s.ok()) return s;
-    } else {
-      Result<Value> r = method->Get(key);
-      if (!r.ok() && r.code() != Code::kNotFound &&
-          r.code() != Code::kOutOfRange) {
-        return r.status();
-      }
-    }
+    Status s =
+        ExecuteOne(method, spec, dice, key, scan_width, &value_rng,
+                   &scan_buffer);
+    if (!s.ok()) return s;
     CounterSnapshot now = method->stats();
     read_samples.push_back(now.total_bytes_read() - last_read);
     write_samples.push_back(now.total_bytes_written() - last_written);
@@ -118,6 +148,102 @@ Result<RumProfile> WorkloadRunner::Run(AccessMethod* method,
   profile.read_cost = CostPercentiles::From(std::move(read_samples));
   profile.write_cost = CostPercentiles::From(std::move(write_samples));
   return profile;
+}
+
+/// One worker's slice of a concurrent phase. The worker owns partitions
+/// {p : p % workers == t} and draws keys by rejection sampling until one
+/// lands in an owned partition -- so each partition is driven by exactly
+/// one thread in a deterministic order, which is what makes the merged
+/// counter delta reproducible. (Scans still fan out to every partition;
+/// with scan_fraction > 0 contents stay exact but physical read traffic
+/// depends on interleaving.)
+Status RunWorker(AccessMethod* method, const WorkloadSpec& spec,
+                 const KeyPartitioned* parts, uint32_t workers, uint32_t t) {
+  uint64_t ops = spec.operations / workers +
+                 (t < spec.operations % workers ? 1 : 0);
+  uint64_t worker_seed = SplitMix64(spec.seed ^ SplitMix64(t + 1));
+  KeyGenerator keys(spec.distribution, spec.key_range, worker_seed + 1,
+                    spec.zipf_theta);
+  Rng op_rng(worker_seed + 2);
+  Rng value_rng(worker_seed + 3);
+  Key scan_width = ScanWidthFor(spec);
+
+  auto next_owned_key = [&]() {
+    // With P >= workers partitions roughly workers draws land one in an
+    // owned partition; the cap only guards against pathological hashes.
+    for (int attempt = 0; attempt < 4096; ++attempt) {
+      Key key = keys.Next();
+      if (parts->PartitionOf(key) % workers == t) return key;
+    }
+    return keys.Next();
+  };
+
+  std::vector<Entry> scan_buffer;
+  for (uint64_t i = 0; i < ops; ++i) {
+    double dice = op_rng.NextDouble();
+    Key key = next_owned_key();
+    Status s = ExecuteOne(method, spec, dice, key, scan_width, &value_rng,
+                          &scan_buffer);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+/// Concurrent phase: a worker pool over a partition-aware method. Per-op
+/// cost percentiles are not sampled (a global stats() probe per op would
+/// serialize the workers); RumProfile.read_cost/write_cost stay zero.
+Result<RumProfile> RunConcurrent(AccessMethod* method,
+                                 const WorkloadSpec& spec) {
+  const auto* parts = dynamic_cast<const KeyPartitioned*>(method);
+  if (parts == nullptr) {
+    return Status::InvalidArgument(
+        "concurrency > 1 requires a partition-aware method "
+        "(e.g. sharded-*); " +
+        std::string(method->name()) + " is not");
+  }
+  uint32_t workers = spec.concurrency;
+  if (parts->partitions() < workers) {
+    // More workers than partitions would leave some with nothing to own.
+    workers = static_cast<uint32_t>(parts->partitions());
+  }
+
+  CounterSnapshot before = method->stats();
+  auto start = std::chrono::steady_clock::now();
+
+  std::vector<Status> statuses(workers, Status::OK());
+  {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (uint32_t t = 0; t < workers; ++t) {
+      pool.emplace_back([method, &spec, parts, workers, t, &statuses] {
+        statuses[t] = RunWorker(method, spec, parts, workers, t);
+      });
+    }
+    for (std::thread& worker : pool) worker.join();
+  }
+  // The joins above are the happens-before edge that makes the merged
+  // counter snapshot below exact.
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+
+  auto end = std::chrono::steady_clock::now();
+  RumProfile profile;
+  profile.method = std::string(method->name());
+  profile.spec = spec;
+  profile.delta = method->stats() - before;
+  profile.point = RumPoint::FromSnapshot(profile.delta);
+  profile.wall_seconds =
+      std::chrono::duration<double>(end - start).count();
+  return profile;
+}
+
+}  // namespace
+
+Result<RumProfile> WorkloadRunner::Run(AccessMethod* method,
+                                       const WorkloadSpec& spec) {
+  if (spec.concurrency > 1) return RunConcurrent(method, spec);
+  return RunSerial(method, spec);
 }
 
 Result<RumProfile> WorkloadRunner::LoadAndRun(AccessMethod* method, size_t n,

@@ -32,8 +32,10 @@ struct RumProfile {
   double wall_seconds = 0;
   /// Per-operation bytes-read distribution: means hide tails (an LSM's
   /// occasional compaction, a sorted column's shift cascade); these don't.
+  /// Only sampled on serial phases (spec.concurrency <= 1); a concurrent
+  /// phase would need a global stats() probe per op, serializing workers.
   CostPercentiles read_cost;
-  /// Per-operation bytes-written distribution.
+  /// Per-operation bytes-written distribution (serial phases only).
   CostPercentiles write_cost;
 
   /// Per-operation averages.
@@ -50,6 +52,16 @@ class WorkloadRunner {
   /// Runs `spec` against `method`, returning the phase profile. The method
   /// may already contain data (e.g. bulk-loaded); the profile measures only
   /// this phase's traffic.
+  ///
+  /// With spec.concurrency > 1 the phase is driven by a worker pool;
+  /// `method` must implement KeyPartitioned (ShardedMethod does) or the run
+  /// fails with kInvalidArgument. Each worker derives an independent seed
+  /// stream from (spec.seed, worker) and owns a disjoint set of partitions,
+  /// so every partition sees a deterministic operation order and the phase's
+  /// counter delta is byte-identical run-to-run (for specs without scans;
+  /// scans cross partitions, so their physical read traffic depends on the
+  /// interleaving while contents stay exact). The worker count is capped at
+  /// the method's partition count.
   static Result<RumProfile> Run(AccessMethod* method,
                                 const WorkloadSpec& spec);
 

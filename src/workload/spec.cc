@@ -54,11 +54,11 @@ std::string WorkloadSpec::ToString() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "ops=%llu keys=%llu get=%.2f ins=%.2f upd=%.2f del=%.2f "
-                "scan=%.2f(sel=%.4f)",
+                "scan=%.2f(sel=%.4f) conc=%u",
                 static_cast<unsigned long long>(operations),
                 static_cast<unsigned long long>(key_range), reads,
                 insert_fraction, update_fraction, delete_fraction,
-                scan_fraction, scan_selectivity);
+                scan_fraction, scan_selectivity, concurrency);
   return std::string(buf);
 }
 

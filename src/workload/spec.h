@@ -38,6 +38,13 @@ struct WorkloadSpec {
   /// RNG seed (operation choice and keys derive from it).
   uint64_t seed = 42;
 
+  /// Worker threads driving the phase. 1 = the classic serial runner.
+  /// Values > 1 require a partition-aware method (ShardedMethod): each
+  /// worker gets a deterministic seed split plus a disjoint set of
+  /// partitions, so concurrent RUM accounting replays exactly run-to-run
+  /// (see WorkloadRunner). Capped at the method's partition count.
+  uint32_t concurrency = 1;
+
   /// Canonical mixes used across the benches.
   static WorkloadSpec ReadOnly(uint64_t ops, Key key_range);
   static WorkloadSpec WriteOnly(uint64_t ops, Key key_range);

@@ -15,7 +15,9 @@
 namespace rum {
 namespace {
 
+using testing_util::GetMatchesReference;
 using testing_util::ReferenceModel;
+using testing_util::ScanMatchesReference;
 using testing_util::SmallOptions;
 
 class MethodContractTest : public ::testing::TestWithParam<std::string> {
@@ -29,32 +31,11 @@ class MethodContractTest : public ::testing::TestWithParam<std::string> {
   ReferenceModel reference_;
 
   void CheckGet(Key key) {
-    Value expected;
-    bool present = reference_.Get(key, &expected);
-    Result<Value> got = method_->Get(key);
-    if (present) {
-      ASSERT_TRUE(got.ok())
-          << method_->name() << ": key " << key << " missing, status "
-          << got.status().ToString();
-      ASSERT_EQ(got.value(), expected) << method_->name() << ": key " << key;
-    } else {
-      ASSERT_FALSE(got.ok())
-          << method_->name() << ": key " << key << " should be absent";
-      ASSERT_TRUE(got.status().IsNotFound());
-    }
+    ASSERT_TRUE(GetMatchesReference(method_.get(), reference_, key));
   }
 
   void CheckScan(Key lo, Key hi) {
-    std::vector<Entry> got;
-    ASSERT_TRUE(method_->Scan(lo, hi, &got).ok());
-    std::vector<Entry> expected = reference_.Scan(lo, hi);
-    ASSERT_EQ(got.size(), expected.size())
-        << method_->name() << ": scan [" << lo << ", " << hi << "]";
-    for (size_t i = 0; i < expected.size(); ++i) {
-      ASSERT_EQ(got[i].key, expected[i].key) << method_->name() << " at " << i;
-      ASSERT_EQ(got[i].value, expected[i].value)
-          << method_->name() << " at " << i << " key " << got[i].key;
-    }
+    ASSERT_TRUE(ScanMatchesReference(method_.get(), reference_, lo, hi));
   }
 };
 
@@ -293,7 +274,9 @@ INSTANTIATE_TEST_SUITE_P(
                       "lsm-tiered", "lsm-compressed", "sorted-column", "unsorted-column",
                       "skiplist", "trie", "bitmap", "bitmap-delta",
                       "cracking", "stepped-merge", "bloom-zones", "imprints", "hot-cold", "pbt", "sparse-index", "absorbed-btree", "absorbed-bitmap",
-                      "magic-array", "pure-log", "dense-array"),
+                      "magic-array", "pure-log", "dense-array",
+                      "sharded-btree", "sharded-hash", "sharded-skiplist",
+                      "sharded-lsm-leveled"),
     [](const ::testing::TestParamInfo<std::string>& info) {
       std::string name = info.param;
       for (char& c : name) {

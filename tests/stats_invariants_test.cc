@@ -118,7 +118,8 @@ INSTANTIATE_TEST_SUITE_P(
                       "cracking", "stepped-merge", "bloom-zones",
                       "imprints", "hot-cold", "pbt", "sparse-index",
                       "absorbed-btree", "absorbed-bitmap", "pure-log",
-                      "dense-array"),
+                      "dense-array", "sharded-btree", "sharded-hash",
+                      "sharded-skiplist", "sharded-lsm-leveled"),
     [](const ::testing::TestParamInfo<std::string>& info) {
       std::string name = info.param;
       for (char& c : name) {

@@ -2,7 +2,10 @@
 #define RUMLAB_TESTS_TESTING_UTIL_H_
 
 #include <map>
+#include <mutex>
 #include <vector>
+
+#include <gtest/gtest.h>
 
 #include "core/access_method.h"
 #include "core/options.h"
@@ -60,6 +63,105 @@ class ReferenceModel {
  private:
   std::map<Key, Value> map_;
 };
+
+/// A mutex-guarded ReferenceModel for concurrency tests: worker threads
+/// record their operations here while hammering the method under test, and
+/// the final contents are compared at quiescence. Equivalent to the method
+/// only when threads do not race on the same key with conflicting
+/// operations (disjoint ranges, or commutative ops like idempotent deletes
+/// and upserts of a key-determined value).
+class ConcurrentReferenceModel {
+ public:
+  void Insert(Key key, Value value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    model_.Insert(key, value);
+  }
+  void Delete(Key key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    model_.Delete(key);
+  }
+  /// Locked point lookup, safe to call while writers are live (the tree
+  /// nodes are shared even when the key sets are disjoint).
+  bool Get(Key key, Value* out) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return model_.Get(key, out);
+  }
+  /// The underlying model; only call once writer threads have joined.
+  const ReferenceModel& quiesced() const { return model_; }
+
+ private:
+  mutable std::mutex mu_;
+  ReferenceModel model_;
+};
+
+/// Compares method->Get(key) against the reference (shared by the contract,
+/// concurrency, and differential tests). Use as
+///   ASSERT_TRUE(GetMatchesReference(method, reference, key)) << context;
+inline ::testing::AssertionResult GetMatchesReference(
+    AccessMethod* method, const ReferenceModel& reference, Key key) {
+  Value expected;
+  bool present = reference.Get(key, &expected);
+  Result<Value> got = method->Get(key);
+  if (present) {
+    if (!got.ok()) {
+      return ::testing::AssertionFailure()
+             << method->name() << ": key " << key << " missing, status "
+             << got.status().ToString();
+    }
+    if (got.value() != expected) {
+      return ::testing::AssertionFailure()
+             << method->name() << ": key " << key << " returned "
+             << got.value() << ", expected " << expected;
+    }
+  } else {
+    if (got.ok()) {
+      return ::testing::AssertionFailure()
+             << method->name() << ": key " << key
+             << " should be absent but returned " << got.value();
+    }
+    if (!got.status().IsNotFound()) {
+      return ::testing::AssertionFailure()
+             << method->name() << ": key " << key
+             << " absent but status is " << got.status().ToString()
+             << ", expected NotFound";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// Compares method->Scan(lo, hi) against the reference, entry by entry.
+inline ::testing::AssertionResult ScanMatchesReference(
+    AccessMethod* method, const ReferenceModel& reference, Key lo, Key hi) {
+  std::vector<Entry> got;
+  Status s = method->Scan(lo, hi, &got);
+  if (!s.ok()) {
+    return ::testing::AssertionFailure()
+           << method->name() << ": scan [" << lo << ", " << hi
+           << "] failed: " << s.ToString();
+  }
+  std::vector<Entry> expected = reference.Scan(lo, hi);
+  if (got.size() != expected.size()) {
+    return ::testing::AssertionFailure()
+           << method->name() << ": scan [" << lo << ", " << hi
+           << "] returned " << got.size() << " entries, expected "
+           << expected.size();
+  }
+  for (size_t i = 0; i < expected.size(); ++i) {
+    if (got[i].key != expected[i].key) {
+      return ::testing::AssertionFailure()
+             << method->name() << ": scan [" << lo << ", " << hi
+             << "] entry " << i << " has key " << got[i].key
+             << ", expected " << expected[i].key;
+    }
+    if (got[i].value != expected[i].value) {
+      return ::testing::AssertionFailure()
+             << method->name() << ": scan [" << lo << ", " << hi
+             << "] entry " << i << " (key " << got[i].key << ") has value "
+             << got[i].value << ", expected " << expected[i].value;
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
 
 }  // namespace testing_util
 }  // namespace rum
