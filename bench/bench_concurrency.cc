@@ -4,8 +4,11 @@
 // (b) that the merged accounting stays on the same amplification floors as
 // the serial runner, and (c) the cost of over-sharding a serial workload.
 #include <chrono>
+#include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "core/access_method.h"
@@ -20,9 +23,52 @@ using bench::Fmt;
 using bench::FmtU;
 using bench::Table;
 
-constexpr size_t kPreload = 50000;
-constexpr uint64_t kOps = 200000;
+size_t g_preload = 50000;
+uint64_t g_ops = 200000;
 constexpr Key kRange = 1u << 18;
+
+// One row of BENCH_concurrency.json: configuration, throughput, and the
+// merged RUM amplifications for that run.
+struct JsonRow {
+  std::string method;
+  uint32_t threads;
+  size_t shards;
+  double wall_ms;
+  double mops_per_sec;
+  double read_overhead;
+  double update_overhead;
+  double memory_overhead;
+  uint64_t ops;
+};
+
+std::vector<JsonRow>& JsonRows() {
+  static std::vector<JsonRow> rows;
+  return rows;
+}
+
+void WriteJson(const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::printf("cannot open %s for writing\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmarks\": [\n");
+  const std::vector<JsonRow>& rows = JsonRows();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const JsonRow& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"method\": \"%s\", \"threads\": %u, \"shards\": %zu, "
+        "\"wall_ms\": %.3f, \"mops_per_sec\": %.4f, \"RO\": %.4f, "
+        "\"UO\": %.4f, \"MO\": %.4f, \"ops\": %llu}%s\n",
+        r.method.c_str(), r.threads, r.shards, r.wall_ms, r.mops_per_sec,
+        r.read_overhead, r.update_overhead, r.memory_overhead,
+        static_cast<unsigned long long>(r.ops), i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %zu rows to %s\n", rows.size(), path);
+}
 
 Options BenchOptions(size_t shards) {
   Options options;
@@ -33,7 +79,7 @@ Options BenchOptions(size_t shards) {
 
 WorkloadSpec MixedSpec(uint32_t threads) {
   WorkloadSpec spec;
-  spec.operations = kOps;
+  spec.operations = g_ops;
   spec.key_range = kRange;
   spec.insert_fraction = 0.25;
   spec.update_fraction = 0.15;
@@ -61,7 +107,7 @@ void SweepMethod(const std::string& inner) {
       WorkloadSpec spec = MixedSpec(threads);
       auto start = std::chrono::steady_clock::now();
       Result<RumProfile> profile =
-          WorkloadRunner::LoadAndRun(method.get(), kPreload, spec);
+          WorkloadRunner::LoadAndRun(method.get(), g_preload, spec);
       auto stop = std::chrono::steady_clock::now();
       if (!profile.ok()) {
         std::printf("  run failed: %s\n", profile.status().ToString().c_str());
@@ -71,8 +117,15 @@ void SweepMethod(const std::string& inner) {
           std::chrono::duration<double, std::milli>(stop - start).count();
       if (baseline_ms == 0) baseline_ms = ms;
       const CounterSnapshot& d = profile.value().delta;
+      JsonRows().push_back(JsonRow{
+          "sharded-" + inner, threads, shards, ms,
+          static_cast<double>(g_ops) / (ms * 1000.0),
+          d.read_amplification(), d.write_amplification(),
+          d.space_amplification(),
+          d.inserts + d.updates + d.deletes + d.point_queries +
+              d.range_queries});
       table.AddRow({FmtU(threads), FmtU(shards), Fmt("%.1f", ms),
-                    Fmt("%.2f", static_cast<double>(kOps) / (ms * 1000.0)),
+                    Fmt("%.2f", static_cast<double>(g_ops) / (ms * 1000.0)),
                     Fmt("%.2fx", baseline_ms / ms),
                     Fmt("%.2f", d.read_amplification()),
                     Fmt("%.2f", d.write_amplification()),
@@ -91,7 +144,15 @@ void SweepMethod(const std::string& inner) {
 }  // namespace
 }  // namespace rum
 
-int main() {
+int main(int argc, char** argv) {
+  // --smoke: a fast configuration for CI that still produces the full JSON
+  // schema (fewer ops, same sweep shape).
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      rum::g_preload = 2000;
+      rum::g_ops = 5000;
+    }
+  }
   rum::bench::Banner(
       "Concurrency sweep: parallel runner over sharded methods "
       "(mixed read/write, zero-scan workload)");
@@ -103,5 +164,6 @@ int main() {
       "shards, then flattens; amplifications stay within noise of the\n"
       "1-thread row because the merged counters are exact regardless of\n"
       "interleaving.\n");
+  rum::WriteJson("BENCH_concurrency.json");
   return 0;
 }

@@ -3,6 +3,8 @@
 // benches are the reproduction targets; these numbers show the simulator's
 // own throughput and the relative CPU cost of the structures.
 #include <memory>
+#include <string>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
@@ -33,37 +35,54 @@ std::unique_ptr<AccessMethod> LoadedMethod(const std::string& name,
   return method;
 }
 
+// Attaches the RUM amplifications of the timed window to the benchmark's
+// JSON record, so BENCH_wallclock.json carries (method, ops/sec, RO/UO/MO)
+// in one machine-readable place.
+void AttachRumCounters(benchmark::State& state, const CounterSnapshot& before,
+                       const CounterSnapshot& after) {
+  CounterSnapshot delta = after - before;
+  state.counters["RO"] = delta.read_amplification();
+  state.counters["UO"] = delta.write_amplification();
+  state.counters["MO"] = after.space_amplification();
+}
+
 void BM_Get(benchmark::State& state, const std::string& name, size_t load) {
   std::unique_ptr<AccessMethod> method = LoadedMethod(name, load);
   Rng rng(1);
+  CounterSnapshot before = method->stats();
   for (auto _ : state) {
     Key k = rng.NextBelow(load) * 2;
     benchmark::DoNotOptimize(method->Get(k));
   }
   state.SetItemsProcessed(state.iterations());
+  AttachRumCounters(state, before, method->stats());
 }
 
 void BM_Insert(benchmark::State& state, const std::string& name,
                size_t load) {
   std::unique_ptr<AccessMethod> method = LoadedMethod(name, load);
   Rng rng(2);
+  CounterSnapshot before = method->stats();
   for (auto _ : state) {
     Key k = rng.NextBelow(load) * 2 + 1;
     benchmark::DoNotOptimize(method->Insert(k, 1));
   }
   state.SetItemsProcessed(state.iterations());
+  AttachRumCounters(state, before, method->stats());
 }
 
 void BM_Scan(benchmark::State& state, const std::string& name, size_t load) {
   std::unique_ptr<AccessMethod> method = LoadedMethod(name, load);
   Rng rng(3);
   std::vector<Entry> out;
+  CounterSnapshot before = method->stats();
   for (auto _ : state) {
     Key lo = rng.NextBelow(load);
     out.clear();
     benchmark::DoNotOptimize(method->Scan(lo, lo + 128, &out));
   }
   state.SetItemsProcessed(state.iterations());
+  AttachRumCounters(state, before, method->stats());
 }
 
 struct Registration {
@@ -102,4 +121,28 @@ Registration registration;
 }  // namespace
 }  // namespace rum
 
-BENCHMARK_MAIN();
+// Custom main: unless the caller passes their own --benchmark_out, results
+// are mirrored to BENCH_wallclock.json (google-benchmark's JSON schema,
+// with the RO/UO/MO counters attached per benchmark) for machine
+// consumption alongside the console table.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0) has_out = true;
+  }
+  std::string out_flag = "--benchmark_out=BENCH_wallclock.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int effective_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&effective_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(effective_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -36,10 +36,26 @@ run_stage() {
 
 if [[ "${STAGE}" == "all" || "${STAGE}" == "release" ]]; then
   run_stage "release" "build-ci" "" "" "Release"
+  echo "=== release: machine-readable bench smoke ==="
+  # The two JSON-emitting benches must run and produce parseable output; no
+  # thresholds are enforced here (wall-clock is not comparable across CI
+  # hosts), only the schema contract.
+  (cd build-ci/bench &&
+    ./bench_wallclock --benchmark_filter='(Get|Insert)/(btree|lsm-leveled)$' \
+      --benchmark_min_time=0.02 >/dev/null &&
+    ./bench_concurrency --smoke >/dev/null &&
+    python3 -m json.tool BENCH_wallclock.json >/dev/null &&
+    python3 -m json.tool BENCH_concurrency.json >/dev/null &&
+    echo "BENCH_wallclock.json + BENCH_concurrency.json parse OK")
 fi
 
 if [[ "${STAGE}" == "all" || "${STAGE}" == "asan" ]]; then
+  # pin_parity_test runs inside the full ASan ctest sweep below, but is also
+  # named explicitly so a filtered/parallel config can never silently drop
+  # the accounting-parity gate for the zero-copy pin path.
   run_stage "asan" "build-asan" "address" "" "Debug"
+  echo "=== asan: pin parity (explicit) ==="
+  (cd build-asan && ctest --output-on-failure -R pin_parity_test)
 fi
 
 if [[ "${STAGE}" == "all" || "${STAGE}" == "tsan" ]]; then

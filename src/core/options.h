@@ -28,6 +28,15 @@ struct Options {
   /// granularity"). Must be a multiple of kEntrySize.
   size_t block_size = 4096;
 
+  // --------------------------------------------------------------- Storage
+  struct Storage {
+    /// Access pages through zero-copy pin/unpin guards instead of
+    /// whole-block Read/Write copies. Both paths produce byte-identical
+    /// RUM accounting (pin_parity_test enforces this); the copy path exists
+    /// as a differential-testing oracle and migration escape hatch.
+    bool pinned_pages = true;
+  } storage;
+
   // ---------------------------------------------------------------- B+-Tree
   struct BTree {
     /// Leaf/inner node size in bytes; 0 means "one device block".

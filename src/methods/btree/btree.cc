@@ -16,6 +16,7 @@ BTree::BTree(const Options& options)
     : owned_device_(std::make_unique<BlockDevice>(EffectiveNodeSize(options),
                                                   &counters())),
       device_(owned_device_.get()),
+      pinned_pages_(options.storage.pinned_pages),
       node_size_(EffectiveNodeSize(options)),
       leaf_capacity_(BTreeLeaf::CapacityFor(node_size_)),
       inner_capacity_(BTreeInner::CapacityFor(node_size_)),
@@ -26,6 +27,7 @@ BTree::BTree(const Options& options)
 
 BTree::BTree(const Options& options, Device* device)
     : device_(device),
+      pinned_pages_(options.storage.pinned_pages),
       node_size_(device->block_size()),
       leaf_capacity_(BTreeLeaf::CapacityFor(node_size_)),
       inner_capacity_(BTreeInner::CapacityFor(node_size_)),
@@ -37,6 +39,12 @@ BTree::BTree(const Options& options, Device* device)
 BTree::~BTree() = default;
 
 Status BTree::LoadLeaf(PageId page, BTreeLeaf* out) {
+  if (pinned_pages_) {
+    PageReadGuard guard;
+    Status s = device_->PinForRead(page, &guard);
+    if (!s.ok()) return s;
+    return BTreeLeaf::DecodeFrom(guard.bytes(), out);
+  }
   std::vector<uint8_t> block;
   Status s = device_->Read(page, &block);
   if (!s.ok()) return s;
@@ -44,6 +52,15 @@ Status BTree::LoadLeaf(PageId page, BTreeLeaf* out) {
 }
 
 Status BTree::StoreLeaf(PageId page, const BTreeLeaf& leaf) {
+  if (pinned_pages_) {
+    PageWriteGuard guard;
+    Status s = device_->PinForWrite(page, &guard);
+    if (!s.ok()) return s;
+    s = leaf.EncodeInto(guard.bytes());
+    if (!s.ok()) return s;  // Overflow is detected before any byte moves.
+    guard.MarkDirty();
+    return guard.Release();
+  }
   std::vector<uint8_t> block;
   Status s = leaf.EncodeTo(node_size_, &block);
   if (!s.ok()) return s;
@@ -51,6 +68,12 @@ Status BTree::StoreLeaf(PageId page, const BTreeLeaf& leaf) {
 }
 
 Status BTree::LoadInner(PageId page, BTreeInner* out) {
+  if (pinned_pages_) {
+    PageReadGuard guard;
+    Status s = device_->PinForRead(page, &guard);
+    if (!s.ok()) return s;
+    return BTreeInner::DecodeFrom(guard.bytes(), out);
+  }
   std::vector<uint8_t> block;
   Status s = device_->Read(page, &block);
   if (!s.ok()) return s;
@@ -58,6 +81,15 @@ Status BTree::LoadInner(PageId page, BTreeInner* out) {
 }
 
 Status BTree::StoreInner(PageId page, const BTreeInner& inner) {
+  if (pinned_pages_) {
+    PageWriteGuard guard;
+    Status s = device_->PinForWrite(page, &guard);
+    if (!s.ok()) return s;
+    s = inner.EncodeInto(guard.bytes());
+    if (!s.ok()) return s;
+    guard.MarkDirty();
+    return guard.Release();
+  }
   std::vector<uint8_t> block;
   Status s = inner.EncodeTo(node_size_, &block);
   if (!s.ok()) return s;
@@ -69,6 +101,19 @@ Status BTree::DescendToLeaf(Key key, std::vector<PathStep>* path,
   assert(root_ != kInvalidPageId);
   PageId page = root_;
   for (size_t level = height_; level > 1; --level) {
+    if (pinned_pages_) {
+      // Descend straight off the pinned inner block: no materialization.
+      PageReadGuard guard;
+      Status s = device_->PinForRead(page, &guard);
+      if (!s.ok()) return s;
+      PageId child_page;
+      size_t child;
+      s = BTreeInner::ChildForKey(guard.bytes(), key, &child_page, &child);
+      if (!s.ok()) return s;
+      if (path != nullptr) path->push_back(PathStep{page, child});
+      page = child_page;
+      continue;
+    }
     BTreeInner inner;
     Status s = LoadInner(page, &inner);
     if (!s.ok()) return s;
@@ -290,6 +335,28 @@ Status BTree::Delete(Key key) {
 Result<Value> BTree::Get(Key key) {
   counters().OnPointQuery();
   if (root_ == kInvalidPageId) return Status::NotFound();
+  if (pinned_pages_) {
+    // Fully zero-copy point lookup: binary search each pinned node in
+    // place, never materializing a single entry.
+    PageId page = root_;
+    for (size_t level = height_; level > 1; --level) {
+      PageReadGuard guard;
+      Status s = device_->PinForRead(page, &guard);
+      if (!s.ok()) return s;
+      s = BTreeInner::ChildForKey(guard.bytes(), key, &page);
+      if (!s.ok()) return s;
+    }
+    PageReadGuard guard;
+    Status s = device_->PinForRead(page, &guard);
+    if (!s.ok()) return s;
+    Value value;
+    bool found = false;
+    s = BTreeLeaf::FindInBlock(guard.bytes(), key, &value, &found);
+    if (!s.ok()) return s;
+    if (!found) return Status::NotFound();
+    counters().OnLogicalRead(kEntrySize);
+    return value;
+  }
   PageId leaf_id;
   BTreeLeaf leaf;
   Status s = DescendToLeaf(key, nullptr, &leaf_id, &leaf);

@@ -71,6 +71,7 @@ class BTree : public AccessMethod {
 
   std::unique_ptr<BlockDevice> owned_device_;
   Device* device_;
+  bool pinned_pages_;
   size_t node_size_;
   size_t leaf_capacity_;
   size_t inner_capacity_;

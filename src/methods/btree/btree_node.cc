@@ -1,6 +1,7 @@
 #include "methods/btree/btree_node.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "storage/page_format.h"
 
@@ -21,11 +22,19 @@ Status BTreeLeaf::EncodeTo(size_t node_size, std::vector<uint8_t>* out) const {
   if (entries.size() > CapacityFor(node_size)) {
     return Status::ResourceExhausted("leaf overflow");
   }
-  out->assign(node_size, 0);
-  (*out)[0] = kLeafType;
-  EncodeU32(static_cast<uint32_t>(entries.size()), out->data() + 1);
-  EncodeU32(next, out->data() + 5);
-  uint8_t* cursor = out->data() + kLeafHeader;
+  out->resize(node_size);
+  return EncodeInto(*out);
+}
+
+Status BTreeLeaf::EncodeInto(std::span<uint8_t> block) const {
+  if (entries.size() > CapacityFor(block.size())) {
+    return Status::ResourceExhausted("leaf overflow");
+  }
+  std::memset(block.data(), 0, block.size());
+  block[0] = kLeafType;
+  EncodeU32(static_cast<uint32_t>(entries.size()), block.data() + 1);
+  EncodeU32(next, block.data() + 5);
+  uint8_t* cursor = block.data() + kLeafHeader;
   for (const Entry& e : entries) {
     EncodeU64(e.key, cursor);
     EncodeU64(e.value, cursor + 8);
@@ -34,8 +43,36 @@ Status BTreeLeaf::EncodeTo(size_t node_size, std::vector<uint8_t>* out) const {
   return Status::OK();
 }
 
-Status BTreeLeaf::DecodeFrom(const std::vector<uint8_t>& block,
-                             BTreeLeaf* out) {
+Status BTreeLeaf::FindInBlock(std::span<const uint8_t> block, Key key,
+                              Value* value, bool* found) {
+  if (block.size() < kLeafHeader || block[0] != kLeafType) {
+    return Status::Corruption("not a leaf block");
+  }
+  uint32_t n = DecodeU32(block.data() + 1);
+  if (kLeafHeader + static_cast<size_t>(n) * kEntrySize > block.size()) {
+    return Status::Corruption("leaf count exceeds block");
+  }
+  const uint8_t* base = block.data() + kLeafHeader;
+  size_t lo = 0;
+  size_t hi = n;
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (DecodeU64(base + mid * kEntrySize) < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo < n && DecodeU64(base + lo * kEntrySize) == key) {
+    *value = DecodeU64(base + lo * kEntrySize + 8);
+    *found = true;
+  } else {
+    *found = false;
+  }
+  return Status::OK();
+}
+
+Status BTreeLeaf::DecodeFrom(std::span<const uint8_t> block, BTreeLeaf* out) {
   if (block.size() < kLeafHeader || block[0] != kLeafType) {
     return Status::Corruption("not a leaf block");
   }
@@ -65,10 +102,19 @@ Status BTreeInner::EncodeTo(size_t node_size,
       children.size() != keys.size() + 1) {
     return Status::ResourceExhausted("inner overflow or malformed");
   }
-  out->assign(node_size, 0);
-  (*out)[0] = kInnerType;
-  EncodeU32(static_cast<uint32_t>(keys.size()), out->data() + 1);
-  uint8_t* cursor = out->data() + kInnerHeader;
+  out->resize(node_size);
+  return EncodeInto(*out);
+}
+
+Status BTreeInner::EncodeInto(std::span<uint8_t> block) const {
+  if (keys.size() > CapacityFor(block.size()) ||
+      children.size() != keys.size() + 1) {
+    return Status::ResourceExhausted("inner overflow or malformed");
+  }
+  std::memset(block.data(), 0, block.size());
+  block[0] = kInnerType;
+  EncodeU32(static_cast<uint32_t>(keys.size()), block.data() + 1);
+  uint8_t* cursor = block.data() + kInnerHeader;
   for (PageId child : children) {
     EncodeU32(child, cursor);
     cursor += 4;
@@ -80,7 +126,35 @@ Status BTreeInner::EncodeTo(size_t node_size,
   return Status::OK();
 }
 
-Status BTreeInner::DecodeFrom(const std::vector<uint8_t>& block,
+Status BTreeInner::ChildForKey(std::span<const uint8_t> block, Key key,
+                               PageId* child, size_t* index) {
+  if (block.size() < kInnerHeader || block[0] != kInnerType) {
+    return Status::Corruption("not an inner block");
+  }
+  uint32_t n = DecodeU32(block.data() + 1);
+  if (kInnerHeader + (static_cast<size_t>(n) + 1) * 4 +
+          static_cast<size_t>(n) * 8 >
+      block.size()) {
+    return Status::Corruption("inner count exceeds block");
+  }
+  // upper_bound over the separators, decoded lazily in place.
+  const uint8_t* keys_base = block.data() + kInnerHeader + (n + 1) * 4;
+  size_t lo = 0;
+  size_t hi = n;
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (DecodeU64(keys_base + mid * 8) <= key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  *child = DecodeU32(block.data() + kInnerHeader + lo * 4);
+  if (index != nullptr) *index = lo;
+  return Status::OK();
+}
+
+Status BTreeInner::DecodeFrom(std::span<const uint8_t> block,
                               BTreeInner* out) {
   if (block.size() < kInnerHeader || block[0] != kInnerType) {
     return Status::Corruption("not an inner block");
@@ -113,7 +187,7 @@ size_t BTreeInner::ChildIndexFor(Key key) const {
   return static_cast<size_t>(it - keys.begin());
 }
 
-bool IsLeafBlock(const std::vector<uint8_t>& block) {
+bool IsLeafBlock(std::span<const uint8_t> block) {
   return !block.empty() && block[0] == kLeafType;
 }
 

@@ -2,6 +2,7 @@
 #define RUMLAB_METHODS_BTREE_BTREE_NODE_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/status.h"
@@ -31,7 +32,16 @@ struct BTreeLeaf {
   /// Max entries in a leaf of `node_size` bytes.
   static size_t CapacityFor(size_t node_size);
   Status EncodeTo(size_t node_size, std::vector<uint8_t>* out) const;
-  static Status DecodeFrom(const std::vector<uint8_t>& block, BTreeLeaf* out);
+  /// Encodes in place into `block` (e.g. a pinned page view), zero-filling
+  /// the remainder.
+  Status EncodeInto(std::span<uint8_t> block) const;
+  static Status DecodeFrom(std::span<const uint8_t> block, BTreeLeaf* out);
+
+  /// Zero-copy point lookup straight off an encoded leaf block: binary
+  /// search without materializing the entries. Sets `*found` and, when
+  /// found, `*value`.
+  static Status FindInBlock(std::span<const uint8_t> block, Key key,
+                            Value* value, bool* found);
 };
 
 struct BTreeInner {
@@ -41,14 +51,22 @@ struct BTreeInner {
   /// Max separators in an inner node of `node_size` bytes.
   static size_t CapacityFor(size_t node_size);
   Status EncodeTo(size_t node_size, std::vector<uint8_t>* out) const;
-  static Status DecodeFrom(const std::vector<uint8_t>& block, BTreeInner* out);
+  /// Encodes in place into `block`, zero-filling the remainder.
+  Status EncodeInto(std::span<uint8_t> block) const;
+  static Status DecodeFrom(std::span<const uint8_t> block, BTreeInner* out);
 
   /// Index of the child to descend into for `key`.
   size_t ChildIndexFor(Key key) const;
+
+  /// Zero-copy descent step straight off an encoded inner block: binary
+  /// search of the separators without materializing the node. `index`
+  /// (optional) receives the child slot taken.
+  static Status ChildForKey(std::span<const uint8_t> block, Key key,
+                            PageId* child, size_t* index = nullptr);
 };
 
 /// Reads the node-type byte without a full decode.
-bool IsLeafBlock(const std::vector<uint8_t>& block);
+bool IsLeafBlock(std::span<const uint8_t> block);
 
 }  // namespace rum
 

@@ -11,11 +11,13 @@ SortedColumn::SortedColumn(const Options& options)
     : owned_device_(
           std::make_unique<BlockDevice>(options.block_size, &counters())),
       device_(owned_device_.get()),
+      pinned_pages_(options.storage.pinned_pages),
       capacity_(PageFormat::CapacityFor(options.block_size)),
       sparse_(options.column.sparse_index) {}
 
 SortedColumn::SortedColumn(const Options& options, Device* device)
     : device_(device),
+      pinned_pages_(options.storage.pinned_pages),
       capacity_(PageFormat::CapacityFor(device->block_size())),
       sparse_(options.column.sparse_index) {}
 
@@ -28,8 +30,15 @@ SortedColumn::~SortedColumn() = default;
 
 Status SortedColumn::LoadPage(size_t page_index, std::vector<Entry>* out) {
   assert(page_index < pages_.size());
+  Status s;
+  if (pinned_pages_) {
+    PageReadGuard guard;
+    s = device_->PinForRead(pages_[page_index], &guard);
+    if (!s.ok()) return s;
+    return PageFormat::Unpack(guard.bytes(), out);
+  }
   std::vector<uint8_t> block;
-  Status s = device_->Read(pages_[page_index], &block);
+  s = device_->Read(pages_[page_index], &block);
   if (!s.ok()) return s;
   return PageFormat::Unpack(block, out);
 }
@@ -37,11 +46,23 @@ Status SortedColumn::LoadPage(size_t page_index, std::vector<Entry>* out) {
 Status SortedColumn::StorePage(size_t page_index,
                                const std::vector<Entry>& entries) {
   assert(page_index < pages_.size());
-  std::vector<uint8_t> block;
-  Status s = PageFormat::Pack(entries, device_->block_size(), &block);
-  if (!s.ok()) return s;
-  s = device_->Write(pages_[page_index], block);
-  if (!s.ok()) return s;
+  Status s;
+  if (pinned_pages_) {
+    PageWriteGuard guard;
+    s = device_->PinForWrite(pages_[page_index], &guard);
+    if (!s.ok()) return s;
+    s = PageFormat::PackInto(entries, guard.bytes());
+    if (!s.ok()) return s;
+    guard.MarkDirty();
+    s = guard.Release();
+    if (!s.ok()) return s;
+  } else {
+    std::vector<uint8_t> block;
+    s = PageFormat::Pack(entries, device_->block_size(), &block);
+    if (!s.ok()) return s;
+    s = device_->Write(pages_[page_index], block);
+    if (!s.ok()) return s;
+  }
   if (sparse_ && !entries.empty()) {
     if (fences_.size() <= page_index) {
       fences_.resize(page_index + 1, 0);
@@ -78,10 +99,23 @@ Result<size_t> SortedColumn::FindPage(Key key) {
   std::vector<Entry> entries;
   while (lo < hi) {
     size_t mid = lo + (hi - lo) / 2;
-    Status s = LoadPage(mid, &entries);
-    if (!s.ok()) return s;
-    assert(!entries.empty());
-    if (entries.back().key < key) {
+    Key last_key;
+    if (pinned_pages_) {
+      // Each probe needs only the page's last key; read it off the pinned
+      // block instead of materializing the page.
+      PageReadGuard guard;
+      Status s = device_->PinForRead(pages_[mid], &guard);
+      if (!s.ok()) return s;
+      size_t n = PageFormat::PeekCount(guard.bytes());
+      assert(n > 0);
+      last_key = PageFormat::EntryAt(guard.bytes(), n - 1).key;
+    } else {
+      Status s = LoadPage(mid, &entries);
+      if (!s.ok()) return s;
+      assert(!entries.empty());
+      last_key = entries.back().key;
+    }
+    if (last_key < key) {
       lo = mid + 1;
     } else {
       hi = mid;
@@ -207,6 +241,28 @@ Result<Value> SortedColumn::Get(Key key) {
   if (pages_.empty()) return Status::NotFound();
   Result<size_t> page = FindPage(key);
   if (!page.ok()) return page.status();
+  if (pinned_pages_) {
+    // Binary search the pinned page in place: no entry materialization.
+    PageReadGuard guard;
+    Status s = device_->PinForRead(pages_[page.value()], &guard);
+    if (!s.ok()) return s;
+    size_t lo = 0;
+    size_t hi = PageFormat::PeekCount(guard.bytes());
+    size_t n = hi;
+    while (lo < hi) {
+      size_t mid = lo + (hi - lo) / 2;
+      if (PageFormat::EntryAt(guard.bytes(), mid).key < key) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo >= n) return Status::NotFound();
+    Entry e = PageFormat::EntryAt(guard.bytes(), lo);
+    if (e.key != key) return Status::NotFound();
+    counters().OnLogicalRead(kEntrySize);
+    return e.value;
+  }
   std::vector<Entry> entries;
   Status s = LoadPage(page.value(), &entries);
   if (!s.ok()) return s;

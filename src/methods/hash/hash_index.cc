@@ -16,17 +16,19 @@ HashIndex::HashIndex(const Options& options)
     : owned_device_(
           std::make_unique<BlockDevice>(options.block_size, &counters())),
       device_(owned_device_.get()),
+      pinned_pages_(options.storage.pinned_pages),
       slots_per_page_(PageFormat::CapacityFor(options.block_size)),
       fanout_(options.hash.directory_fanout),
-      heap_(std::make_unique<HeapFile>(device_, DataClass::kBase,
-                                       &counters())) {}
+      heap_(std::make_unique<HeapFile>(device_, DataClass::kBase, &counters(),
+                                       pinned_pages_)) {}
 
 HashIndex::HashIndex(const Options& options, Device* device)
     : device_(device),
+      pinned_pages_(options.storage.pinned_pages),
       slots_per_page_(PageFormat::CapacityFor(device->block_size())),
       fanout_(options.hash.directory_fanout),
-      heap_(std::make_unique<HeapFile>(device_, DataClass::kBase,
-                                       &counters())) {}
+      heap_(std::make_unique<HeapFile>(device_, DataClass::kBase, &counters(),
+                                       pinned_pages_)) {}
 
 HashIndex::~HashIndex() = default;
 
@@ -38,10 +40,17 @@ Status HashIndex::LoadSlotPage(size_t page_index) {
   if (cached_index_ == page_index) return Status::OK();
   Status s = StoreSlotPage(cached_index_);
   if (!s.ok()) return s;
-  std::vector<uint8_t> block;
-  s = device_->Read(dir_pages_[page_index], &block);
-  if (!s.ok()) return s;
-  s = PageFormat::Unpack(block, &cached_page_);
+  if (pinned_pages_) {
+    PageReadGuard guard;
+    s = device_->PinForRead(dir_pages_[page_index], &guard);
+    if (!s.ok()) return s;
+    s = PageFormat::Unpack(guard.bytes(), &cached_page_);
+  } else {
+    std::vector<uint8_t> block;
+    s = device_->Read(dir_pages_[page_index], &block);
+    if (!s.ok()) return s;
+    s = PageFormat::Unpack(block, &cached_page_);
+  }
   if (!s.ok()) return s;
   cached_index_ = page_index;
   cached_dirty_ = false;
@@ -53,6 +62,18 @@ Status HashIndex::StoreSlotPage(size_t page_index) {
     return Status::OK();
   }
   assert(page_index == cached_index_);
+  if (pinned_pages_) {
+    PageWriteGuard guard;
+    Status s = device_->PinForWrite(dir_pages_[page_index], &guard);
+    if (!s.ok()) return s;
+    s = PageFormat::PackInto(cached_page_, guard.bytes());
+    if (!s.ok()) return s;
+    guard.MarkDirty();
+    s = guard.Release();
+    if (!s.ok()) return s;
+    cached_dirty_ = false;
+    return Status::OK();
+  }
   std::vector<uint8_t> block;
   Status s = PageFormat::Pack(cached_page_, device_->block_size(), &block);
   if (!s.ok()) return s;
@@ -69,14 +90,29 @@ Status HashIndex::BuildDirectory(size_t slots) {
   slot_count_ = pages * slots_per_page_;
   dir_pages_.clear();
   std::vector<Entry> empty(slots_per_page_, Entry{0, kEmptySlot});
-  std::vector<uint8_t> block;
-  Status s = PageFormat::Pack(empty, device_->block_size(), &block);
-  if (!s.ok()) return s;
-  for (size_t p = 0; p < pages; ++p) {
-    PageId page = device_->Allocate(DataClass::kAux);
-    s = device_->Write(page, block);
+  if (pinned_pages_) {
+    for (size_t p = 0; p < pages; ++p) {
+      PageId page = device_->Allocate(DataClass::kAux);
+      PageWriteGuard guard;
+      Status s = device_->PinForWrite(page, &guard);
+      if (!s.ok()) return s;
+      s = PageFormat::PackInto(empty, guard.bytes());
+      if (!s.ok()) return s;
+      guard.MarkDirty();
+      s = guard.Release();
+      if (!s.ok()) return s;
+      dir_pages_.push_back(page);
+    }
+  } else {
+    std::vector<uint8_t> block;
+    Status s = PageFormat::Pack(empty, device_->block_size(), &block);
     if (!s.ok()) return s;
-    dir_pages_.push_back(page);
+    for (size_t p = 0; p < pages; ++p) {
+      PageId page = device_->Allocate(DataClass::kAux);
+      s = device_->Write(page, block);
+      if (!s.ok()) return s;
+      dir_pages_.push_back(page);
+    }
   }
   used_slots_ = 0;
   cached_index_ = static_cast<size_t>(-1);
@@ -129,9 +165,17 @@ Status HashIndex::Rehash(size_t new_slots) {
   std::vector<Entry> page;
   std::vector<PageId> old_pages = dir_pages_;
   for (PageId p : old_pages) {
-    Status s = device_->Read(p, &block);
-    if (!s.ok()) return s;
-    s = PageFormat::Unpack(block, &page);
+    Status s;
+    if (pinned_pages_) {
+      PageReadGuard guard;
+      s = device_->PinForRead(p, &guard);
+      if (!s.ok()) return s;
+      s = PageFormat::Unpack(guard.bytes(), &page);
+    } else {
+      s = device_->Read(p, &block);
+      if (!s.ok()) return s;
+      s = PageFormat::Unpack(block, &page);
+    }
     if (!s.ok()) return s;
     for (const Entry& e : page) {
       if (e.value != kEmptySlot && e.value != kTombstoneSlot) {

@@ -9,16 +9,16 @@ ImprintsColumn::ImprintsColumn(const Options& options)
       owned_device_(
           std::make_unique<BlockDevice>(options.block_size, &counters())),
       device_(owned_device_.get()),
-      heap_(std::make_unique<HeapFile>(device_, DataClass::kBase,
-                                       &counters())) {
+      heap_(std::make_unique<HeapFile>(device_, DataClass::kBase, &counters(),
+                                       options.storage.pinned_pages)) {
   bin_width_ = std::max<Key>(1, options_.bitmap.key_domain / kBins);
 }
 
 ImprintsColumn::ImprintsColumn(const Options& options, Device* device)
     : options_(options),
       device_(device),
-      heap_(std::make_unique<HeapFile>(device_, DataClass::kBase,
-                                       &counters())) {
+      heap_(std::make_unique<HeapFile>(device_, DataClass::kBase, &counters(),
+                                       options.storage.pinned_pages)) {
   bin_width_ = std::max<Key>(1, options_.bitmap.key_domain / kBins);
 }
 

@@ -130,7 +130,8 @@ Status LsmTree::CompactInto(size_t level, std::vector<LogRecord> records) {
   Status s = SortedRun::Build(device_, &counters(), records,
                               options_.lsm.bloom_bits_per_key, &run,
                               options_.lsm.fence_entries,
-                              options_.lsm.compress_runs);
+                              options_.lsm.compress_runs,
+                              options_.storage.pinned_pages);
   if (!s.ok()) return s;
   levels_[level].push_back(std::move(run));
   return Status::OK();

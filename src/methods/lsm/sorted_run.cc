@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 
 #include "storage/page_format.h"
 
@@ -15,12 +16,12 @@ size_t RecordsPerBlock(size_t block_size) {
 }
 }  // namespace
 
-void PackLogRecords(const std::vector<LogRecord>& records, size_t begin,
-                    size_t end, size_t block_size, std::vector<uint8_t>* out) {
-  assert(end >= begin && end - begin <= RecordsPerBlock(block_size));
-  out->assign(block_size, 0);
-  EncodeU64(end - begin, out->data());
-  uint8_t* cursor = out->data() + kRunHeaderSize;
+void PackLogRecordsInto(const std::vector<LogRecord>& records, size_t begin,
+                        size_t end, std::span<uint8_t> block) {
+  assert(end >= begin && end - begin <= RecordsPerBlock(block.size()));
+  std::memset(block.data(), 0, block.size());
+  EncodeU64(end - begin, block.data());
+  uint8_t* cursor = block.data() + kRunHeaderSize;
   for (size_t i = begin; i < end; ++i) {
     EncodeU64(records[i].key, cursor);
     EncodeU64(records[i].value, cursor + 8);
@@ -29,7 +30,13 @@ void PackLogRecords(const std::vector<LogRecord>& records, size_t begin,
   }
 }
 
-Status UnpackLogRecords(const std::vector<uint8_t>& block,
+void PackLogRecords(const std::vector<LogRecord>& records, size_t begin,
+                    size_t end, size_t block_size, std::vector<uint8_t>* out) {
+  out->resize(block_size);
+  PackLogRecordsInto(records, begin, end, *out);
+}
+
+Status UnpackLogRecords(std::span<const uint8_t> block,
                         std::vector<LogRecord>* out) {
   if (block.size() < kRunHeaderSize) {
     return Status::Corruption("run block too small");
@@ -73,7 +80,7 @@ size_t CompressedRecordSize(const LogRecord& r, Key prev_key) {
   return VarintLength(r.key - prev_key) + 8 + 1;
 }
 
-Status UnpackCompressedRecords(const std::vector<uint8_t>& block,
+Status UnpackCompressedRecords(std::span<const uint8_t> block,
                                std::vector<LogRecord>* out) {
   if (block.size() < kRunHeaderSize) {
     return Status::Corruption("run block too small");
@@ -108,7 +115,8 @@ Status SortedRun::Build(Device* device, RumCounters* counters,
                         const std::vector<LogRecord>& records,
                         size_t bloom_bits_per_key,
                         std::unique_ptr<SortedRun>* out,
-                        size_t fence_entries, bool compress) {
+                        size_t fence_entries, bool compress,
+                        bool pinned_pages) {
   assert(device != nullptr && counters != nullptr);
   assert(std::is_sorted(records.begin(), records.end(),
                         [](const LogRecord& a, const LogRecord& b) {
@@ -118,6 +126,7 @@ Status SortedRun::Build(Device* device, RumCounters* counters,
     return Status::InvalidArgument("cannot build an empty run");
   }
   auto run = std::unique_ptr<SortedRun>(new SortedRun(device, counters));
+  run->pinned_pages_ = pinned_pages;
   run->records_per_page_ = RecordsPerBlock(device->block_size());
   run->record_count_ = records.size();
   run->min_key_ = records.front().key;
@@ -140,10 +149,21 @@ Status SortedRun::Build(Device* device, RumCounters* counters,
     std::vector<uint8_t> block;
     for (size_t i = 0; i < records.size(); i += run->records_per_page_) {
       size_t end = std::min(i + run->records_per_page_, records.size());
-      PackLogRecords(records, i, end, device->block_size(), &block);
       PageId page = device->Allocate(DataClass::kBase);
-      Status s = device->Write(page, block);
-      if (!s.ok()) return s;
+      if (pinned_pages) {
+        // Encode directly into the pinned page; no staging copy.
+        PageWriteGuard guard;
+        Status s = device->PinForWrite(page, &guard);
+        if (!s.ok()) return s;
+        PackLogRecordsInto(records, i, end, guard.bytes());
+        guard.MarkDirty();
+        s = guard.Release();
+        if (!s.ok()) return s;
+      } else {
+        PackLogRecords(records, i, end, device->block_size(), &block);
+        Status s = device->Write(page, block);
+        if (!s.ok()) return s;
+      }
       if (run->pages_.size() % run->pages_per_fence_ == 0) {
         run->fences_.push_back(records[i].key);
       }
@@ -159,13 +179,26 @@ Status SortedRun::Build(Device* device, RumCounters* counters,
     Key prev = 0;
     Key first_key = 0;
     auto seal = [&]() -> Status {
-      std::vector<uint8_t> block(block_size, 0);
-      EncodeU64(page_count, block.data());
-      std::copy(payload.begin(), payload.end(),
-                block.begin() + kRunHeaderSize);
       PageId page = device->Allocate(DataClass::kBase);
-      Status s = device->Write(page, block);
-      if (!s.ok()) return s;
+      if (pinned_pages) {
+        PageWriteGuard guard;
+        Status s = device->PinForWrite(page, &guard);
+        if (!s.ok()) return s;
+        std::memset(guard.bytes().data(), 0, guard.bytes().size());
+        EncodeU64(page_count, guard.bytes().data());
+        std::copy(payload.begin(), payload.end(),
+                  guard.bytes().begin() + kRunHeaderSize);
+        guard.MarkDirty();
+        s = guard.Release();
+        if (!s.ok()) return s;
+      } else {
+        std::vector<uint8_t> block(block_size, 0);
+        EncodeU64(page_count, block.data());
+        std::copy(payload.begin(), payload.end(),
+                  block.begin() + kRunHeaderSize);
+        Status s = device->Write(page, block);
+        if (!s.ok()) return s;
+      }
       if (run->pages_.size() % run->pages_per_fence_ == 0) {
         run->fences_.push_back(first_key);
       }
@@ -222,6 +255,15 @@ Status SortedRun::Destroy() {
 
 Status SortedRun::LoadPage(size_t page_index, std::vector<LogRecord>* out) {
   assert(page_index < pages_.size());
+  if (pinned_pages_) {
+    PageReadGuard guard;
+    Status s = device_->PinForRead(pages_[page_index], &guard);
+    if (!s.ok()) return s;
+    if (compressed_) {
+      return UnpackCompressedRecords(guard.bytes(), out);
+    }
+    return UnpackLogRecords(guard.bytes(), out);
+  }
   std::vector<uint8_t> block;
   Status s = device_->Read(pages_[page_index], &block);
   if (!s.ok()) return s;
@@ -257,6 +299,50 @@ Result<std::optional<LogRecord>> SortedRun::Get(Key key) {
   size_t group = FenceSearch(key);
   size_t first_page = group * pages_per_fence_;
   size_t end_page = std::min(first_page + pages_per_fence_, pages_.size());
+  if (pinned_pages_ && !compressed_) {
+    // Fixed-width wire records allow binary search directly on the pinned
+    // block: no record materialization on the lookup path.
+    for (size_t p = first_page; p < end_page; ++p) {
+      PageReadGuard guard;
+      Status s = device_->PinForRead(pages_[p], &guard);
+      if (!s.ok()) return s;
+      std::span<const uint8_t> block = guard.bytes();
+      if (block.size() < kRunHeaderSize) {
+        return Status::Corruption("run block too small");
+      }
+      uint64_t n = DecodeU64(block.data());
+      if (kRunHeaderSize + n * LogRecord::kWireSize > block.size()) {
+        return Status::Corruption("run record count exceeds block");
+      }
+      if (n == 0) continue;
+      auto key_at = [&](size_t i) {
+        return DecodeU64(block.data() + kRunHeaderSize +
+                         i * LogRecord::kWireSize);
+      };
+      if (key_at(n - 1) < key) continue;  // Key is further right.
+      size_t lo = 0;
+      size_t hi = n;
+      while (lo < hi) {
+        size_t mid = lo + (hi - lo) / 2;
+        if (key_at(mid) < key) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      if (lo >= n || key_at(lo) != key) {
+        return std::optional<LogRecord>();
+      }
+      const uint8_t* rec =
+          block.data() + kRunHeaderSize + lo * LogRecord::kWireSize;
+      LogRecord r;
+      r.key = DecodeU64(rec);
+      r.value = DecodeU64(rec + 8);
+      r.op = static_cast<LogOp>(rec[16]);
+      return std::optional<LogRecord>(r);
+    }
+    return std::optional<LogRecord>();
+  }
   std::vector<LogRecord> records;
   for (size_t p = first_page; p < end_page; ++p) {
     Status s = LoadPage(p, &records);

@@ -5,6 +5,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/counters.h"
@@ -37,11 +38,14 @@ class SortedRun {
   /// 17-byte records (the paper's Section-5 compression/computation trade):
   /// sorted keys have small deltas, so runs shrink -- fewer resident blocks
   /// and fewer blocks per range read -- at decode CPU cost.
+  /// `pinned_pages` selects the zero-copy guard path for page writes here
+  /// and page reads in Get/Visit*; accounting is identical either way.
   static Status Build(Device* device, RumCounters* counters,
                       const std::vector<LogRecord>& records,
                       size_t bloom_bits_per_key,
                       std::unique_ptr<SortedRun>* out,
-                      size_t fence_entries = 0, bool compress = false);
+                      size_t fence_entries = 0, bool compress = false,
+                      bool pinned_pages = true);
 
   /// Frees the run's pages. Build() owns nothing until it succeeds.
   ~SortedRun();
@@ -83,6 +87,7 @@ class SortedRun {
 
   Device* device_;         // Not owned.
   RumCounters* counters_;  // Not owned.
+  bool pinned_pages_ = true;
   std::vector<PageId> pages_;
   std::vector<Key> fences_;  // First key of each fence group.
   size_t pages_per_fence_ = 1;
@@ -99,7 +104,11 @@ class SortedRun {
 /// `block_size`; shared by SortedRun and tests.
 void PackLogRecords(const std::vector<LogRecord>& records, size_t begin,
                     size_t end, size_t block_size, std::vector<uint8_t>* out);
-Status UnpackLogRecords(const std::vector<uint8_t>& block,
+/// In-place variant: encodes into a caller-owned block (e.g. a pinned
+/// page); zeroes the block first.
+void PackLogRecordsInto(const std::vector<LogRecord>& records, size_t begin,
+                        size_t end, std::span<uint8_t> block);
+Status UnpackLogRecords(std::span<const uint8_t> block,
                         std::vector<LogRecord>* out);
 
 }  // namespace rum

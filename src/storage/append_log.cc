@@ -1,6 +1,7 @@
 #include "storage/append_log.h"
 
 #include <cassert>
+#include <cstring>
 
 #include "storage/page_format.h"
 
@@ -11,8 +12,12 @@ namespace {
 constexpr size_t kLogHeaderSize = sizeof(uint64_t);
 }  // namespace
 
-AppendLog::AppendLog(Device* device, DataClass cls, RumCounters* counters)
-    : device_(device), cls_(cls), counters_(counters) {
+AppendLog::AppendLog(Device* device, DataClass cls, RumCounters* counters,
+                     bool pinned_pages)
+    : device_(device),
+      cls_(cls),
+      counters_(counters),
+      pinned_pages_(pinned_pages) {
   assert(device_ != nullptr && counters_ != nullptr);
   records_per_block_ =
       (device_->block_size() - kLogHeaderSize) / LogRecord::kWireSize;
@@ -53,6 +58,21 @@ Status AppendLog::Append(const LogRecord& record) {
 
 Status AppendLog::Flush() {
   if (tail_.empty() || tail_page_ == kInvalidPageId) return Status::OK();
+  if (pinned_pages_) {
+    PageWriteGuard guard;
+    Status s = device_->PinForWrite(tail_page_, &guard);
+    if (!s.ok()) return s;
+    uint8_t* block = guard.bytes().data();
+    std::memset(block, 0, guard.bytes().size());
+    EncodeU64(tail_.size(), block);
+    uint8_t* cursor = block + kLogHeaderSize;
+    for (const LogRecord& r : tail_) {
+      EncodeRecord(r, cursor);
+      cursor += LogRecord::kWireSize;
+    }
+    guard.MarkDirty();
+    return guard.Release();
+  }
   std::vector<uint8_t> block(device_->block_size(), 0);
   EncodeU64(tail_.size(), block.data());
   uint8_t* cursor = block.data() + kLogHeaderSize;
@@ -65,16 +85,34 @@ Status AppendLog::Flush() {
 
 Status AppendLog::ForEach(
     const std::function<Status(const LogRecord&)>& visit) const {
+  // Decoded into a per-call scratch so the pin is released before the
+  // visitor runs (visitors may touch the device themselves).
+  std::vector<LogRecord> records;
+  records.reserve(records_per_block_);
   std::vector<uint8_t> block;
   for (PageId page : pages_) {
-    Status s = device_->Read(page, &block);
-    if (!s.ok()) return s;
-    uint64_t n = DecodeU64(block.data());
-    const uint8_t* cursor = block.data() + kLogHeaderSize;
-    for (uint64_t i = 0; i < n; ++i) {
-      s = visit(DecodeRecord(cursor));
+    const uint8_t* data = nullptr;
+    PageReadGuard guard;
+    if (pinned_pages_) {
+      Status s = device_->PinForRead(page, &guard);
       if (!s.ok()) return s;
+      data = guard.bytes().data();
+    } else {
+      Status s = device_->Read(page, &block);
+      if (!s.ok()) return s;
+      data = block.data();
+    }
+    uint64_t n = DecodeU64(data);
+    const uint8_t* cursor = data + kLogHeaderSize;
+    records.clear();
+    for (uint64_t i = 0; i < n; ++i) {
+      records.push_back(DecodeRecord(cursor));
       cursor += LogRecord::kWireSize;
+    }
+    guard.Release();
+    for (const LogRecord& r : records) {
+      Status s = visit(r);
+      if (!s.ok()) return s;
     }
   }
   // Records still buffered in the tail are served from memory; charge their

@@ -47,9 +47,13 @@ Status BlockDevice::Free(PageId page) {
   Status s = CheckLive(page);
   if (!s.ok()) return s;
   PageSlot& slot = pages_[page];
+  if (slot.pins != 0) {
+    return Status::InvalidArgument("cannot free a pinned page");
+  }
   slot.live = false;
+  // Keep the slot's capacity: Allocate() re-zeroes recycled slots in place,
+  // so freeing must not force a reallocation on the next reuse.
   slot.bytes.clear();
-  slot.bytes.shrink_to_fit();
   free_list_.push_back(page);
   --live_total_;
   if (slot.cls == DataClass::kBase) {
@@ -76,6 +80,40 @@ Status BlockDevice::Write(PageId page, const std::vector<uint8_t>& data) {
   if (!s.ok()) return s;
   pages_[page].bytes = data;
   return Status::OK();
+}
+
+Status BlockDevice::PinForRead(PageId page, PageReadGuard* out) {
+  Status s = ChargeRead(page);
+  if (!s.ok()) return s;
+  PageSlot& slot = pages_[page];
+  ++slot.pins;
+  ++pins_outstanding_;
+  *out = MakeReadGuard(this, page, slot.bytes.data(), block_size_);
+  return Status::OK();
+}
+
+Status BlockDevice::PinForWrite(PageId page, PageWriteGuard* out) {
+  Status s = CheckLive(page);
+  if (!s.ok()) return s;
+  PageSlot& slot = pages_[page];
+  ++slot.pins;
+  ++pins_outstanding_;
+  *out = MakeWriteGuard(this, page, slot.bytes.data(), block_size_);
+  return Status::OK();
+}
+
+void BlockDevice::UnpinRead(PageId page) {
+  assert(page < pages_.size() && pages_[page].pins > 0);
+  --pages_[page].pins;
+  --pins_outstanding_;
+}
+
+Status BlockDevice::UnpinWrite(PageId page, bool dirty) {
+  assert(page < pages_.size() && pages_[page].pins > 0);
+  --pages_[page].pins;
+  --pins_outstanding_;
+  if (!dirty) return Status::OK();
+  return ChargeWrite(page);
 }
 
 std::vector<uint8_t>* BlockDevice::mutable_page_unaccounted(PageId page) {

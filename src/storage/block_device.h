@@ -47,6 +47,14 @@ class BlockDevice : public Device {
   /// No buffering at the bottom of the stack; always OK.
   Status FlushAll() override { return Status::OK(); }
 
+  /// Zero-copy pin straight into the page slot's backing bytes. Charged
+  /// exactly like Read (at pin time); the slot cannot be freed while pinned.
+  Status PinForRead(PageId page, PageReadGuard* out) override;
+
+  /// Zero-copy mutable pin into the page slot. Nothing is charged until the
+  /// guard's dirty release, which is charged exactly like Write.
+  Status PinForWrite(PageId page, PageWriteGuard* out) override;
+
   /// Direct mutable access to a page's backing bytes WITHOUT accounting.
   /// Only for tests and for internal assembly of a block that is charged
   /// separately via Charge{Read,Write}.
@@ -76,11 +84,19 @@ class BlockDevice : public Device {
     return cls == DataClass::kBase ? live_base_ : live_aux_;
   }
 
+  /// Pins currently outstanding across all pages (tests / debugging).
+  size_t pinned_pages() const { return pins_outstanding_; }
+
+ protected:
+  void UnpinRead(PageId page) override;
+  Status UnpinWrite(PageId page, bool dirty) override;
+
  private:
   struct PageSlot {
     std::vector<uint8_t> bytes;
     DataClass cls = DataClass::kBase;
     bool live = false;
+    uint32_t pins = 0;
   };
 
   Status CheckLive(PageId page) const;
@@ -95,6 +111,7 @@ class BlockDevice : public Device {
   size_t live_total_ = 0;
   size_t live_base_ = 0;
   size_t live_aux_ = 0;
+  size_t pins_outstanding_ = 0;
   bool fault_armed_ = false;
   mutable uint64_t fault_budget_ = 0;
 };

@@ -30,14 +30,19 @@ uint64_t CachingDevice::misses() const {
   return misses_;
 }
 
+size_t CachingDevice::pinned_pages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pins_outstanding_;
+}
+
 Status CachingDevice::Free(PageId page) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(page);
   if (it != entries_.end()) {
-    counters_.AdjustSpace(DataClass::kAux,
-                          -static_cast<int64_t>(block_size()));
-    lru_.erase(it->second.lru_pos);
-    entries_.erase(it);
+    if (it->second.pins != 0) {
+      return Status::InvalidArgument("cannot free a pinned page");
+    }
+    DropEntry(page, &it->second);
   }
   return base_->Free(page);
 }
@@ -48,18 +53,29 @@ void CachingDevice::Touch(PageId page, CacheEntry* entry) {
   entry->lru_pos = lru_.begin();
 }
 
-Status CachingDevice::EvictOne() {
-  assert(!lru_.empty());
-  PageId victim = lru_.back();
-  auto it = entries_.find(victim);
-  assert(it != entries_.end());
-  if (it->second.dirty) {
-    Status s = base_->Write(victim, it->second.bytes);
-    if (!s.ok()) return s;
-  }
+void CachingDevice::DropEntry(PageId page, CacheEntry* entry) {
   counters_.AdjustSpace(DataClass::kAux, -static_cast<int64_t>(block_size()));
-  lru_.pop_back();
-  entries_.erase(it);
+  lru_.erase(entry->lru_pos);
+  entries_.erase(page);
+}
+
+Status CachingDevice::EvictDownTo(size_t target) {
+  while (entries_.size() > target) {
+    // LRU-first scan for an unpinned victim; pinned entries must stay at a
+    // stable address, so they are skipped (transient capacity overshoot).
+    auto victim = lru_.rbegin();
+    while (victim != lru_.rend() && entries_.at(*victim).pins != 0) {
+      ++victim;
+    }
+    if (victim == lru_.rend()) return Status::OK();
+    PageId page = *victim;
+    CacheEntry& entry = entries_.at(page);
+    if (entry.dirty) {
+      Status s = base_->Write(page, entry.bytes);
+      if (!s.ok()) return s;
+    }
+    DropEntry(page, &entry);
+  }
   return Status::OK();
 }
 
@@ -70,8 +86,8 @@ Status CachingDevice::InsertEntry(PageId page, std::vector<uint8_t> bytes,
     if (dirty) return base_->Write(page, bytes);
     return Status::OK();
   }
-  while (entries_.size() >= capacity_pages_) {
-    Status s = EvictOne();
+  if (entries_.size() >= capacity_pages_) {
+    Status s = EvictDownTo(capacity_pages_ - 1);
     if (!s.ok()) return s;
   }
   lru_.push_front(page);
@@ -82,6 +98,28 @@ Status CachingDevice::InsertEntry(PageId page, std::vector<uint8_t> bytes,
   entries_.emplace(page, std::move(entry));
   counters_.AdjustSpace(DataClass::kAux, static_cast<int64_t>(block_size()));
   return Status::OK();
+}
+
+CachingDevice::CacheEntry* CachingDevice::InsertPinnedEntry(
+    PageId page, std::vector<uint8_t> bytes, bool speculative, Status* s) {
+  // Unlike the copy path, pins always need a resident entry -- even at
+  // capacity 0, where the entry lives only for the pin window and is
+  // trimmed away (write-back if dirty) when the last pin releases.
+  if (capacity_pages_ > 0 && entries_.size() >= capacity_pages_) {
+    *s = EvictDownTo(capacity_pages_ - 1);
+    if (!s->ok()) return nullptr;
+  }
+  lru_.push_front(page);
+  CacheEntry entry;
+  entry.bytes = std::move(bytes);
+  entry.pins = 1;
+  entry.speculative = speculative;
+  entry.lru_pos = lru_.begin();
+  CacheEntry* inserted = &entries_.emplace(page, std::move(entry)).first->second;
+  counters_.AdjustSpace(DataClass::kAux, static_cast<int64_t>(block_size()));
+  ++pins_outstanding_;
+  *s = Status::OK();
+  return inserted;
 }
 
 Status CachingDevice::Read(PageId page, std::vector<uint8_t>* out) {
@@ -117,6 +155,89 @@ Status CachingDevice::Write(PageId page, const std::vector<uint8_t>& data) {
     return Status::OK();
   }
   return InsertEntry(page, data, /*dirty=*/true);
+}
+
+Status CachingDevice::PinForRead(PageId page, PageReadGuard* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(page);
+  if (it != entries_.end()) {
+    ++hits_;
+    // Served at this level: charge the cache, not the device below.
+    counters_.OnRead(DataClass::kAux, block_size());
+    counters_.OnBlockRead();
+    Touch(page, &it->second);
+    ++it->second.pins;
+    ++pins_outstanding_;
+    *out = MakeReadGuard(this, page, it->second.bytes.data(), block_size());
+    return Status::OK();
+  }
+  ++misses_;
+  std::vector<uint8_t> bytes;
+  Status s = base_->Read(page, &bytes);
+  if (!s.ok()) return s;
+  CacheEntry* entry =
+      InsertPinnedEntry(page, std::move(bytes), /*speculative=*/false, &s);
+  if (entry == nullptr) return s;
+  *out = MakeReadGuard(this, page, entry->bytes.data(), block_size());
+  return Status::OK();
+}
+
+Status CachingDevice::PinForWrite(PageId page, PageWriteGuard* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(page);
+  if (it != entries_.end()) {
+    Touch(page, &it->second);
+    ++it->second.pins;
+    ++pins_outstanding_;
+    *out = MakeWriteGuard(this, page, it->second.bytes.data(), block_size());
+    return Status::OK();
+  }
+  // Blind write pin: hand out a zeroed block without faulting the page in,
+  // mirroring the copy path's Write-on-miss (no base read is charged).
+  Status s;
+  CacheEntry* entry = InsertPinnedEntry(page, std::vector<uint8_t>(block_size(), 0),
+                                        /*speculative=*/true, &s);
+  if (entry == nullptr) return s;
+  *out = MakeWriteGuard(this, page, entry->bytes.data(), block_size());
+  return Status::OK();
+}
+
+void CachingDevice::UnpinRead(PageId page) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(page);
+  assert(it != entries_.end() && it->second.pins > 0);
+  --it->second.pins;
+  --pins_outstanding_;
+  if (it->second.pins == 0) {
+    // Trim any pin-induced overshoot. A failed write-back here simply
+    // leaves the dirty victim cached; it retries on the next eviction.
+    EvictDownTo(capacity_pages_);
+  }
+}
+
+Status CachingDevice::UnpinWrite(PageId page, bool dirty) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(page);
+  assert(it != entries_.end() && it->second.pins > 0);
+  CacheEntry& entry = it->second;
+  --entry.pins;
+  --pins_outstanding_;
+  if (dirty) {
+    // The write lands at this level; charge it here exactly like Write.
+    counters_.OnWrite(DataClass::kAux, block_size());
+    counters_.OnBlockWrite();
+    entry.dirty = true;
+    entry.speculative = false;
+  } else if (entry.speculative && entry.pins == 0) {
+    // A missed write pin released clean never became real data; drop it so
+    // later reads are not served zeros.
+    DropEntry(page, &entry);
+    return Status::OK();
+  }
+  if (entry.pins == 0) {
+    return EvictDownTo(capacity_pages_);
+  }
+  return Status::OK();
 }
 
 Status CachingDevice::FlushAll() {

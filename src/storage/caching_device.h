@@ -26,7 +26,14 @@ namespace rum {
 /// Thread safety: one internal mutex serializes every operation (LRU lists
 /// do not shard well), so a CachingDevice may be shared by concurrent
 /// access-method shards. Calls into the base device happen under that lock,
-/// serializing the whole stack beneath this level.
+/// serializing the whole stack beneath this level. Pins hold the lock only
+/// for the lookup/insert, not for the caller's whole critical section, so
+/// concurrent callers must touch disjoint pages while pinned (the
+/// ShardedMethod partitioning guarantees exactly that).
+///
+/// Pinned entries are excluded from eviction, so a burst of pins can push
+/// residency transiently above `capacity_pages`; the overshoot is trimmed
+/// back as pins release.
 class CachingDevice : public Device {
  public:
   /// Wraps `base` (borrowed, must outlive this) with an LRU cache holding at
@@ -38,6 +45,19 @@ class CachingDevice : public Device {
   Status Read(PageId page, std::vector<uint8_t>* out) override;
   Status Write(PageId page, const std::vector<uint8_t>& data) override;
   Status FlushAll() override;
+
+  /// Pins the cache entry for `page` (faulting it in from the base device
+  /// on a miss) and returns a view of its bytes. A hit charges this level's
+  /// counters exactly like a cache-hit Read; a miss charges only the base.
+  Status PinForRead(PageId page, PageReadGuard* out) override;
+
+  /// Pins the cache entry for `page` for in-place mutation. On a miss the
+  /// entry is zero-filled WITHOUT reading the base device (matching the
+  /// accounting of a blind Write), so callers must fully overwrite the
+  /// block unless the page is simultaneously read-pinned or already cached.
+  /// The cache-level write charge lands at the guard's dirty release; a
+  /// clean release of a missed pin drops the speculative entry unchanged.
+  Status PinForWrite(PageId page, PageWriteGuard* out) override;
 
   size_t block_size() const override { return base_->block_size(); }
   size_t live_pages() const override { return base_->live_pages(); }
@@ -51,19 +71,38 @@ class CachingDevice : public Device {
   uint64_t hits() const;
   uint64_t misses() const;
 
+  /// Cached pages currently pinned (tests / debugging).
+  size_t pinned_pages() const;
+
+ protected:
+  void UnpinRead(PageId page) override;
+  Status UnpinWrite(PageId page, bool dirty) override;
+
  private:
   struct CacheEntry {
     std::vector<uint8_t> bytes;
     bool dirty = false;
+    uint32_t pins = 0;
+    /// Created by a missed write pin: contents are not backed by the base
+    /// device until a dirty release lands; dropped on a clean release.
+    bool speculative = false;
     std::list<PageId>::iterator lru_pos;
   };
 
   /// Moves `page` to the MRU position.
   void Touch(PageId page, CacheEntry* entry);
-  /// Evicts the LRU page, writing it back if dirty.
-  Status EvictOne();
+  /// Evicts unpinned LRU pages (writing back dirty victims) until at most
+  /// `target` entries remain or every remaining entry is pinned.
+  Status EvictDownTo(size_t target);
   /// Inserts a page copy, evicting as needed.
   Status InsertEntry(PageId page, std::vector<uint8_t> bytes, bool dirty);
+  /// Inserts a pinned entry for the pin path; may overshoot capacity when
+  /// eviction candidates are all pinned. Returns the entry or nullptr on a
+  /// write-back failure during eviction (status in `*s`).
+  CacheEntry* InsertPinnedEntry(PageId page, std::vector<uint8_t> bytes,
+                                bool speculative, Status* s);
+  /// Removes `entry` from the map and LRU list, releasing its space.
+  void DropEntry(PageId page, CacheEntry* entry);
 
   Device* base_;  // Not owned.
   size_t capacity_pages_;
@@ -71,6 +110,7 @@ class CachingDevice : public Device {
   mutable std::mutex mu_;  // Guards everything below (and base_ calls).
   std::unordered_map<PageId, CacheEntry> entries_;
   std::list<PageId> lru_;  // Front = MRU, back = LRU.
+  size_t pins_outstanding_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
 };

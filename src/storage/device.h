@@ -3,6 +3,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "core/counters.h"
@@ -11,10 +13,133 @@
 
 namespace rum {
 
+class Device;
+
+/// RAII handle to a page pinned for reading. While the guard is live the
+/// device keeps the underlying block bytes at a stable address and `bytes()`
+/// is a zero-copy const view of the whole block. The read charge
+/// (`OnRead` + `OnBlockRead`, and any injected fault) happens once, at pin
+/// time -- byte-identical to the accounting of a `Device::Read` copy.
+///
+/// Lifetime rules: guards must not be held across `Allocate`, `Free`, or
+/// `FlushAll` on the same device, and a pinned page cannot be freed.
+class PageReadGuard {
+ public:
+  PageReadGuard() = default;
+  PageReadGuard(const PageReadGuard&) = delete;
+  PageReadGuard& operator=(const PageReadGuard&) = delete;
+  PageReadGuard(PageReadGuard&& other) noexcept { MoveFrom(&other); }
+  PageReadGuard& operator=(PageReadGuard&& other) noexcept {
+    if (this != &other) {
+      Release();
+      MoveFrom(&other);
+    }
+    return *this;
+  }
+  inline ~PageReadGuard();
+
+  /// True when the guard holds a pin.
+  bool valid() const { return device_ != nullptr; }
+  PageId page() const { return page_; }
+  /// Const view of the whole block; empty when !valid().
+  std::span<const uint8_t> bytes() const { return {data_, size_}; }
+
+  /// Drops the pin early (no-op on an empty guard).
+  inline void Release();
+
+ private:
+  friend class Device;
+  PageReadGuard(Device* device, PageId page, const uint8_t* data, size_t size)
+      : device_(device), page_(page), data_(data), size_(size) {}
+
+  void MoveFrom(PageReadGuard* other) {
+    device_ = std::exchange(other->device_, nullptr);
+    page_ = std::exchange(other->page_, kInvalidPageId);
+    data_ = std::exchange(other->data_, nullptr);
+    size_ = std::exchange(other->size_, 0);
+  }
+
+  Device* device_ = nullptr;
+  PageId page_ = kInvalidPageId;
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// RAII handle to a page pinned for writing. `bytes()` is a zero-copy
+/// mutable view of the whole block; mutations happen in place. Nothing is
+/// charged at pin time. `Release()` unpins and -- only if `MarkDirty()` was
+/// called -- charges `OnWrite` + `OnBlockWrite` (consuming one fault-budget
+/// token) exactly once, byte-identical to a `Device::Write` of the block.
+/// A clean release charges nothing.
+///
+/// If the dirty release fails (injected fault), the charge did not happen,
+/// the guard is left inert (no dangling dirty state, a second Release is a
+/// no-op), and the in-place mutations may remain visible -- the simulated
+/// analogue of a torn write.
+///
+/// Pinning a page for write does NOT fault its prior contents in: on a
+/// cache miss the view is zero-filled, so callers must fully overwrite the
+/// block unless they read-pinned the same page first. Same lifetime rules
+/// as PageReadGuard.
+class PageWriteGuard {
+ public:
+  PageWriteGuard() = default;
+  PageWriteGuard(const PageWriteGuard&) = delete;
+  PageWriteGuard& operator=(const PageWriteGuard&) = delete;
+  PageWriteGuard(PageWriteGuard&& other) noexcept { MoveFrom(&other); }
+  PageWriteGuard& operator=(PageWriteGuard&& other) noexcept {
+    if (this != &other) {
+      Release();
+      MoveFrom(&other);
+    }
+    return *this;
+  }
+  /// Releases the pin, ignoring the unpin status (use Release() on paths
+  /// that must observe write faults).
+  inline ~PageWriteGuard();
+
+  bool valid() const { return device_ != nullptr; }
+  PageId page() const { return page_; }
+  /// Mutable view of the whole block; empty when !valid().
+  std::span<uint8_t> bytes() const { return {data_, size_}; }
+
+  /// Marks the block modified; the write charge happens at Release().
+  void MarkDirty() { dirty_ = true; }
+  bool dirty() const { return dirty_; }
+
+  /// Unpins; charges the write iff dirty. Returns the charge status.
+  inline Status Release();
+
+ private:
+  friend class Device;
+  PageWriteGuard(Device* device, PageId page, uint8_t* data, size_t size)
+      : device_(device), page_(page), data_(data), size_(size) {}
+
+  void MoveFrom(PageWriteGuard* other) {
+    device_ = std::exchange(other->device_, nullptr);
+    page_ = std::exchange(other->page_, kInvalidPageId);
+    data_ = std::exchange(other->data_, nullptr);
+    size_ = std::exchange(other->size_, 0);
+    dirty_ = std::exchange(other->dirty_, false);
+  }
+
+  Device* device_ = nullptr;
+  PageId page_ = kInvalidPageId;
+  uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  bool dirty_ = false;
+};
+
 /// Abstract block storage. Access methods program against this interface so
 /// a raw simulated device (BlockDevice) and a cache stacked on top of one
 /// (CachingDevice) are interchangeable -- the composition the paper's
 /// Figure 2 reasons about.
+///
+/// Two access styles with byte-identical RUM accounting:
+///  - copy path: `Read` / `Write` move whole blocks through caller vectors;
+///  - pin path: `PinForRead` / `PinForWrite` hand out zero-copy views into
+///    the device's own storage (see the guard classes above for the
+///    charging contract and lifetime rules).
 class Device {
  public:
   virtual ~Device() = default;
@@ -24,7 +149,7 @@ class Device {
 
   /// Allocates a zeroed page of class `cls`.
   virtual PageId Allocate(DataClass cls) = 0;
-  /// Frees a page.
+  /// Frees a page. Fails if the page is pinned.
   virtual Status Free(PageId page) = 0;
   /// Reads a whole block into `out`.
   virtual Status Read(PageId page, std::vector<uint8_t>* out) = 0;
@@ -33,13 +158,60 @@ class Device {
   /// Pushes any buffered dirty state down to the bottom of the stack.
   virtual Status FlushAll() = 0;
 
+  /// Pins `page` and charges the read (same charge as `Read`). On failure
+  /// nothing is charged and `*out` is left invalid.
+  virtual Status PinForRead(PageId page, PageReadGuard* out) = 0;
+  /// Pins `page` for in-place writing; charges nothing until a dirty
+  /// release. On failure `*out` is left invalid.
+  virtual Status PinForWrite(PageId page, PageWriteGuard* out) = 0;
+
   virtual size_t block_size() const = 0;
   /// Live page count at the bottom of the stack.
   virtual size_t live_pages() const = 0;
 
  protected:
   Device() = default;
+
+  /// Unpin hooks the guards call on release. `UnpinWrite` performs the
+  /// dirty-write charge and returns its status.
+  virtual void UnpinRead(PageId page) = 0;
+  virtual Status UnpinWrite(PageId page, bool dirty) = 0;
+
+  /// Guard factories for implementations (guard constructors are private).
+  static PageReadGuard MakeReadGuard(Device* device, PageId page,
+                                     const uint8_t* data, size_t size) {
+    return PageReadGuard(device, page, data, size);
+  }
+  static PageWriteGuard MakeWriteGuard(Device* device, PageId page,
+                                       uint8_t* data, size_t size) {
+    return PageWriteGuard(device, page, data, size);
+  }
+
+ private:
+  friend class PageReadGuard;
+  friend class PageWriteGuard;
 };
+
+inline void PageReadGuard::Release() {
+  if (device_ == nullptr) return;
+  Device* device = std::exchange(device_, nullptr);
+  device->UnpinRead(page_);
+  data_ = nullptr;
+  size_ = 0;
+}
+
+inline PageReadGuard::~PageReadGuard() { Release(); }
+
+inline Status PageWriteGuard::Release() {
+  if (device_ == nullptr) return Status::OK();
+  Device* device = std::exchange(device_, nullptr);
+  bool dirty = std::exchange(dirty_, false);
+  data_ = nullptr;
+  size_ = 0;
+  return device->UnpinWrite(page_, dirty);
+}
+
+inline PageWriteGuard::~PageWriteGuard() { Release(); }
 
 }  // namespace rum
 

@@ -7,8 +7,12 @@
 
 namespace rum {
 
-HeapFile::HeapFile(Device* device, DataClass cls, RumCounters* counters)
-    : device_(device), cls_(cls), counters_(counters) {
+HeapFile::HeapFile(Device* device, DataClass cls, RumCounters* counters,
+                   bool pinned_pages)
+    : device_(device),
+      cls_(cls),
+      counters_(counters),
+      pinned_pages_(pinned_pages) {
   assert(device_ != nullptr && counters_ != nullptr);
   rows_per_page_ = PageFormat::CapacityFor(device_->block_size());
   assert(rows_per_page_ > 0);
@@ -18,6 +22,15 @@ HeapFile::~HeapFile() = default;
 
 Status HeapFile::WriteTail() {
   if (tail_page_ == kInvalidPageId) return Status::OK();
+  if (pinned_pages_) {
+    PageWriteGuard guard;
+    Status s = device_->PinForWrite(tail_page_, &guard);
+    if (!s.ok()) return s;
+    s = PageFormat::PackInto(tail_, guard.bytes());
+    if (!s.ok()) return s;
+    guard.MarkDirty();
+    return guard.Release();
+  }
   std::vector<uint8_t> block;
   Status s = PageFormat::Pack(tail_, device_->block_size(), &block);
   if (!s.ok()) return s;
@@ -26,6 +39,12 @@ Status HeapFile::WriteTail() {
 
 Status HeapFile::LoadPage(size_t page_index, std::vector<Entry>* out) {
   assert(page_index < sealed_.size());
+  if (pinned_pages_) {
+    PageReadGuard guard;
+    Status s = device_->PinForRead(sealed_[page_index], &guard);
+    if (!s.ok()) return s;
+    return PageFormat::Unpack(guard.bytes(), out);
+  }
   std::vector<uint8_t> block;
   Status s = device_->Read(sealed_[page_index], &block);
   if (!s.ok()) return s;
@@ -53,6 +72,16 @@ Result<Entry> HeapFile::At(RowId row) {
   size_t page_index = static_cast<size_t>(row / rows_per_page_);
   size_t slot = static_cast<size_t>(row % rows_per_page_);
   if (page_index < sealed_.size()) {
+    if (pinned_pages_) {
+      // Single-slot read straight off the pinned page: no materialization.
+      PageReadGuard guard;
+      Status s = device_->PinForRead(sealed_[page_index], &guard);
+      if (!s.ok()) return s;
+      if (slot >= PageFormat::PeekCount(guard.bytes())) {
+        return Status::Corruption("slot beyond page");
+      }
+      return PageFormat::EntryAt(guard.bytes(), slot);
+    }
     std::vector<Entry> entries;
     Status s = LoadPage(page_index, &entries);
     if (!s.ok()) return s;
@@ -70,6 +99,25 @@ Status HeapFile::Set(RowId row, const Entry& entry) {
   size_t page_index = static_cast<size_t>(row / rows_per_page_);
   size_t slot = static_cast<size_t>(row % rows_per_page_);
   if (page_index < sealed_.size()) {
+    if (pinned_pages_) {
+      // In-place single-slot update: a charged read pin validates the slot,
+      // and the overlapping write pin (taken while the read pin is still
+      // held, so caching devices keep the faulted-in entry) rewrites just
+      // the 16 modified bytes. Charges match the copy path's read+write.
+      PageReadGuard read_guard;
+      Status s = device_->PinForRead(sealed_[page_index], &read_guard);
+      if (!s.ok()) return s;
+      if (slot >= PageFormat::PeekCount(read_guard.bytes())) {
+        return Status::Corruption("slot beyond page");
+      }
+      PageWriteGuard write_guard;
+      s = device_->PinForWrite(sealed_[page_index], &write_guard);
+      if (!s.ok()) return s;
+      read_guard.Release();
+      PageFormat::SetEntryAt(write_guard.bytes(), slot, entry);
+      write_guard.MarkDirty();
+      return write_guard.Release();
+    }
     std::vector<Entry> entries;
     Status s = LoadPage(page_index, &entries);
     if (!s.ok()) return s;
@@ -92,11 +140,19 @@ Status HeapFile::PopBack() {
     // Unseal the last full page back into the tail.
     assert(!sealed_.empty());
     PageId last = sealed_.back();
-    std::vector<uint8_t> block;
-    Status s = device_->Read(last, &block);
-    if (!s.ok()) return s;
-    s = PageFormat::Unpack(block, &tail_);
-    if (!s.ok()) return s;
+    if (pinned_pages_) {
+      PageReadGuard guard;
+      Status s = device_->PinForRead(last, &guard);
+      if (!s.ok()) return s;
+      s = PageFormat::Unpack(guard.bytes(), &tail_);
+      if (!s.ok()) return s;
+    } else {
+      std::vector<uint8_t> block;
+      Status s = device_->Read(last, &block);
+      if (!s.ok()) return s;
+      s = PageFormat::Unpack(block, &tail_);
+      if (!s.ok()) return s;
+    }
     sealed_.pop_back();
     tail_page_ = last;
   }

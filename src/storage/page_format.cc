@@ -4,34 +4,6 @@
 
 namespace rum {
 
-void EncodeU64(uint64_t v, uint8_t* dst) {
-  for (int i = 0; i < 8; ++i) {
-    dst[i] = static_cast<uint8_t>(v >> (8 * i));
-  }
-}
-
-uint64_t DecodeU64(const uint8_t* src) {
-  uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) {
-    v |= static_cast<uint64_t>(src[i]) << (8 * i);
-  }
-  return v;
-}
-
-void EncodeU32(uint32_t v, uint8_t* dst) {
-  for (int i = 0; i < 4; ++i) {
-    dst[i] = static_cast<uint8_t>(v >> (8 * i));
-  }
-}
-
-uint32_t DecodeU32(const uint8_t* src) {
-  uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) {
-    v |= static_cast<uint32_t>(src[i]) << (8 * i);
-  }
-  return v;
-}
-
 size_t VarintLength(uint64_t v) {
   size_t n = 1;
   while (v >= 0x80) {
@@ -69,9 +41,18 @@ Status PageFormat::Pack(std::span<const Entry> entries, size_t block_size,
   if (entries.size() > CapacityFor(block_size)) {
     return Status::ResourceExhausted("entries do not fit in one block");
   }
-  out->assign(block_size, 0);
-  EncodeU64(entries.size(), out->data());
-  uint8_t* cursor = out->data() + kHeaderSize;
+  out->resize(block_size);
+  return PackInto(entries, *out);
+}
+
+Status PageFormat::PackInto(std::span<const Entry> entries,
+                            std::span<uint8_t> block) {
+  if (entries.size() > CapacityFor(block.size())) {
+    return Status::ResourceExhausted("entries do not fit in one block");
+  }
+  std::memset(block.data(), 0, block.size());
+  EncodeU64(entries.size(), block.data());
+  uint8_t* cursor = block.data() + kHeaderSize;
   for (const Entry& e : entries) {
     EncodeU64(e.key, cursor);
     EncodeU64(e.value, cursor + sizeof(uint64_t));
@@ -80,7 +61,7 @@ Status PageFormat::Pack(std::span<const Entry> entries, size_t block_size,
   return Status::OK();
 }
 
-Status PageFormat::Unpack(const std::vector<uint8_t>& block,
+Status PageFormat::Unpack(std::span<const uint8_t> block,
                           std::vector<Entry>* out) {
   if (block.size() < kHeaderSize) {
     return Status::Corruption("block smaller than page header");
@@ -100,11 +81,6 @@ Status PageFormat::Unpack(const std::vector<uint8_t>& block,
     cursor += kEntrySize;
   }
   return Status::OK();
-}
-
-size_t PageFormat::PeekCount(const std::vector<uint8_t>& block) {
-  if (block.size() < kHeaderSize) return 0;
-  return static_cast<size_t>(DecodeU64(block.data()));
 }
 
 }  // namespace rum

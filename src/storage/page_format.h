@@ -31,21 +31,83 @@ class PageFormat {
   static Status Pack(std::span<const Entry> entries, size_t block_size,
                      std::vector<uint8_t>* out);
 
-  /// Deserializes a block previously produced by Pack.
-  static Status Unpack(const std::vector<uint8_t>& block,
-                       std::vector<Entry>* out);
+  /// Serializes `entries` in place into `block` (e.g. a pinned page view),
+  /// zero-filling the remainder. Fails with kResourceExhausted if they do
+  /// not fit.
+  static Status PackInto(std::span<const Entry> entries,
+                         std::span<uint8_t> block);
 
-  /// Reads just the entry count from a packed block.
-  static size_t PeekCount(const std::vector<uint8_t>& block);
+  /// Deserializes a block previously produced by Pack.
+  static Status Unpack(std::span<const uint8_t> block, std::vector<Entry>* out);
+
+  /// Reads just the entry count from a packed block. Inline: this and the
+  /// single-slot accessors below sit on the per-entry hot path of the
+  /// zero-copy pinned-page scans.
+  static size_t PeekCount(std::span<const uint8_t> block);
+
+  /// Decodes the `index`-th entry of a packed block without materializing
+  /// the rest (zero-copy single-slot read; `index` must be < PeekCount).
+  static Entry EntryAt(std::span<const uint8_t> block, size_t index);
+
+  /// Re-encodes just the `index`-th entry of a packed block in place,
+  /// leaving the header and all other slots untouched.
+  static void SetEntryAt(std::span<uint8_t> block, size_t index,
+                         const Entry& entry);
 
   static constexpr size_t kHeaderSize = sizeof(uint64_t);
 };
 
-/// Little-endian scalar helpers shared by all page codecs.
-void EncodeU64(uint64_t v, uint8_t* dst);
-uint64_t DecodeU64(const uint8_t* src);
-void EncodeU32(uint32_t v, uint8_t* dst);
-uint32_t DecodeU32(const uint8_t* src);
+/// Little-endian scalar helpers shared by all page codecs. Inline so the
+/// per-entry decode loops (Unpack, in-place binary searches on pinned
+/// pages) do not pay a call per scalar.
+inline void EncodeU64(uint64_t v, uint8_t* dst) {
+  for (int i = 0; i < 8; ++i) {
+    dst[i] = static_cast<uint8_t>(v >> (8 * i));
+  }
+}
+
+inline uint64_t DecodeU64(const uint8_t* src) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(src[i]) << (8 * i);
+  }
+  return v;
+}
+
+inline void EncodeU32(uint32_t v, uint8_t* dst) {
+  for (int i = 0; i < 4; ++i) {
+    dst[i] = static_cast<uint8_t>(v >> (8 * i));
+  }
+}
+
+inline uint32_t DecodeU32(const uint8_t* src) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(src[i]) << (8 * i);
+  }
+  return v;
+}
+
+inline size_t PageFormat::PeekCount(std::span<const uint8_t> block) {
+  if (block.size() < kHeaderSize) return 0;
+  return static_cast<size_t>(DecodeU64(block.data()));
+}
+
+inline Entry PageFormat::EntryAt(std::span<const uint8_t> block,
+                                 size_t index) {
+  const uint8_t* slot = block.data() + kHeaderSize + index * kEntrySize;
+  Entry e;
+  e.key = DecodeU64(slot);
+  e.value = DecodeU64(slot + sizeof(uint64_t));
+  return e;
+}
+
+inline void PageFormat::SetEntryAt(std::span<uint8_t> block, size_t index,
+                                   const Entry& entry) {
+  uint8_t* slot = block.data() + kHeaderSize + index * kEntrySize;
+  EncodeU64(entry.key, slot);
+  EncodeU64(entry.value, slot + sizeof(uint64_t));
+}
 
 /// LEB128 varint helpers (used by compressed run pages). EncodeVarint64
 /// appends to `out` and returns bytes written; DecodeVarint64 reads from

@@ -7,6 +7,7 @@
 #include "methods/lsm/lsm_tree.h"
 #include "storage/append_log.h"
 #include "storage/block_device.h"
+#include "storage/caching_device.h"
 #include "storage/heap_file.h"
 #include "tests/testing_util.h"
 #include "workload/distribution.h"
@@ -40,6 +41,89 @@ TEST(FaultTest, FaultyIoIsNotCharged) {
   std::vector<uint8_t> out;
   EXPECT_FALSE(device.Read(p, &out).ok());
   EXPECT_EQ(counters.snapshot().blocks_read, 0u);
+}
+
+TEST(FaultTest, ReadPinConsumesBudgetExactlyOncePerAccess) {
+  RumCounters counters;
+  BlockDevice device(512, &counters);
+  PageId p = device.Allocate(DataClass::kBase);
+  std::vector<uint8_t> data(512, 1);
+  ASSERT_TRUE(device.Write(p, data).ok());
+  device.InjectFailureAfter(1);
+  {
+    PageReadGuard guard;
+    ASSERT_TRUE(device.PinForRead(p, &guard).ok());  // Consumes the budget.
+  }
+  uint64_t reads_before = counters.snapshot().blocks_read;
+  PageReadGuard guard;
+  EXPECT_EQ(device.PinForRead(p, &guard).code(), Code::kIOError);
+  EXPECT_FALSE(guard.valid());
+  // The failed pin charged nothing and left nothing pinned.
+  EXPECT_EQ(counters.snapshot().blocks_read, reads_before);
+  EXPECT_EQ(device.pinned_pages(), 0u);
+  device.ClearFaults();
+}
+
+TEST(FaultTest, DirtyUnpinFaultIsUnchargedAndGuardGoesInert) {
+  RumCounters counters;
+  BlockDevice device(512, &counters);
+  PageId p = device.Allocate(DataClass::kBase);
+  PageWriteGuard guard;
+  ASSERT_TRUE(device.PinForWrite(p, &guard).ok());  // No budget consumed.
+  std::fill(guard.bytes().begin(), guard.bytes().end(), 0x77);
+  guard.MarkDirty();
+  device.InjectFailureAfter(0);
+  uint64_t writes_before = counters.snapshot().blocks_written;
+  EXPECT_EQ(guard.Release().code(), Code::kIOError);
+  EXPECT_EQ(counters.snapshot().blocks_written, writes_before);
+  EXPECT_EQ(device.pinned_pages(), 0u);
+  // The guard is inert after the failed release: releasing again is a
+  // no-op, not a double unpin.
+  EXPECT_TRUE(guard.Release().ok());
+  EXPECT_FALSE(guard.valid());
+  device.ClearFaults();
+  // The page stays writable once the fault clears.
+  PageWriteGuard retry;
+  ASSERT_TRUE(device.PinForWrite(p, &retry).ok());
+  std::fill(retry.bytes().begin(), retry.bytes().end(), 0x78);
+  retry.MarkDirty();
+  EXPECT_TRUE(retry.Release().ok());
+}
+
+TEST(FaultTest, CleanWritePinConsumesNoBudget) {
+  RumCounters counters;
+  BlockDevice device(512, &counters);
+  PageId p = device.Allocate(DataClass::kBase);
+  std::vector<uint8_t> data(512, 1);
+  ASSERT_TRUE(device.Write(p, data).ok());
+  device.InjectFailureAfter(1);
+  {
+    // Neither the write pin nor its clean release touches the budget.
+    PageWriteGuard guard;
+    ASSERT_TRUE(device.PinForWrite(p, &guard).ok());
+    ASSERT_TRUE(guard.Release().ok());
+  }
+  std::vector<uint8_t> out;
+  EXPECT_TRUE(device.Read(p, &out).ok());  // Budget spent here...
+  EXPECT_EQ(device.Read(p, &out).code(), Code::kIOError);  // ...not before.
+  device.ClearFaults();
+}
+
+TEST(FaultTest, CachePinMissPropagatesBaseFault) {
+  RumCounters counters;
+  BlockDevice device(512, &counters);
+  CachingDevice cache(&device, /*capacity_pages=*/4);
+  PageId p = cache.Allocate(DataClass::kBase);
+  std::vector<uint8_t> data(512, 1);
+  ASSERT_TRUE(device.Write(p, data).ok());
+  device.InjectFailureAfter(0);
+  PageReadGuard guard;
+  EXPECT_EQ(cache.PinForRead(p, &guard).code(), Code::kIOError);
+  EXPECT_EQ(cache.cached_pages(), 0u);  // Nothing half-inserted.
+  EXPECT_EQ(cache.pinned_pages(), 0u);
+  device.ClearFaults();
+  ASSERT_TRUE(cache.PinForRead(p, &guard).ok());
+  EXPECT_EQ(guard.bytes()[0], 1);
 }
 
 TEST(FaultTest, AppendLogPropagates) {

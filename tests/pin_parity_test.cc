@@ -1,0 +1,147 @@
+// Differential parity tier for the zero-copy pinned-page path: the same
+// fixed-seed operation stream is replayed against two instances of every
+// factory method -- one on the legacy copying Read/Write path, one on the
+// pinned-guard path -- plus the oracle map. The two instances must agree
+// with the oracle on contents AND produce byte-identical RUM counter
+// snapshots: pinning is an implementation detail, not an accounting change.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/access_method.h"
+#include "methods/factory.h"
+#include "tests/testing_util.h"
+#include "workload/distribution.h"
+
+namespace rum {
+namespace {
+
+using testing_util::GetMatchesReference;
+using testing_util::ReferenceModel;
+using testing_util::ScanMatchesReference;
+using testing_util::SmallOptions;
+
+// Same fixed seeds as the differential tier.
+constexpr uint64_t kSeeds[] = {0xA11CEull, 0xB0B5EEDull, 0xC0FFEE42ull};
+
+std::vector<std::string> AllMethodNames() {
+  std::vector<std::string> names;
+  for (std::string_view name : AllAccessMethodNames()) {
+    names.emplace_back(name);
+  }
+  return names;
+}
+
+// Field-by-field comparison so a divergence names the counter that moved.
+void ExpectSnapshotsEqual(const CounterSnapshot& copy,
+                          const CounterSnapshot& pinned) {
+  EXPECT_EQ(copy.bytes_read_base, pinned.bytes_read_base);
+  EXPECT_EQ(copy.bytes_read_aux, pinned.bytes_read_aux);
+  EXPECT_EQ(copy.bytes_written_base, pinned.bytes_written_base);
+  EXPECT_EQ(copy.bytes_written_aux, pinned.bytes_written_aux);
+  EXPECT_EQ(copy.blocks_read, pinned.blocks_read);
+  EXPECT_EQ(copy.blocks_written, pinned.blocks_written);
+  EXPECT_EQ(copy.space_base, pinned.space_base);
+  EXPECT_EQ(copy.space_aux, pinned.space_aux);
+  EXPECT_EQ(copy.logical_bytes_read, pinned.logical_bytes_read);
+  EXPECT_EQ(copy.logical_bytes_written, pinned.logical_bytes_written);
+  EXPECT_EQ(copy.point_queries, pinned.point_queries);
+  EXPECT_EQ(copy.range_queries, pinned.range_queries);
+  EXPECT_EQ(copy.inserts, pinned.inserts);
+  EXPECT_EQ(copy.updates, pinned.updates);
+  EXPECT_EQ(copy.deletes, pinned.deletes);
+}
+
+class PinParityTest
+    : public ::testing::TestWithParam<std::tuple<std::string, uint64_t>> {};
+
+TEST_P(PinParityTest, PinnedAndCopyPathsAreIndistinguishable) {
+  const std::string& name = std::get<0>(GetParam());
+  const uint64_t seed = std::get<1>(GetParam());
+
+  Options copy_options = SmallOptions();
+  copy_options.storage.pinned_pages = false;
+  Options pinned_options = SmallOptions();
+  pinned_options.storage.pinned_pages = true;
+
+  auto copy_method = MakeAccessMethod(name, copy_options);
+  auto pinned_method = MakeAccessMethod(name, pinned_options);
+  ASSERT_NE(copy_method, nullptr) << "unknown method " << name;
+  ASSERT_NE(pinned_method, nullptr) << "unknown method " << name;
+  ReferenceModel oracle;
+
+  Rng rng(seed);
+  const Key kRange = 1u << 12;
+  const int kOps = 1500;
+  for (int i = 0; i < kOps; ++i) {
+    SCOPED_TRACE(::testing::Message()
+                 << name << " seed 0x" << std::hex << seed << std::dec
+                 << " op " << i);
+    Key key = rng.NextBelow(kRange);
+    uint64_t dice = rng.NextBelow(100);
+    if (dice < 40) {
+      Value v = rng.Next();
+      ASSERT_TRUE(copy_method->Insert(key, v).ok());
+      ASSERT_TRUE(pinned_method->Insert(key, v).ok());
+      oracle.Insert(key, v);
+    } else if (dice < 55) {
+      Value v = rng.Next();
+      ASSERT_TRUE(copy_method->Update(key, v).ok());
+      ASSERT_TRUE(pinned_method->Update(key, v).ok());
+      oracle.Update(key, v);
+    } else if (dice < 70) {
+      ASSERT_TRUE(copy_method->Delete(key).ok());
+      ASSERT_TRUE(pinned_method->Delete(key).ok());
+      oracle.Delete(key);
+    } else if (dice < 92) {
+      ASSERT_TRUE(GetMatchesReference(copy_method.get(), oracle, key));
+      ASSERT_TRUE(GetMatchesReference(pinned_method.get(), oracle, key));
+    } else {
+      Key hi = key + rng.NextBelow(200);
+      ASSERT_TRUE(ScanMatchesReference(copy_method.get(), oracle, key, hi));
+      ASSERT_TRUE(ScanMatchesReference(pinned_method.get(), oracle, key, hi));
+    }
+    if (i % 500 == 250) {
+      ASSERT_TRUE(copy_method->Flush().ok());
+      ASSERT_TRUE(pinned_method->Flush().ok());
+    }
+    // Periodic mid-stream parity check: catching the first divergent op
+    // is far more diagnostic than one comparison at the end.
+    if (i % 250 == 0) {
+      ExpectSnapshotsEqual(copy_method->stats(), pinned_method->stats());
+      if (::testing::Test::HasFailure()) return;
+    }
+  }
+
+  ASSERT_EQ(copy_method->size(), oracle.size());
+  ASSERT_EQ(pinned_method->size(), oracle.size());
+  ExpectSnapshotsEqual(copy_method->stats(), pinned_method->stats());
+
+  // Full-content sweep of the pinned instance against the oracle.
+  for (const auto& [key, value] : oracle.map()) {
+    SCOPED_TRACE(::testing::Message() << name << " final sweep key " << key);
+    ASSERT_TRUE(GetMatchesReference(pinned_method.get(), oracle, key));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, PinParityTest,
+    ::testing::Combine(::testing::ValuesIn(AllMethodNames()),
+                       ::testing::ValuesIn(kSeeds)),
+    [](const ::testing::TestParamInfo<PinParityTest::ParamType>& info) {
+      std::string name = std::get<0>(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      char seed_tag[24];
+      std::snprintf(seed_tag, sizeof(seed_tag), "_%llx",
+                    static_cast<unsigned long long>(std::get<1>(info.param)));
+      return name + seed_tag;
+    });
+
+}  // namespace
+}  // namespace rum

@@ -75,6 +75,96 @@ TEST(BlockDeviceTest, ReadOfDeadPageFails) {
   EXPECT_FALSE(device.Read(0, &out).ok());
 }
 
+TEST(BlockDeviceTest, FreeAllocRoundTripKeepsAccountingStable) {
+  RumCounters counters;
+  BlockDevice device(kBlock, &counters);
+  PageId p = device.Allocate(DataClass::kBase);
+  std::vector<uint8_t> data(kBlock, 0x5A);
+  ASSERT_TRUE(device.Write(p, data).ok());
+  CounterSnapshot before = counters.snapshot();
+  ASSERT_TRUE(device.Free(p).ok());
+  PageId q = device.Allocate(DataClass::kBase);
+  EXPECT_EQ(q, p);  // Recycled in place; the slot's capacity is retained.
+  CounterSnapshot after = counters.snapshot();
+  EXPECT_EQ(after.space_base, before.space_base);
+  EXPECT_EQ(after.bytes_written_base, before.bytes_written_base);
+  EXPECT_EQ(after.blocks_written, before.blocks_written);
+  // The recycled page must read back zeroed even though the old buffer
+  // was reused rather than reallocated.
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(device.Read(q, &out).ok());
+  EXPECT_EQ(out, std::vector<uint8_t>(kBlock, 0));
+}
+
+TEST(BlockDeviceTest, PinForReadChargesLikeRead) {
+  RumCounters counters;
+  BlockDevice device(kBlock, &counters);
+  PageId p = device.Allocate(DataClass::kBase);
+  std::vector<uint8_t> data(kBlock, 0xAB);
+  ASSERT_TRUE(device.Write(p, data).ok());
+  CounterSnapshot before = counters.snapshot();
+  PageReadGuard guard;
+  ASSERT_TRUE(device.PinForRead(p, &guard).ok());
+  EXPECT_EQ(device.pinned_pages(), 1u);
+  EXPECT_TRUE(std::equal(guard.bytes().begin(), guard.bytes().end(),
+                         data.begin()));
+  CounterSnapshot after = counters.snapshot();
+  EXPECT_EQ(after.bytes_read_base, before.bytes_read_base + kBlock);
+  EXPECT_EQ(after.blocks_read, before.blocks_read + 1);
+  guard.Release();
+  EXPECT_EQ(device.pinned_pages(), 0u);
+  // Release charges nothing further.
+  EXPECT_EQ(counters.snapshot().bytes_read_base, after.bytes_read_base);
+}
+
+TEST(BlockDeviceTest, PinForWriteChargesOnlyOnDirtyRelease) {
+  RumCounters counters;
+  BlockDevice device(kBlock, &counters);
+  PageId p = device.Allocate(DataClass::kBase);
+  CounterSnapshot before = counters.snapshot();
+  {
+    PageWriteGuard guard;
+    ASSERT_TRUE(device.PinForWrite(p, &guard).ok());
+    // Nothing charged at pin time.
+    EXPECT_EQ(counters.snapshot().bytes_written_base,
+              before.bytes_written_base);
+    std::fill(guard.bytes().begin(), guard.bytes().end(), 0xCD);
+    guard.MarkDirty();
+    ASSERT_TRUE(guard.Release().ok());
+  }
+  CounterSnapshot after = counters.snapshot();
+  EXPECT_EQ(after.bytes_written_base, before.bytes_written_base + kBlock);
+  EXPECT_EQ(after.blocks_written, before.blocks_written + 1);
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(device.Read(p, &out).ok());
+  EXPECT_EQ(out, std::vector<uint8_t>(kBlock, 0xCD));
+}
+
+TEST(BlockDeviceTest, CleanWritePinChargesNothing) {
+  RumCounters counters;
+  BlockDevice device(kBlock, &counters);
+  PageId p = device.Allocate(DataClass::kBase);
+  CounterSnapshot before = counters.snapshot();
+  PageWriteGuard guard;
+  ASSERT_TRUE(device.PinForWrite(p, &guard).ok());
+  ASSERT_TRUE(guard.Release().ok());
+  CounterSnapshot after = counters.snapshot();
+  EXPECT_EQ(after.bytes_written_base, before.bytes_written_base);
+  EXPECT_EQ(after.blocks_written, before.blocks_written);
+  EXPECT_EQ(after.bytes_read_base, before.bytes_read_base);
+}
+
+TEST(BlockDeviceTest, FreeWhilePinnedRejected) {
+  RumCounters counters;
+  BlockDevice device(kBlock, &counters);
+  PageId p = device.Allocate(DataClass::kBase);
+  PageReadGuard guard;
+  ASSERT_TRUE(device.PinForRead(p, &guard).ok());
+  EXPECT_EQ(device.Free(p).code(), Code::kInvalidArgument);
+  guard.Release();
+  EXPECT_TRUE(device.Free(p).ok());
+}
+
 TEST(BlockDeviceTest, ReclassifyMovesSpace) {
   RumCounters counters;
   BlockDevice device(kBlock, &counters);
@@ -202,6 +292,121 @@ TEST(CachingDeviceTest, LevelStatsTrackResidency) {
   std::vector<uint8_t> data(kBlock, 3);
   ASSERT_TRUE(cache.Write(p, data).ok());
   EXPECT_EQ(cache.level_stats().space_aux, kBlock);
+}
+
+TEST(CachingDeviceTest, ReadPinMissChargesBaseHitChargesCache) {
+  RumCounters counters;
+  BlockDevice device(kBlock, &counters);
+  CachingDevice cache(&device, /*capacity_pages=*/4);
+  PageId p = cache.Allocate(DataClass::kBase);
+  std::vector<uint8_t> data(kBlock, 0x11);
+  ASSERT_TRUE(device.Write(p, data).ok());  // Populate base, bypass cache.
+  uint64_t base_reads = counters.snapshot().bytes_read_base;
+  uint64_t cache_reads = cache.level_stats().bytes_read_aux;
+  {
+    PageReadGuard guard;
+    ASSERT_TRUE(cache.PinForRead(p, &guard).ok());  // Miss: base charged.
+    EXPECT_EQ(guard.bytes()[0], 0x11);
+  }
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(counters.snapshot().bytes_read_base, base_reads + kBlock);
+  EXPECT_EQ(cache.level_stats().bytes_read_aux, cache_reads);
+  {
+    PageReadGuard guard;
+    ASSERT_TRUE(cache.PinForRead(p, &guard).ok());  // Hit: cache charged.
+  }
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(counters.snapshot().bytes_read_base, base_reads + kBlock);
+  EXPECT_EQ(cache.level_stats().bytes_read_aux, cache_reads + kBlock);
+}
+
+TEST(CachingDeviceTest, SpeculativeWritePinDropsOnCleanRelease) {
+  RumCounters counters;
+  BlockDevice device(kBlock, &counters);
+  CachingDevice cache(&device, /*capacity_pages=*/4);
+  PageId p = cache.Allocate(DataClass::kBase);
+  std::vector<uint8_t> data(kBlock, 0x22);
+  ASSERT_TRUE(device.Write(p, data).ok());
+  uint64_t base_reads = counters.snapshot().bytes_read_base;
+  {
+    // A write pin on an uncached page inserts a zero-filled speculative
+    // entry without reading the base...
+    PageWriteGuard guard;
+    ASSERT_TRUE(cache.PinForWrite(p, &guard).ok());
+    EXPECT_EQ(guard.bytes()[0], 0);
+    ASSERT_TRUE(guard.Release().ok());  // ...and a clean release drops it.
+  }
+  EXPECT_EQ(counters.snapshot().bytes_read_base, base_reads);
+  EXPECT_EQ(cache.cached_pages(), 0u);
+  // The base copy was never clobbered by the speculative zeros.
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(device.Read(p, &out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(CachingDeviceTest, DirtyWritePinReachesBaseOnFlush) {
+  RumCounters counters;
+  BlockDevice device(kBlock, &counters);
+  CachingDevice cache(&device, /*capacity_pages=*/4);
+  PageId p = cache.Allocate(DataClass::kBase);
+  uint64_t base_writes = counters.snapshot().blocks_written;
+  {
+    PageWriteGuard guard;
+    ASSERT_TRUE(cache.PinForWrite(p, &guard).ok());
+    std::fill(guard.bytes().begin(), guard.bytes().end(), 0x33);
+    guard.MarkDirty();
+    ASSERT_TRUE(guard.Release().ok());
+  }
+  EXPECT_EQ(cache.cached_pages(), 1u);
+  // Dirty release charged the cache level, not the base.
+  EXPECT_EQ(counters.snapshot().blocks_written, base_writes);
+  EXPECT_EQ(cache.level_stats().bytes_written_aux, kBlock);
+  ASSERT_TRUE(cache.FlushAll().ok());
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(device.Read(p, &out).ok());
+  EXPECT_EQ(out, std::vector<uint8_t>(kBlock, 0x33));
+}
+
+TEST(CachingDeviceTest, ZeroCapacityPinWritesThroughAtRelease) {
+  RumCounters counters;
+  BlockDevice device(kBlock, &counters);
+  CachingDevice cache(&device, /*capacity_pages=*/0);
+  PageId p = cache.Allocate(DataClass::kBase);
+  {
+    PageWriteGuard guard;
+    ASSERT_TRUE(cache.PinForWrite(p, &guard).ok());
+    std::fill(guard.bytes().begin(), guard.bytes().end(), 0x44);
+    guard.MarkDirty();
+    ASSERT_TRUE(guard.Release().ok());
+  }
+  // The transient entry was trimmed at last unpin; data reached the base.
+  EXPECT_EQ(cache.cached_pages(), 0u);
+  EXPECT_EQ(cache.pinned_pages(), 0u);
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(device.Read(p, &out).ok());
+  EXPECT_EQ(out, std::vector<uint8_t>(kBlock, 0x44));
+}
+
+TEST(CachingDeviceTest, EvictionSkipsPinnedPages) {
+  RumCounters counters;
+  BlockDevice device(kBlock, &counters);
+  CachingDevice cache(&device, /*capacity_pages=*/1);
+  PageId a = cache.Allocate(DataClass::kBase);
+  PageId b = cache.Allocate(DataClass::kBase);
+  PageReadGuard guard_a;
+  std::vector<uint8_t> zeros(kBlock, 0);
+  ASSERT_TRUE(device.Write(a, zeros).ok());
+  ASSERT_TRUE(device.Write(b, zeros).ok());
+  ASSERT_TRUE(cache.PinForRead(a, &guard_a).ok());
+  {
+    // Pinning a second page overshoots capacity transiently; the pinned
+    // page `a` must not be the eviction victim.
+    PageReadGuard guard_b;
+    ASSERT_TRUE(cache.PinForRead(b, &guard_b).ok());
+    EXPECT_EQ(guard_a.bytes().data()[0], 0);  // Still valid.
+  }
+  guard_a.Release();
+  EXPECT_LE(cache.cached_pages(), 1u);
 }
 
 TEST(AppendLogTest, AppendsAmortizeToOneWritePerRecord) {
