@@ -56,10 +56,19 @@ if [[ "${STAGE}" == "all" || "${STAGE}" == "asan" ]]; then
   run_stage "asan" "build-asan" "address" "" "Debug"
   echo "=== asan: pin parity (explicit) ==="
   (cd build-asan && ctest --output-on-failure -R pin_parity_test)
+  # The chaos tier is likewise named explicitly: every factory method under
+  # seeded fault plans must answer exactly or with an explicit error Status,
+  # and ChaosTest.SameSeedReplaysIdenticalErrorTallies is the deterministic
+  # replay gate (same fault seed => byte-identical error and RUM tallies).
+  echo "=== asan: chaos tier (explicit) ==="
+  (cd build-asan && ctest --output-on-failure -R chaos_test)
 fi
 
 if [[ "${STAGE}" == "all" || "${STAGE}" == "tsan" ]]; then
-  TSAN_FILTER="-R concurrency_test|differential_test"
+  # chaos_test rides in the TSan tier for its concurrent case: sharded
+  # methods hammering one shared FaultyDevice + CachingDevice stack while
+  # faults inject, with per-worker error tallies absorbing the failures.
+  TSAN_FILTER="-R concurrency_test|differential_test|chaos_test"
   if [[ "${RUMLAB_CI_FULL_TSAN:-0}" == "1" ]]; then
     TSAN_FILTER=""
   fi

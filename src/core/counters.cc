@@ -39,6 +39,8 @@ CounterSnapshot CounterSnapshot::operator-(const CounterSnapshot& rhs) const {
   out.inserts -= rhs.inserts;
   out.updates -= rhs.updates;
   out.deletes -= rhs.deletes;
+  out.io_errors -= rhs.io_errors;
+  out.retries -= rhs.retries;
   // Space fields stay as the left-hand (current) levels.
   return out;
 }
@@ -59,6 +61,8 @@ CounterSnapshot& CounterSnapshot::operator+=(const CounterSnapshot& rhs) {
   inserts += rhs.inserts;
   updates += rhs.updates;
   deletes += rhs.deletes;
+  io_errors += rhs.io_errors;
+  retries += rhs.retries;
   return *this;
 }
 
@@ -70,6 +74,7 @@ std::string CounterSnapshot::ToString() const {
       "write: %llu B base + %llu B aux (%llu blocks)\n"
       "space: %llu B base + %llu B aux\n"
       "logical: %llu B read, %llu B written\n"
+      "errors: %llu io, %llu retries\n"
       "RO=%.3f UO=%.3f MO=%.3f",
       static_cast<unsigned long long>(bytes_read_base),
       static_cast<unsigned long long>(bytes_read_aux),
@@ -81,6 +86,8 @@ std::string CounterSnapshot::ToString() const {
       static_cast<unsigned long long>(space_aux),
       static_cast<unsigned long long>(logical_bytes_read),
       static_cast<unsigned long long>(logical_bytes_written),
+      static_cast<unsigned long long>(io_errors),
+      static_cast<unsigned long long>(retries),
       read_amplification(), write_amplification(), space_amplification());
   return std::string(buf);
 }

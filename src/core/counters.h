@@ -60,6 +60,14 @@ struct CounterSnapshot {
   uint64_t updates = 0;
   uint64_t deletes = 0;
 
+  // -- Robustness accounting (the fault/recovery substrate). Failed I/O is
+  //    never charged as traffic (a faulted block moves no bytes), so errors
+  //    and retries get their own pair: `io_errors` counts device operations
+  //    that returned kIOError, `retries` counts the re-attempts a retry
+  //    policy issued in response.
+  uint64_t io_errors = 0;
+  uint64_t retries = 0;
+
   /// Total physical bytes read (base + auxiliary).
   uint64_t total_bytes_read() const { return bytes_read_base + bytes_read_aux; }
   /// Total physical bytes written (base + auxiliary).
@@ -164,6 +172,11 @@ class RumCounters {
   void OnInsert() { ++local().inserts; }
   void OnUpdate() { ++local().updates; }
   void OnDelete() { ++local().deletes; }
+
+  /// Records one device operation that failed with kIOError.
+  void OnIoError() { ++local().io_errors; }
+  /// Records one retry attempt issued by a retry policy.
+  void OnRetry() { ++local().retries; }
 
   /// Returns the accounting state merged across all per-thread shards.
   CounterSnapshot snapshot() const;

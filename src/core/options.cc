@@ -12,6 +12,11 @@ Status ValidateOptions(const Options& options) {
   if (options.block_size < kMinPageBytes) {
     return Status::InvalidArgument("block_size below minimum page size");
   }
+  if (options.storage.retry.max_attempts < 1 ||
+      options.storage.retry.max_attempts > 64) {
+    return Status::InvalidArgument(
+        "storage.retry.max_attempts must be in [1, 64]");
+  }
   if (options.btree.node_size != 0 &&
       options.btree.node_size < kMinPageBytes) {
     return Status::InvalidArgument("btree.node_size below minimum");

@@ -35,6 +35,21 @@ struct Options {
     /// RUM accounting (pin_parity_test enforces this); the copy path exists
     /// as a differential-testing oracle and migration escape hatch.
     bool pinned_pages = true;
+
+    /// Retry policy a RetryingDevice applies to fallible device operations
+    /// that fail with kIOError (transient faults in the simulated fault
+    /// model; kCorruption is never retried -- a checksum mismatch does not
+    /// heal). Retries and the errors that triggered them are charged to the
+    /// `retries`/`io_errors` counter pair; failed attempts move no bytes and
+    /// are never charged as traffic.
+    struct Retry {
+      /// Total attempts per operation (1 = fail fast, no retry).
+      size_t max_attempts = 1;
+      /// Simulated backoff before retry k (1-based): backoff_base_us << (k-1).
+      /// Deterministic -- no clock is consulted; the accumulated simulated
+      /// wait is reported by the RetryingDevice, not slept.
+      uint64_t backoff_base_us = 100;
+    } retry;
   } storage;
 
   // ---------------------------------------------------------------- B+-Tree

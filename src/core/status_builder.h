@@ -1,0 +1,91 @@
+#ifndef RUMLAB_CORE_STATUS_BUILDER_H_
+#define RUMLAB_CORE_STATUS_BUILDER_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "core/counters.h"
+#include "core/status.h"
+#include "core/types.h"
+
+namespace rum {
+
+/// Fluent builder attaching device context (operation, page, data class) to
+/// an error Status, so a fault surfacing several layers above its origin
+/// still names the op and page that failed:
+///
+///   return StatusBuilder(Code::kIOError, "injected device fault")
+///       .Op("Write").Page(page).Class(cls);
+///   // -> IOError: injected device fault (op=Write page=12 class=base)
+///
+/// Wrapping an existing status keeps its code and message and appends the
+/// new context, so nested annotations compose:
+///
+///   return StatusBuilder(s).Op("EvictDownTo write-back").Page(victim);
+///
+/// Used at every kIOError/kCorruption construction site in the storage
+/// stack; context is plain message text, so Status stays one code + one
+/// string and the success path still allocates nothing.
+class StatusBuilder {
+ public:
+  StatusBuilder(Code code, std::string_view message)
+      : code_(code), message_(message) {}
+
+  /// Wraps an existing (non-OK) status to append more context.
+  explicit StatusBuilder(const Status& status)
+      : code_(status.code()), message_(status.message()) {}
+
+  /// Names the device operation that failed ("Read", "Write", "PinForRead",
+  /// "Allocate", "FlushAll", "EvictDownTo write-back", ...).
+  StatusBuilder& Op(std::string_view op) {
+    AppendField("op", op);
+    return *this;
+  }
+
+  /// Names the page the operation targeted.
+  StatusBuilder& Page(PageId page) {
+    AppendField("page", std::to_string(page));
+    return *this;
+  }
+
+  /// Names the data class of the page (base vs auxiliary).
+  StatusBuilder& Class(DataClass cls) {
+    AppendField("class", cls == DataClass::kBase ? "base" : "aux");
+    return *this;
+  }
+
+  /// Appends a free-form detail field.
+  StatusBuilder& Detail(std::string_view detail) {
+    AppendField("detail", detail);
+    return *this;
+  }
+
+  /// Finalizes the status, closing any open context group.
+  Status Build() const {
+    std::string message = message_;
+    if (has_context_) message += ")";
+    return Status(code_, std::move(message));
+  }
+
+  /// Implicit conversion so `return StatusBuilder(...).Op(...).Page(p);`
+  /// works anywhere a Status is expected.
+  operator Status() const { return Build(); }  // NOLINT(google-explicit-*)
+
+ private:
+  void AppendField(std::string_view key, std::string_view value) {
+    message_ += has_context_ ? " " : " (";
+    has_context_ = true;
+    message_ += key;
+    message_ += "=";
+    message_ += value;
+  }
+
+  Code code_;
+  std::string message_;
+  bool has_context_ = false;
+};
+
+}  // namespace rum
+
+#endif  // RUMLAB_CORE_STATUS_BUILDER_H_

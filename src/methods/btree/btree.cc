@@ -133,8 +133,10 @@ Status BTree::InsertIntoParent(std::vector<PathStep>& path, size_t level,
     new_root.keys.push_back(separator);
     new_root.children.push_back(root_);
     new_root.children.push_back(new_child);
-    PageId page = device_->Allocate(DataClass::kAux);
-    Status s = StoreInner(page, new_root);
+    PageId page;
+    Status s = device_->Allocate(DataClass::kAux, &page);
+    if (!s.ok()) return s;
+    s = StoreInner(page, new_root);
     if (!s.ok()) return s;
     root_ = page;
     ++height_;
@@ -164,7 +166,9 @@ Status BTree::InsertIntoParent(std::vector<PathStep>& path, size_t level,
       inner.children.end());
   inner.keys.resize(mid);
   inner.children.resize(mid + 1);
-  PageId right_page = device_->Allocate(DataClass::kAux);
+  PageId right_page;
+  s = device_->Allocate(DataClass::kAux, &right_page);
+  if (!s.ok()) return s;
   s = StoreInner(step.page, inner);
   if (!s.ok()) return s;
   s = StoreInner(right_page, right);
@@ -178,7 +182,8 @@ Status BTree::Insert(Key key, Value value) {
   if (root_ == kInvalidPageId) {
     BTreeLeaf leaf;
     leaf.entries.push_back(Entry{key, value});
-    root_ = device_->Allocate(DataClass::kBase);
+    Status alloc = device_->Allocate(DataClass::kBase, &root_);
+    if (!alloc.ok()) return alloc;
     height_ = 1;
     ++count_;
     return StoreLeaf(root_, leaf);
@@ -212,7 +217,9 @@ Status BTree::Insert(Key key, Value value) {
       leaf.entries.begin() + static_cast<ptrdiff_t>(left_count),
       leaf.entries.end());
   leaf.entries.resize(left_count);
-  PageId right_page = device_->Allocate(DataClass::kBase);
+  PageId right_page;
+  s = device_->Allocate(DataClass::kBase, &right_page);
+  if (!s.ok()) return s;
   right.next = leaf.next;
   leaf.next = right_page;
   Key separator = right.entries.front().key;
@@ -422,7 +429,9 @@ Status BTree::BulkLoad(std::span<const Entry> entries) {
     leaf.entries.assign(entries.begin() + static_cast<ptrdiff_t>(i),
                         entries.begin() + static_cast<ptrdiff_t>(end));
     leaf.next = kInvalidPageId;
-    PageId page = device_->Allocate(DataClass::kBase);
+    PageId page;
+    s = device_->Allocate(DataClass::kBase, &page);
+    if (!s.ok()) return s;
     level.push_back(ChildRef{leaf.entries.front().key, page});
     if (pending_page != kInvalidPageId) {
       pending.next = page;
@@ -454,7 +463,9 @@ Status BTree::BulkLoad(std::span<const Entry> entries) {
         if (j > i) inner.keys.push_back(level[j].first_key);
         inner.children.push_back(level[j].page);
       }
-      PageId page = device_->Allocate(DataClass::kAux);
+      PageId page;
+      s = device_->Allocate(DataClass::kAux, &page);
+      if (!s.ok()) return s;
       s = StoreInner(page, inner);
       if (!s.ok()) return s;
       next_level.push_back(ChildRef{level[i].first_key, page});

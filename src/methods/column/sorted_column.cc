@@ -128,7 +128,10 @@ Status SortedColumn::Insert(Key key, Value value) {
   counters().OnInsert();
   counters().OnLogicalWrite(kEntrySize);
   if (pages_.empty()) {
-    pages_.push_back(device_->Allocate(DataClass::kBase));
+    PageId first;
+    Status alloc = device_->Allocate(DataClass::kBase, &first);
+    if (!alloc.ok()) return alloc;
+    pages_.push_back(first);
     Status s = StorePage(0, {Entry{key, value}});
     if (!s.ok()) return s;
     ++count_;
@@ -167,7 +170,10 @@ Status SortedColumn::Insert(Key key, Value value) {
   size_t q = p + 1;
   while (have_carry) {
     if (q == pages_.size()) {
-      pages_.push_back(device_->Allocate(DataClass::kBase));
+      PageId tail;
+      s = device_->Allocate(DataClass::kBase, &tail);
+      if (!s.ok()) return s;
+      pages_.push_back(tail);
       s = StorePage(q, {carry});
       if (!s.ok()) return s;
       break;
@@ -310,14 +316,20 @@ Status SortedColumn::BulkLoad(std::span<const Entry> entries) {
   for (const Entry& e : entries) {
     page.push_back(e);
     if (page.size() == capacity_) {
-      pages_.push_back(device_->Allocate(DataClass::kBase));
+      PageId id;
+      s = device_->Allocate(DataClass::kBase, &id);
+      if (!s.ok()) return s;
+      pages_.push_back(id);
       s = StorePage(pages_.size() - 1, page);
       if (!s.ok()) return s;
       page.clear();
     }
   }
   if (!page.empty()) {
-    pages_.push_back(device_->Allocate(DataClass::kBase));
+    PageId id;
+    s = device_->Allocate(DataClass::kBase, &id);
+    if (!s.ok()) return s;
+    pages_.push_back(id);
     s = StorePage(pages_.size() - 1, page);
     if (!s.ok()) return s;
   }

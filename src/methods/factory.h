@@ -10,6 +10,8 @@
 
 namespace rum {
 
+class Device;
+
 /// Creates an access method by name. Known names:
 ///   "btree", "hash", "zonemap", "lsm-leveled", "lsm-tiered",
 ///   "sorted-column", "unsorted-column", "skiplist", "trie",
@@ -24,6 +26,17 @@ namespace rum {
 /// names override the corresponding Options fields.)
 std::unique_ptr<AccessMethod> MakeAccessMethod(std::string_view name,
                                                const Options& options);
+
+/// Same, but device-backed methods store their pages on `device` (borrowed,
+/// must outlive the method) instead of a private BlockDevice. This is how
+/// fault-injection and cache stacks reach every method: build the stack
+/// (BlockDevice -> FaultyDevice -> CachingDevice), then hand it here.
+/// In-memory methods (skiplist, trie, cracking, pure-log, ...) ignore the
+/// device. A "sharded-" wrapper shares the one device across all inner
+/// shards, relying on the stack's internal serialization.
+std::unique_ptr<AccessMethod> MakeAccessMethod(std::string_view name,
+                                               const Options& options,
+                                               Device* device);
 
 /// Every name MakeAccessMethod accepts, in display order.
 std::vector<std::string_view> AllAccessMethodNames();

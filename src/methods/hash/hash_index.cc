@@ -92,9 +92,11 @@ Status HashIndex::BuildDirectory(size_t slots) {
   std::vector<Entry> empty(slots_per_page_, Entry{0, kEmptySlot});
   if (pinned_pages_) {
     for (size_t p = 0; p < pages; ++p) {
-      PageId page = device_->Allocate(DataClass::kAux);
+      PageId page;
+      Status s = device_->Allocate(DataClass::kAux, &page);
+      if (!s.ok()) return s;
       PageWriteGuard guard;
-      Status s = device_->PinForWrite(page, &guard);
+      s = device_->PinForWrite(page, &guard);
       if (!s.ok()) return s;
       s = PageFormat::PackInto(empty, guard.bytes());
       if (!s.ok()) return s;
@@ -108,7 +110,9 @@ Status HashIndex::BuildDirectory(size_t slots) {
     Status s = PageFormat::Pack(empty, device_->block_size(), &block);
     if (!s.ok()) return s;
     for (size_t p = 0; p < pages; ++p) {
-      PageId page = device_->Allocate(DataClass::kAux);
+      PageId page;
+      s = device_->Allocate(DataClass::kAux, &page);
+      if (!s.ok()) return s;
       s = device_->Write(page, block);
       if (!s.ok()) return s;
       dir_pages_.push_back(page);

@@ -149,7 +149,9 @@ Status SortedRun::Build(Device* device, RumCounters* counters,
     std::vector<uint8_t> block;
     for (size_t i = 0; i < records.size(); i += run->records_per_page_) {
       size_t end = std::min(i + run->records_per_page_, records.size());
-      PageId page = device->Allocate(DataClass::kBase);
+      PageId page;
+      Status alloc = device->Allocate(DataClass::kBase, &page);
+      if (!alloc.ok()) return alloc;
       if (pinned_pages) {
         // Encode directly into the pinned page; no staging copy.
         PageWriteGuard guard;
@@ -179,7 +181,9 @@ Status SortedRun::Build(Device* device, RumCounters* counters,
     Key prev = 0;
     Key first_key = 0;
     auto seal = [&]() -> Status {
-      PageId page = device->Allocate(DataClass::kBase);
+      PageId page;
+      Status alloc = device->Allocate(DataClass::kBase, &page);
+      if (!alloc.ok()) return alloc;
       if (pinned_pages) {
         PageWriteGuard guard;
         Status s = device->PinForWrite(page, &guard);

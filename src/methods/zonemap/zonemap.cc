@@ -104,7 +104,10 @@ Status ZoneMapColumn::StoreZone(Zone* zone, std::vector<Entry>& entries) {
     zone->pages.pop_back();
   }
   while (zone->pages.size() < pages_needed) {
-    zone->pages.push_back(device_->Allocate(DataClass::kBase));
+    PageId page;
+    Status s = device_->Allocate(DataClass::kBase, &page);
+    if (!s.ok()) return s;
+    zone->pages.push_back(page);
   }
   std::vector<Entry> page;
   for (size_t p = 0; p < pages_needed; ++p) {
@@ -175,7 +178,10 @@ Status ZoneMapColumn::Insert(Key key, Value value) {
   std::vector<Entry> page;
   if (zone.pages.empty() ||
       zone.count % page_capacity_ == 0) {
-    zone.pages.push_back(device_->Allocate(DataClass::kBase));
+    PageId tail;
+    Status alloc = device_->Allocate(DataClass::kBase, &tail);
+    if (!alloc.ok()) return alloc;
+    zone.pages.push_back(tail);
     page.clear();
   } else {
     Status s = LoadZonePage(zone, zone.pages.size() - 1, &page);

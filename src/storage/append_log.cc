@@ -42,7 +42,8 @@ LogRecord AppendLog::DecodeRecord(const uint8_t* src) {
 
 Status AppendLog::Append(const LogRecord& record) {
   if (tail_page_ == kInvalidPageId) {
-    tail_page_ = device_->Allocate(cls_);
+    Status s = device_->Allocate(cls_, &tail_page_);
+    if (!s.ok()) return s;
   }
   tail_.push_back(record);
   ++record_count_;

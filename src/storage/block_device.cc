@@ -10,7 +10,7 @@ BlockDevice::BlockDevice(size_t block_size, RumCounters* counters)
   assert(counters_ != nullptr);
 }
 
-PageId BlockDevice::Allocate(DataClass cls) {
+Status BlockDevice::Allocate(DataClass cls, PageId* out) {
   PageId id;
   if (!free_list_.empty()) {
     id = free_list_.back();
@@ -33,7 +33,8 @@ PageId BlockDevice::Allocate(DataClass cls) {
     ++live_aux_;
   }
   counters_->AdjustSpace(cls, static_cast<int64_t>(block_size_));
-  return id;
+  *out = id;
+  return Status::OK();
 }
 
 Status BlockDevice::CheckLive(PageId page) const {
@@ -103,17 +104,28 @@ Status BlockDevice::PinForWrite(PageId page, PageWriteGuard* out) {
 }
 
 void BlockDevice::UnpinRead(PageId page) {
-  assert(page < pages_.size() && pages_[page].pins > 0);
+  assert(page < pages_.size());
+  // A zero pin count here means the guard outlived a Crash(); its release
+  // is tolerated as a no-op (the crash already dropped the pin).
+  if (page >= pages_.size() || pages_[page].pins == 0) return;
   --pages_[page].pins;
   --pins_outstanding_;
 }
 
 Status BlockDevice::UnpinWrite(PageId page, bool dirty) {
-  assert(page < pages_.size() && pages_[page].pins > 0);
+  assert(page < pages_.size());
+  if (page >= pages_.size() || pages_[page].pins == 0) {
+    return Status::OK();  // Post-crash abandoned guard.
+  }
   --pages_[page].pins;
   --pins_outstanding_;
   if (!dirty) return Status::OK();
   return ChargeWrite(page);
+}
+
+void BlockDevice::Crash() {
+  for (PageSlot& slot : pages_) slot.pins = 0;
+  pins_outstanding_ = 0;
 }
 
 std::vector<uint8_t>* BlockDevice::mutable_page_unaccounted(PageId page) {
@@ -126,29 +138,8 @@ const std::vector<uint8_t>* BlockDevice::page_unaccounted(PageId page) const {
   return &pages_[page].bytes;
 }
 
-Status BlockDevice::ConsumeFaultBudget() const {
-  if (!fault_armed_) return Status::OK();
-  if (fault_budget_ == 0) {
-    return Status::IOError("injected device fault");
-  }
-  --fault_budget_;
-  return Status::OK();
-}
-
-void BlockDevice::InjectFailureAfter(uint64_t ops) {
-  fault_armed_ = true;
-  fault_budget_ = ops;
-}
-
-void BlockDevice::ClearFaults() {
-  fault_armed_ = false;
-  fault_budget_ = 0;
-}
-
 Status BlockDevice::ChargeRead(PageId page) const {
   Status s = CheckLive(page);
-  if (!s.ok()) return s;
-  s = ConsumeFaultBudget();
   if (!s.ok()) return s;
   counters_->OnRead(pages_[page].cls, block_size_);
   counters_->OnBlockRead();
@@ -157,8 +148,6 @@ Status BlockDevice::ChargeRead(PageId page) const {
 
 Status BlockDevice::ChargeWrite(PageId page) {
   Status s = CheckLive(page);
-  if (!s.ok()) return s;
-  s = ConsumeFaultBudget();
   if (!s.ok()) return s;
   counters_->OnWrite(pages_[page].cls, block_size_);
   counters_->OnBlockWrite();

@@ -30,8 +30,10 @@ class BlockDevice : public Device {
   /// traffic to `counters` (borrowed; must outlive the device).
   BlockDevice(size_t block_size, RumCounters* counters);
 
-  /// Allocates a zeroed page of class `cls`; returns its id.
-  PageId Allocate(DataClass cls) override;
+  /// Allocates a zeroed page of class `cls`; never fails at this level (the
+  /// simulated store has no capacity limit -- allocation faults come from a
+  /// FaultyDevice stacked on top).
+  Status Allocate(DataClass cls, PageId* out) override;
 
   /// Frees a page; its id may be recycled by later allocations.
   Status Free(PageId page) override;
@@ -69,13 +71,9 @@ class BlockDevice : public Device {
   /// Reclassifies a live page (e.g. when a buffer becomes part of an index).
   Status Reclassify(PageId page, DataClass cls);
 
-  /// Fault injection: after `ops` more successful block reads/writes, every
-  /// subsequent I/O fails with kIOError until ClearFaults(). Used to test
-  /// error propagation through access methods.
-  void InjectFailureAfter(uint64_t ops);
-  void ClearFaults();
-  /// True once the injected fault has started firing.
-  bool fault_active() const { return fault_armed_ && fault_budget_ == 0; }
+  /// Crash simulation: the bottom of the stack holds no volatile state, so
+  /// only open pins are abandoned (their late releases become no-ops).
+  void Crash() override;
 
   size_t block_size() const override { return block_size_; }
   /// Live (allocated, not freed) page count, total and per class.
@@ -101,9 +99,6 @@ class BlockDevice : public Device {
 
   Status CheckLive(PageId page) const;
 
-  /// Consumes one unit of the fault budget; returns kIOError when spent.
-  Status ConsumeFaultBudget() const;
-
   size_t block_size_;
   RumCounters* counters_;  // Not owned.
   std::vector<PageSlot> pages_;
@@ -112,8 +107,6 @@ class BlockDevice : public Device {
   size_t live_base_ = 0;
   size_t live_aux_ = 0;
   size_t pins_outstanding_ = 0;
-  bool fault_armed_ = false;
-  mutable uint64_t fault_budget_ = 0;
 };
 
 }  // namespace rum

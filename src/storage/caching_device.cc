@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "core/status_builder.h"
+
 namespace rum {
 
 CachingDevice::CachingDevice(Device* base, size_t capacity_pages)
@@ -10,9 +12,9 @@ CachingDevice::CachingDevice(Device* base, size_t capacity_pages)
   assert(base_ != nullptr);
 }
 
-PageId CachingDevice::Allocate(DataClass cls) {
+Status CachingDevice::Allocate(DataClass cls, PageId* out) {
   std::lock_guard<std::mutex> lock(mu_);
-  return base_->Allocate(cls);
+  return base_->Allocate(cls, out);
 }
 
 size_t CachingDevice::cached_pages() const {
@@ -72,7 +74,11 @@ Status CachingDevice::EvictDownTo(size_t target) {
     CacheEntry& entry = entries_.at(page);
     if (entry.dirty) {
       Status s = base_->Write(page, entry.bytes);
-      if (!s.ok()) return s;
+      if (!s.ok()) {
+        // Name the victim: the caller's op (an unrelated insert or unpin)
+        // is not the page whose write-back actually failed.
+        return StatusBuilder(s).Op("EvictDownTo write-back").Page(page);
+      }
     }
     DropEntry(page, &entry);
   }
@@ -205,7 +211,9 @@ Status CachingDevice::PinForWrite(PageId page, PageWriteGuard* out) {
 void CachingDevice::UnpinRead(PageId page) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(page);
-  assert(it != entries_.end() && it->second.pins > 0);
+  if (it == entries_.end() || it->second.pins == 0) {
+    return;  // Post-crash abandoned guard.
+  }
   --it->second.pins;
   --pins_outstanding_;
   if (it->second.pins == 0) {
@@ -218,7 +226,9 @@ void CachingDevice::UnpinRead(PageId page) {
 Status CachingDevice::UnpinWrite(PageId page, bool dirty) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(page);
-  assert(it != entries_.end() && it->second.pins > 0);
+  if (it == entries_.end() || it->second.pins == 0) {
+    return Status::OK();  // Post-crash abandoned guard.
+  }
   CacheEntry& entry = it->second;
   --entry.pins;
   --pins_outstanding_;
@@ -245,11 +255,27 @@ Status CachingDevice::FlushAll() {
   for (auto& [page, entry] : entries_) {
     if (entry.dirty) {
       Status s = base_->Write(page, entry.bytes);
-      if (!s.ok()) return s;
+      if (!s.ok()) {
+        return StatusBuilder(s).Op("FlushAll write-back").Page(page);
+      }
       entry.dirty = false;
     }
   }
   return base_->FlushAll();
+}
+
+void CachingDevice::Crash() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // All buffered state -- dirty or clean -- is volatile at this level;
+  // releasing it adjusts this level's resident space back down. Dirty bytes
+  // that never reached the base are simply lost, which is the point.
+  counters_.AdjustSpace(
+      DataClass::kAux,
+      -static_cast<int64_t>(entries_.size() * block_size()));
+  entries_.clear();
+  lru_.clear();
+  pins_outstanding_ = 0;
+  base_->Crash();
 }
 
 }  // namespace rum

@@ -40,7 +40,7 @@ class CachingDevice : public Device {
   /// most `capacity_pages` page copies.
   CachingDevice(Device* base, size_t capacity_pages);
 
-  PageId Allocate(DataClass cls) override;
+  Status Allocate(DataClass cls, PageId* out) override;
   Status Free(PageId page) override;
   Status Read(PageId page, std::vector<uint8_t>* out) override;
   Status Write(PageId page, const std::vector<uint8_t>& data) override;
@@ -58,6 +58,12 @@ class CachingDevice : public Device {
   /// The cache-level write charge lands at the guard's dirty release; a
   /// clean release of a missed pin drops the speculative entry unchanged.
   Status PinForWrite(PageId page, PageWriteGuard* out) override;
+
+  /// Crash simulation: every cached entry -- dirty or clean -- vanishes
+  /// without write-back, open pins are abandoned (late guard releases are
+  /// no-ops), and the crash propagates to the device below. Only state that
+  /// reached the bottom of the stack survives.
+  void Crash() override;
 
   size_t block_size() const override { return base_->block_size(); }
   size_t live_pages() const override { return base_->live_pages(); }

@@ -147,8 +147,10 @@ class Device {
   Device(const Device&) = delete;
   Device& operator=(const Device&) = delete;
 
-  /// Allocates a zeroed page of class `cls`.
-  virtual PageId Allocate(DataClass cls) = 0;
+  /// Allocates a zeroed page of class `cls` into `*out`. Allocation is
+  /// fallible (fault injection models a full or failing device); on error
+  /// `*out` is left untouched and nothing is charged.
+  virtual Status Allocate(DataClass cls, PageId* out) = 0;
   /// Frees a page. Fails if the page is pinned.
   virtual Status Free(PageId page) = 0;
   /// Reads a whole block into `out`.
@@ -157,6 +159,14 @@ class Device {
   virtual Status Write(PageId page, const std::vector<uint8_t>& data) = 0;
   /// Pushes any buffered dirty state down to the bottom of the stack.
   virtual Status FlushAll() = 0;
+
+  /// Simulates a process crash at this level and below: all buffered dirty
+  /// state is dropped without write-back and all open pins are abandoned.
+  /// Durable state (what reached the bottom of the stack) survives. Guards
+  /// still held by callers become invalid -- their eventual release is
+  /// tolerated as a no-op, but their views must not be touched again. The
+  /// default is a no-op (a level with nothing volatile).
+  virtual void Crash() {}
 
   /// Pins `page` and charges the read (same charge as `Read`). On failure
   /// nothing is charged and `*out` is left invalid.

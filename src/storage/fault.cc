@@ -1,0 +1,55 @@
+#include "storage/fault.h"
+
+namespace rum {
+
+std::string_view FaultOpName(FaultOp op) {
+  switch (op) {
+    case FaultOp::kRead:
+      return "Read";
+    case FaultOp::kWrite:
+      return "Write";
+    case FaultOp::kPin:
+      return "Pin";
+    case FaultOp::kAllocate:
+      return "Allocate";
+    case FaultOp::kFlush:
+      return "Flush";
+  }
+  return "?";
+}
+
+FaultPlan FaultPlan::Transient(uint64_t seed, double rate) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.transient_rate.fill(rate);
+  return plan;
+}
+
+bool FaultPlan::active() const {
+  if (fail_after_io != kNever) return true;
+  for (double rate : transient_rate) {
+    if (rate > 0.0) return true;
+  }
+  return false;
+}
+
+namespace {
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+bool FaultDraw(uint64_t seed, FaultOp op, uint64_t index, double rate) {
+  if (rate <= 0.0) return false;
+  if (rate >= 1.0) return true;
+  uint64_t h = SplitMix64(seed ^ SplitMix64((static_cast<uint64_t>(op) << 56) ^
+                                            (index + 1)));
+  // Top 53 bits -> uniform double in [0, 1).
+  double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < rate;
+}
+
+}  // namespace rum

@@ -1,0 +1,107 @@
+#ifndef RUMLAB_STORAGE_FAULT_H_
+#define RUMLAB_STORAGE_FAULT_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace rum {
+
+/// The classes of device operations a FaultPlan can target independently.
+/// `kPin` covers pin acquisition (read and write); the dirty release of a
+/// write pin is a write-class event (it is the moment the block write is
+/// charged, exactly like Device::Write).
+enum class FaultOp : uint8_t {
+  kRead = 0,
+  kWrite,
+  kPin,
+  kAllocate,
+  kFlush,
+};
+
+inline constexpr size_t kFaultOpCount = 5;
+
+/// Short stable name ("Read", "Write", "Pin", "Allocate", "Flush").
+std::string_view FaultOpName(FaultOp op);
+
+/// A declarative, deterministic failure policy for a FaultyDevice.
+///
+/// Two fault shapes compose:
+///  - *Transient* faults: each attempt of a targeted op class fails with the
+///    class's probability, decided by a seeded hash of (seed, class, attempt
+///    index) -- fully deterministic given the op sequence, and independent
+///    across attempts, so a bounded retry usually clears them.
+///  - A *permanent* fault: after `fail_after_io` charged I/O operations
+///    succeed (block reads, block writes, pin-read acquisitions, dirty pin
+///    releases -- the same set the legacy BlockDevice budget counted), every
+///    subsequent targeted op fails until the plan is cleared. This is the
+///    migration target of the old InjectFailureAfter API.
+///
+/// Torn writes model power-loss mid-block: when a write-class fault fires
+/// and the torn draw hits, the trailing `torn_tail_bytes` of the block are
+/// bit-flipped in place before the error returns, and the page is marked
+/// corrupt. The FaultyDevice then serves every read of that page with
+/// kCorruption until the page is fully rewritten or reallocated -- the
+/// simulated analogue of a per-block checksum catching the tear, which is
+/// what makes "no silently wrong answer" enforceable above it.
+struct FaultPlan {
+  /// Seed for every transient/torn decision. Two devices running the same
+  /// op sequence under the same seed inject byte-identical faults.
+  uint64_t seed = 0;
+
+  /// Per-class probability in [0, 1] that one attempt suffers a transient
+  /// fault. Indexed by FaultOp.
+  std::array<double, kFaultOpCount> transient_rate{};
+
+  /// Charged I/O ops allowed to succeed before the device fails permanently.
+  /// kNever disables the permanent fault.
+  static constexpr uint64_t kNever = ~0ull;
+  uint64_t fail_after_io = kNever;
+
+  /// Probability that a write-class fault is torn (see above) rather than a
+  /// clean rejection.
+  double torn_write_rate = 0.0;
+  /// Trailing bytes of the block the tear flips (clamped to the block size).
+  size_t torn_tail_bytes = 64;
+
+  /// No faults at all (the default-constructed plan).
+  static FaultPlan None() { return FaultPlan{}; }
+
+  /// The legacy budget: `ops` more charged I/Os succeed, then everything
+  /// fails until the plan is cleared.
+  static FaultPlan FailAfter(uint64_t ops) {
+    FaultPlan plan;
+    plan.fail_after_io = ops;
+    return plan;
+  }
+
+  /// Transient faults at `rate` on every op class.
+  static FaultPlan Transient(uint64_t seed, double rate);
+
+  /// Builder-style tweak: sets one class's transient rate.
+  FaultPlan& WithRate(FaultOp op, double rate) {
+    transient_rate[static_cast<size_t>(op)] = rate;
+    return *this;
+  }
+
+  /// Builder-style tweak: arms torn writes.
+  FaultPlan& WithTornWrites(double rate, size_t tail_bytes = 64) {
+    torn_write_rate = rate;
+    torn_tail_bytes = tail_bytes;
+    return *this;
+  }
+
+  /// True when the plan can ever inject a fault.
+  bool active() const;
+};
+
+/// One deterministic fault draw: true when attempt `index` of class `op`
+/// under `seed` should fail at probability `rate`. Pure function of its
+/// arguments (SplitMix64 over the tuple), so replaying an op sequence
+/// replays its faults exactly.
+bool FaultDraw(uint64_t seed, FaultOp op, uint64_t index, double rate);
+
+}  // namespace rum
+
+#endif  // RUMLAB_STORAGE_FAULT_H_

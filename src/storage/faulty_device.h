@@ -1,0 +1,126 @@
+#ifndef RUMLAB_STORAGE_FAULTY_DEVICE_H_
+#define RUMLAB_STORAGE_FAULTY_DEVICE_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/status.h"
+#include "core/types.h"
+#include "storage/device.h"
+#include "storage/fault.h"
+
+namespace rum {
+
+/// A fault-injecting decorator over any Device, driven by a FaultPlan.
+///
+/// Faults are injected *between* the caller and the wrapped device, so they
+/// compose with the whole Figure-2 stack: wrap a BlockDevice and stack a
+/// CachingDevice (and ShardedMethod workers) on top, and every layer above
+/// sees realistic failures without any layer carrying test hooks of its own.
+/// This replaces the legacy InjectFailureAfter budget that used to live
+/// inside BlockDevice; `InjectFailureAfter`/`ClearFaults`/`fault_active`
+/// survive here as thin adapters over `FaultPlan::FailAfter`.
+///
+/// Charging contract (mirrors the device contract): a faulted operation
+/// moves no bytes and charges nothing -- the injected error returns before
+/// the wrapped device is touched. The permanent-fault budget counts exactly
+/// the charged I/Os the legacy budget counted: block reads, block writes,
+/// pin-read acquisitions, and dirty pin releases.
+///
+/// Pin path: the decorator hands out its own guards backed by pins it holds
+/// on the wrapped device, so a dirty release routes through the plan's
+/// write-class faults. A faulted dirty release leaves the caller's in-place
+/// mutations visible and uncharged (the simulated torn write of the pin
+/// contract); when the torn draw also hits, the block's tail bytes are
+/// flipped and the page is *poisoned*: every subsequent Read/PinForRead
+/// answers kCorruption -- the checksum model -- until a successful full
+/// rewrite or reallocation of the page clears it. Methods above therefore
+/// can never silently serve a torn block.
+///
+/// Thread safety: one internal mutex serializes every operation (including
+/// calls into the wrapped device), so a FaultyDevice may sit under a shared
+/// CachingDevice in concurrent tests. Fault decisions are deterministic in
+/// the sequence of operations; concurrent callers that interleave
+/// differently draw differently, so replay guarantees need a serial driver.
+class FaultyDevice : public Device {
+ public:
+  /// Wraps `base` (borrowed, must outlive this) with no faults armed.
+  explicit FaultyDevice(Device* base);
+  FaultyDevice(Device* base, FaultPlan plan);
+
+  /// Replaces the fault policy. Draw indices and the permanent budget reset
+  /// (a new plan replays from its beginning); pages already torn stay
+  /// poisoned -- the damage is on the "disk", not in the policy.
+  void SetPlan(FaultPlan plan);
+  const FaultPlan& plan() const;
+
+  /// Legacy budget adapter: after `ops` more charged I/Os, everything
+  /// fails until ClearFaults(). Equivalent to SetPlan(FaultPlan::FailAfter).
+  void InjectFailureAfter(uint64_t ops) { SetPlan(FaultPlan::FailAfter(ops)); }
+  /// Disarms all fault injection (torn pages stay poisoned).
+  void ClearFaults() { SetPlan(FaultPlan::None()); }
+  /// True once the permanent-fault budget has been exhausted.
+  bool fault_active() const;
+
+  // -- Observability (tests and error reports).
+  uint64_t faults_injected() const;
+  uint64_t faults_injected(FaultOp op) const;
+  uint64_t torn_writes() const;
+  bool page_torn(PageId page) const;
+  size_t pinned_pages() const;
+
+  // -- Device interface.
+  Status Allocate(DataClass cls, PageId* out) override;
+  Status Free(PageId page) override;
+  Status Read(PageId page, std::vector<uint8_t>* out) override;
+  Status Write(PageId page, const std::vector<uint8_t>& data) override;
+  Status FlushAll() override;
+  Status PinForRead(PageId page, PageReadGuard* out) override;
+  Status PinForWrite(PageId page, PageWriteGuard* out) override;
+  void Crash() override;
+  size_t block_size() const override { return base_->block_size(); }
+  size_t live_pages() const override { return base_->live_pages(); }
+
+ protected:
+  void UnpinRead(PageId page) override;
+  Status UnpinWrite(PageId page, bool dirty) override;
+
+ private:
+  /// Base-device pins backing this decorator's outstanding guards.
+  struct PagePins {
+    std::vector<PageReadGuard> read_guards;
+    std::vector<PageWriteGuard> write_guards;
+  };
+
+  /// Draws the fault decision for one attempt of `op` (mu_ held). Returns
+  /// the injected error, or OK -- in which case, when `counts_io` is set,
+  /// one unit of the permanent budget has been consumed.
+  Status MaybeFault(FaultOp op, PageId page, bool counts_io);
+  /// Draws the torn decision for a write-class fault (mu_ held).
+  bool DrawTorn();
+  /// Flips the plan's tail-byte window of `bytes` (the torn write itself).
+  void FlipTail(std::span<uint8_t> bytes);
+  /// kCorruption for a poisoned page (checksum mismatch on read).
+  Status TornStatus(PageId page, const char* op) const;
+
+  Device* base_;  // Not owned.
+  mutable std::mutex mu_;  // Guards everything below (and base_ calls).
+  FaultPlan plan_;
+  uint64_t io_budget_left_ = FaultPlan::kNever;
+  std::array<uint64_t, kFaultOpCount> draw_index_{};
+  uint64_t torn_draw_index_ = 0;
+  std::array<uint64_t, kFaultOpCount> injected_{};
+  uint64_t torn_writes_ = 0;
+  std::unordered_set<PageId> torn_;
+  std::unordered_map<PageId, PagePins> pins_;
+  size_t pins_outstanding_ = 0;
+};
+
+}  // namespace rum
+
+#endif  // RUMLAB_STORAGE_FAULTY_DEVICE_H_

@@ -53,7 +53,8 @@ Status HeapFile::LoadPage(size_t page_index, std::vector<Entry>* out) {
 
 Result<RowId> HeapFile::Append(const Entry& entry) {
   if (tail_page_ == kInvalidPageId) {
-    tail_page_ = device_->Allocate(cls_);
+    Status s = device_->Allocate(cls_, &tail_page_);
+    if (!s.ok()) return s;
   }
   tail_.push_back(entry);
   RowId row = row_count_++;

@@ -1,0 +1,66 @@
+#include "storage/retry_device.h"
+
+#include <cassert>
+#include <utility>
+
+namespace rum {
+
+RetryingDevice::RetryingDevice(Device* base, const Options& options,
+                               RumCounters* counters)
+    : base_(base), counters_(counters), policy_(options.storage.retry) {
+  assert(base_ != nullptr);
+  assert(counters_ != nullptr);
+  if (policy_.max_attempts == 0) policy_.max_attempts = 1;
+}
+
+uint64_t RetryingDevice::simulated_backoff_us() const {
+  return backoff_us_.load(std::memory_order_relaxed);
+}
+
+template <typename Op>
+Status RetryingDevice::WithRetries(Op&& op) {
+  Status s;
+  for (size_t attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
+    if (attempt > 1) {
+      counters_->OnRetry();
+      backoff_us_.fetch_add(policy_.backoff_base_us << (attempt - 2),
+                            std::memory_order_relaxed);
+    }
+    s = op();
+    if (s.ok()) return s;
+    counters_->OnIoError();
+    if (s.code() != Code::kIOError) return s;  // Only kIOError may heal.
+  }
+  return s;
+}
+
+Status RetryingDevice::Allocate(DataClass cls, PageId* out) {
+  return WithRetries([&] { return base_->Allocate(cls, out); });
+}
+
+Status RetryingDevice::Free(PageId page) {
+  // Free is not an I/O in the fault model; forward directly.
+  return base_->Free(page);
+}
+
+Status RetryingDevice::Read(PageId page, std::vector<uint8_t>* out) {
+  return WithRetries([&] { return base_->Read(page, out); });
+}
+
+Status RetryingDevice::Write(PageId page, const std::vector<uint8_t>& data) {
+  return WithRetries([&] { return base_->Write(page, data); });
+}
+
+Status RetryingDevice::FlushAll() {
+  return WithRetries([&] { return base_->FlushAll(); });
+}
+
+Status RetryingDevice::PinForRead(PageId page, PageReadGuard* out) {
+  return WithRetries([&] { return base_->PinForRead(page, out); });
+}
+
+Status RetryingDevice::PinForWrite(PageId page, PageWriteGuard* out) {
+  return WithRetries([&] { return base_->PinForWrite(page, out); });
+}
+
+}  // namespace rum

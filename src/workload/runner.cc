@@ -26,6 +26,45 @@ CostPercentiles CostPercentiles::From(std::vector<uint64_t> samples) {
   return out;
 }
 
+void ErrorTally::Count(const Status& s) {
+  switch (s.code()) {
+    case Code::kIOError:
+      ++io_errors;
+      break;
+    case Code::kCorruption:
+      ++corruption;
+      break;
+    default:
+      ++other;
+      break;
+  }
+}
+
+ErrorTally& ErrorTally::operator+=(const ErrorTally& o) {
+  io_errors += o.io_errors;
+  corruption += o.corruption;
+  other += o.other;
+  degraded_skips += o.degraded_skips;
+  return *this;
+}
+
+std::string ErrorTally::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "io=%llu corruption=%llu other=%llu degraded_skips=%llu",
+                static_cast<unsigned long long>(io_errors),
+                static_cast<unsigned long long>(corruption),
+                static_cast<unsigned long long>(other),
+                static_cast<unsigned long long>(degraded_skips));
+  return std::string(buf);
+}
+
+ErrorTally RumProfile::errors() const {
+  ErrorTally merged;
+  for (const ErrorTally& t : worker_errors) merged += t;
+  return merged;
+}
+
 double RumProfile::bytes_read_per_op() const {
   uint64_t ops = delta.point_queries + delta.range_queries + delta.inserts +
                  delta.updates + delta.deletes;
@@ -103,6 +142,32 @@ Status ExecuteOne(AccessMethod* method, const WorkloadSpec& spec, double dice,
   return Status::OK();
 }
 
+/// True when `dice` selects a mutation (insert/update/delete) in the mix.
+bool IsMutation(const WorkloadSpec& spec, double dice) {
+  return dice <
+         spec.insert_fraction + spec.update_fraction + spec.delete_fraction;
+}
+
+/// ExecuteOne wrapped in the spec's error policy. Returns non-OK only when
+/// the phase must abort; otherwise failures land in `tally` (and, under
+/// kDegrade, flip `degraded`, after which mutations are withheld).
+Status ExecuteOnePolicied(AccessMethod* method, const WorkloadSpec& spec,
+                          double dice, Key key, Key scan_width,
+                          Rng* value_rng, std::vector<Entry>* scan_buffer,
+                          ErrorTally* tally, bool* degraded) {
+  if (spec.error_mode == ErrorMode::kDegrade && *degraded &&
+      IsMutation(spec, dice)) {
+    ++tally->degraded_skips;
+    return Status::OK();
+  }
+  Status s =
+      ExecuteOne(method, spec, dice, key, scan_width, value_rng, scan_buffer);
+  if (s.ok() || spec.error_mode == ErrorMode::kAbort) return s;
+  tally->Count(s);
+  if (spec.error_mode == ErrorMode::kDegrade) *degraded = true;
+  return Status::OK();
+}
+
 /// The classic single-threaded phase, with per-op cost sampling.
 Result<RumProfile> RunSerial(AccessMethod* method, const WorkloadSpec& spec) {
   KeyGenerator keys(spec.distribution, spec.key_range, spec.seed + 1,
@@ -122,13 +187,15 @@ Result<RumProfile> RunSerial(AccessMethod* method, const WorkloadSpec& spec) {
   uint64_t last_read = before.total_bytes_read();
   uint64_t last_written = before.total_bytes_written();
 
+  ErrorTally tally;
+  bool degraded = false;
   std::vector<Entry> scan_buffer;
   for (uint64_t i = 0; i < spec.operations; ++i) {
     double dice = op_rng.NextDouble();
     Key key = keys.Next();
     Status s =
-        ExecuteOne(method, spec, dice, key, scan_width, &value_rng,
-                   &scan_buffer);
+        ExecuteOnePolicied(method, spec, dice, key, scan_width, &value_rng,
+                           &scan_buffer, &tally, &degraded);
     if (!s.ok()) return s;
     CounterSnapshot now = method->stats();
     read_samples.push_back(now.total_bytes_read() - last_read);
@@ -147,6 +214,9 @@ Result<RumProfile> RunSerial(AccessMethod* method, const WorkloadSpec& spec) {
       std::chrono::duration<double>(end - start).count();
   profile.read_cost = CostPercentiles::From(std::move(read_samples));
   profile.write_cost = CostPercentiles::From(std::move(write_samples));
+  if (spec.error_mode != ErrorMode::kAbort) {
+    profile.worker_errors.push_back(tally);
+  }
   return profile;
 }
 
@@ -158,7 +228,8 @@ Result<RumProfile> RunSerial(AccessMethod* method, const WorkloadSpec& spec) {
 /// with scan_fraction > 0 contents stay exact but physical read traffic
 /// depends on interleaving.)
 Status RunWorker(AccessMethod* method, const WorkloadSpec& spec,
-                 const KeyPartitioned* parts, uint32_t workers, uint32_t t) {
+                 const KeyPartitioned* parts, uint32_t workers, uint32_t t,
+                 ErrorTally* tally) {
   uint64_t ops = spec.operations / workers +
                  (t < spec.operations % workers ? 1 : 0);
   uint64_t worker_seed = SplitMix64(spec.seed ^ SplitMix64(t + 1));
@@ -178,12 +249,13 @@ Status RunWorker(AccessMethod* method, const WorkloadSpec& spec,
     return keys.Next();
   };
 
+  bool degraded = false;
   std::vector<Entry> scan_buffer;
   for (uint64_t i = 0; i < ops; ++i) {
     double dice = op_rng.NextDouble();
     Key key = next_owned_key();
-    Status s = ExecuteOne(method, spec, dice, key, scan_width, &value_rng,
-                          &scan_buffer);
+    Status s = ExecuteOnePolicied(method, spec, dice, key, scan_width,
+                                  &value_rng, &scan_buffer, tally, &degraded);
     if (!s.ok()) return s;
   }
   return Status::OK();
@@ -211,13 +283,16 @@ Result<RumProfile> RunConcurrent(AccessMethod* method,
   auto start = std::chrono::steady_clock::now();
 
   std::vector<Status> statuses(workers, Status::OK());
+  std::vector<ErrorTally> tallies(workers);
   {
     std::vector<std::thread> pool;
     pool.reserve(workers);
     for (uint32_t t = 0; t < workers; ++t) {
-      pool.emplace_back([method, &spec, parts, workers, t, &statuses] {
-        statuses[t] = RunWorker(method, spec, parts, workers, t);
-      });
+      pool.emplace_back(
+          [method, &spec, parts, workers, t, &statuses, &tallies] {
+            statuses[t] =
+                RunWorker(method, spec, parts, workers, t, &tallies[t]);
+          });
     }
     for (std::thread& worker : pool) worker.join();
   }
@@ -235,6 +310,9 @@ Result<RumProfile> RunConcurrent(AccessMethod* method,
   profile.point = RumPoint::FromSnapshot(profile.delta);
   profile.wall_seconds =
       std::chrono::duration<double>(end - start).count();
+  if (spec.error_mode != ErrorMode::kAbort) {
+    profile.worker_errors = std::move(tallies);
+  }
   return profile;
 }
 

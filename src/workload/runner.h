@@ -22,6 +22,21 @@ struct CostPercentiles {
   static CostPercentiles From(std::vector<uint64_t> samples);
 };
 
+/// Per-worker tally of operation errors absorbed during a phase run with
+/// ErrorMode::kSkipAndCount or kDegrade. Deterministic for a deterministic
+/// fault plan and serial op order.
+struct ErrorTally {
+  uint64_t io_errors = 0;    ///< Operations failed with kIOError.
+  uint64_t corruption = 0;   ///< Operations failed with kCorruption.
+  uint64_t other = 0;        ///< Any other non-benign failure.
+  uint64_t degraded_skips = 0;  ///< Mutations withheld in degraded service.
+
+  uint64_t failed() const { return io_errors + corruption + other; }
+  void Count(const Status& s);
+  ErrorTally& operator+=(const ErrorTally& o);
+  std::string ToString() const;
+};
+
 /// Result of running a workload phase against an access method: the
 /// counter delta over the phase plus derived RUM coordinates.
 struct RumProfile {
@@ -37,6 +52,12 @@ struct RumProfile {
   CostPercentiles read_cost;
   /// Per-operation bytes-written distribution (serial phases only).
   CostPercentiles write_cost;
+  /// One tally per worker (one entry for serial phases). Empty unless the
+  /// spec ran with kSkipAndCount or kDegrade.
+  std::vector<ErrorTally> worker_errors;
+
+  /// All workers' tallies merged.
+  ErrorTally errors() const;
 
   /// Per-operation averages.
   double bytes_read_per_op() const;

@@ -9,6 +9,21 @@
 
 namespace rum {
 
+/// How the runner responds to an operation failing with a real error (the
+/// mix always tolerates the benign kNotFound/kOutOfRange statuses).
+enum class ErrorMode {
+  /// Stop the phase and return the error (the classic behavior).
+  kAbort,
+  /// Tally the error by code in the worker's ErrorTally and continue --
+  /// the "keep serving through faults" stance of a chaos run.
+  kSkipAndCount,
+  /// Like kSkipAndCount, but after the first error the worker stops issuing
+  /// mutations (each one tallied as degraded-skipped) and serves reads
+  /// only: degraded service instead of risking compound damage on a
+  /// structure that may be mid-reorganization.
+  kDegrade,
+};
+
 /// Declarative description of a workload phase: an operation mix over a key
 /// space, plus scan selectivity. Fractions must sum to <= 1; the remainder
 /// is point queries.
@@ -44,6 +59,9 @@ struct WorkloadSpec {
   /// partitions, so concurrent RUM accounting replays exactly run-to-run
   /// (see WorkloadRunner). Capped at the method's partition count.
   uint32_t concurrency = 1;
+
+  /// Response to operation errors (fault injection); see ErrorMode.
+  ErrorMode error_mode = ErrorMode::kAbort;
 
   /// Canonical mixes used across the benches.
   static WorkloadSpec ReadOnly(uint64_t ops, Key key_range);

@@ -1,0 +1,505 @@
+// Chaos tier: every factory method is driven over a fault-injecting device
+// stack (BlockDevice -> FaultyDevice -> CachingDevice) under seeded fault
+// plans, and checked against an oracle for the only two acceptable
+// behaviors: the exact right answer, or an explicit error Status. Silently
+// wrong answers -- and crashes -- fail the tier. Fault decisions are pure
+// functions of (seed, op class, attempt index), so every scenario here
+// replays byte-identically; one test asserts exactly that.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "methods/factory.h"
+#include "storage/block_device.h"
+#include "storage/caching_device.h"
+#include "storage/faulty_device.h"
+#include "storage/retry_device.h"
+#include "tests/testing_util.h"
+#include "workload/distribution.h"
+#include "workload/runner.h"
+
+namespace rum {
+namespace {
+
+using testing_util::ReferenceModel;
+using testing_util::SmallOptions;
+
+constexpr uint64_t kChaosSeed = 0xC4A05ULL;
+
+/// One method's device stack for chaos runs. The cache is deliberately tiny
+/// so evictions and write-backs keep crossing the faulty layer.
+struct ChaosStack {
+  RumCounters counters;
+  BlockDevice base;
+  FaultyDevice faulty;
+  CachingDevice cache;
+
+  explicit ChaosStack(size_t block_size = 512, size_t cache_pages = 8)
+      : base(block_size, &counters),
+        faulty(&base),
+        cache(&faulty, cache_pages) {}
+};
+
+bool IsExplicitFailure(Code code) {
+  return code == Code::kIOError || code == Code::kCorruption;
+}
+
+/// Loads `n` keys clean (no faults armed) and flushes. Returns false if the
+/// method rejected the load (a test bug, not a chaos finding).
+bool LoadClean(AccessMethod* method, ReferenceModel* reference, Key n) {
+  for (Key k = 0; k < n; ++k) {
+    if (!method->Insert(k, ValueFor(k)).ok()) return false;
+    reference->Insert(k, ValueFor(k));
+  }
+  return method->Flush().ok();
+}
+
+// ----------------------------------------------------------------- Reads
+
+// Read-phase chaos: with only read-class faults armed, a query can never
+// mutate anything, so the oracle is exact -- every ok Get/Scan must match
+// the reference bit for bit, every failure must be an explicit error, and
+// after the plan clears the method must answer exactly again.
+TEST(ChaosTest, ReadFaultsAreExactOrExplicitForEveryMethod) {
+  constexpr Key kKeys = 400;
+  uint64_t total_faulted = 0;
+  for (std::string_view name : AllAccessMethodNames()) {
+    ChaosStack stack;
+    Options options = SmallOptions();
+    auto method = MakeAccessMethod(name, options, &stack.cache);
+    ASSERT_NE(method, nullptr) << name;
+    ReferenceModel reference;
+    ASSERT_TRUE(LoadClean(method.get(), &reference, kKeys)) << name;
+
+    stack.faulty.SetPlan(FaultPlan::Transient(kChaosSeed, 0.0)
+                             .WithRate(FaultOp::kRead, 0.25)
+                             .WithRate(FaultOp::kPin, 0.25));
+    for (Key k = 0; k < kKeys; k += 3) {
+      Result<Value> r = method->Get(k);
+      if (r.ok()) {
+        EXPECT_EQ(r.value(), ValueFor(k)) << name << " key " << k;
+      } else {
+        EXPECT_TRUE(r.code() == Code::kNotFound ? false
+                                                : IsExplicitFailure(r.code()))
+            << name << " key " << k << ": " << r.status().ToString();
+        ++total_faulted;
+      }
+      std::vector<Entry> out;
+      Status s = method->Scan(k, k + 10, &out);
+      if (s.ok()) {
+        std::vector<Entry> expected = reference.Scan(k, k + 10);
+        ASSERT_EQ(out.size(), expected.size()) << name << " scan at " << k;
+        for (size_t i = 0; i < out.size(); ++i) {
+          EXPECT_EQ(out[i].key, expected[i].key) << name;
+          EXPECT_EQ(out[i].value, expected[i].value) << name;
+        }
+      } else {
+        EXPECT_TRUE(IsExplicitFailure(s.code()))
+            << name << " scan at " << k << ": " << s.ToString();
+        ++total_faulted;
+      }
+    }
+
+    stack.faulty.ClearFaults();
+    for (Key k = 0; k < kKeys; k += 3) {
+      EXPECT_TRUE(testing_util::GetMatchesReference(method.get(), reference,
+                                                    k))
+          << name;
+    }
+  }
+  EXPECT_GT(total_faulted, 0u);  // The chaos was real.
+}
+
+// -------------------------------------------------------------- Mutations
+
+// Mutation-phase chaos: write/allocate faults can interrupt multi-page
+// reorganizations (splits, cascades, merges), so acknowledged-ok data may
+// legitimately be lost once a mutation has faulted. What must still hold:
+//  - an ok Get returns a value that was actually written for that key at
+//    some point (values are key-tagged, so cross-key mixups are caught);
+//  - NotFound is only acceptable for keys never certainly inserted, keys
+//    with a delete attempt, or after some mutation fault occurred;
+//  - everything else is an explicit error Status -- never garbage, never a
+//    crash.
+TEST(ChaosTest, MutationFaultsNeverProduceUnwrittenValues) {
+  constexpr Key kLoaded = 200;
+  constexpr int kOps = 300;
+  uint64_t total_faulted = 0;
+  for (std::string_view name : AllAccessMethodNames()) {
+    ChaosStack stack;
+    Options options = SmallOptions();
+    auto method = MakeAccessMethod(name, options, &stack.cache);
+    ASSERT_NE(method, nullptr) << name;
+    ReferenceModel reference;
+    ASSERT_TRUE(LoadClean(method.get(), &reference, kLoaded)) << name;
+
+    std::map<Key, std::set<Value>> history;
+    std::set<Key> delete_attempted;
+    for (Key k = 0; k < kLoaded; ++k) history[k].insert(ValueFor(k));
+
+    stack.faulty.SetPlan(FaultPlan::Transient(kChaosSeed + 1, 0.0)
+                             .WithRate(FaultOp::kWrite, 0.08)
+                             .WithRate(FaultOp::kAllocate, 0.08));
+    Rng rng(kChaosSeed + 2);
+    bool mutation_faulted = false;
+    for (int i = 0; i < kOps; ++i) {
+      Key k = static_cast<Key>(rng.NextBelow(kLoaded * 2));
+      double dice = rng.NextDouble();
+      Status s;
+      if (dice < 0.5) {
+        Value v = ValueFor(k) + 1000000 + static_cast<Value>(i);
+        history[k].insert(v);  // Recorded even if the write faults: a torn
+                               // reorganization may still surface it.
+        s = method->Insert(k, v);
+      } else if (dice < 0.75) {
+        delete_attempted.insert(k);
+        s = method->Delete(k);
+      } else {
+        Result<Value> r = method->Get(k);
+        s = r.ok() || r.code() == Code::kNotFound ? Status::OK() : r.status();
+        if (r.ok()) {
+          EXPECT_TRUE(history[k].count(r.value()))
+              << name << " key " << k << " returned unwritten value";
+        }
+      }
+      if (!s.ok() && s.code() != Code::kOutOfRange &&
+          s.code() != Code::kNotFound) {
+        EXPECT_TRUE(IsExplicitFailure(s.code()))
+            << name << " op " << i << ": " << s.ToString();
+        mutation_faulted = true;
+        ++total_faulted;
+      }
+    }
+
+    stack.faulty.ClearFaults();
+    for (const auto& [k, values] : history) {
+      Result<Value> r = method->Get(k);
+      if (r.ok()) {
+        EXPECT_TRUE(values.count(r.value()))
+            << name << " key " << k << " returned unwritten value "
+            << r.value();
+      } else if (r.code() == Code::kNotFound) {
+        EXPECT_TRUE(values.empty() || delete_attempted.count(k) ||
+                    mutation_faulted)
+            << name << " key " << k
+            << " vanished with no delete and no mutation fault";
+      } else {
+        EXPECT_TRUE(IsExplicitFailure(r.code()))
+            << name << " key " << k << ": " << r.status().ToString();
+      }
+    }
+  }
+  EXPECT_GT(total_faulted, 0u);
+}
+
+// ------------------------------------------------------------ Torn writes
+
+TEST(ChaosTest, TornWritePoisonsPageUntilFullRewrite) {
+  RumCounters counters;
+  BlockDevice base(512, &counters);
+  FaultyDevice device(&base);
+  PageId p = testing_util::MustAllocate(device, DataClass::kBase);
+  std::vector<uint8_t> data(512, 0xAB);
+  ASSERT_TRUE(device.Write(p, data).ok());
+
+  // Every write faults and every fault tears.
+  device.SetPlan(FaultPlan::Transient(kChaosSeed, 0.0)
+                     .WithRate(FaultOp::kWrite, 1.0)
+                     .WithTornWrites(1.0, 64));
+  std::vector<uint8_t> update(512, 0xCD);
+  EXPECT_EQ(device.Write(p, update).code(), Code::kIOError);
+  EXPECT_TRUE(device.page_torn(p));
+  EXPECT_EQ(device.torn_writes(), 1u);
+
+  // The checksum model: a torn page reads as corruption, not as bytes.
+  std::vector<uint8_t> out;
+  Status s = device.Read(p, &out);
+  EXPECT_EQ(s.code(), Code::kCorruption);
+  EXPECT_NE(s.message().find("page=" + std::to_string(p)), std::string::npos);
+  PageReadGuard guard;
+  EXPECT_EQ(device.PinForRead(p, &guard).code(), Code::kCorruption);
+
+  // A full successful rewrite restores the page.
+  device.ClearFaults();
+  ASSERT_TRUE(device.Write(p, update).ok());
+  EXPECT_FALSE(device.page_torn(p));
+  ASSERT_TRUE(device.Read(p, &out).ok());
+  EXPECT_EQ(out, update);
+}
+
+TEST(ChaosTest, TornDirtyReleasePoisonsInPlace) {
+  RumCounters counters;
+  BlockDevice base(512, &counters);
+  FaultyDevice device(&base);
+  PageId p = testing_util::MustAllocate(device, DataClass::kBase);
+  device.SetPlan(FaultPlan::Transient(kChaosSeed, 0.0)
+                     .WithRate(FaultOp::kWrite, 1.0)
+                     .WithTornWrites(1.0, 32));
+  PageWriteGuard guard;
+  ASSERT_TRUE(device.PinForWrite(p, &guard).ok());
+  std::fill(guard.bytes().begin(), guard.bytes().end(), 0x11);
+  guard.MarkDirty();
+  EXPECT_EQ(guard.Release().code(), Code::kIOError);
+  EXPECT_TRUE(device.page_torn(p));
+  std::vector<uint8_t> out;
+  EXPECT_EQ(device.Read(p, &out).code(), Code::kCorruption);
+  // Reallocation hands the id back zeroed and clean.
+  ASSERT_TRUE(device.Free(p).ok());
+  device.ClearFaults();
+  PageId q = testing_util::MustAllocate(device, DataClass::kBase);
+  EXPECT_EQ(q, p);  // Recycled.
+  EXPECT_FALSE(device.page_torn(q));
+  EXPECT_TRUE(device.Read(q, &out).ok());
+}
+
+// ----------------------------------------------------------------- Crash
+
+// Crash at a flush boundary: everything acknowledged and flushed must
+// survive a cache-and-below crash exactly; the cache must come back empty;
+// abandoned pin guards must release as no-ops.
+TEST(ChaosTest, CrashAfterFlushRecoversExactlyForEveryMethod) {
+  constexpr Key kKeys = 300;
+  for (std::string_view name : AllAccessMethodNames()) {
+    ChaosStack stack;
+    Options options = SmallOptions();
+    auto method = MakeAccessMethod(name, options, &stack.cache);
+    ASSERT_NE(method, nullptr) << name;
+    ReferenceModel reference;
+    ASSERT_TRUE(LoadClean(method.get(), &reference, kKeys)) << name;
+    ASSERT_TRUE(stack.cache.FlushAll().ok()) << name;
+
+    stack.cache.Crash();
+    EXPECT_EQ(stack.cache.cached_pages(), 0u) << name;
+    EXPECT_EQ(stack.cache.pinned_pages(), 0u) << name;
+
+    for (Key k = 0; k < kKeys; k += 5) {
+      EXPECT_TRUE(testing_util::GetMatchesReference(method.get(), reference,
+                                                    k))
+          << name << " after crash";
+    }
+    std::vector<Entry> out;
+    ASSERT_TRUE(method->Scan(0, kKeys, &out).ok()) << name;
+    EXPECT_EQ(out.size(), reference.Scan(0, kKeys).size()) << name;
+  }
+}
+
+TEST(ChaosTest, CrashAbandonsOpenPinsWithoutDamage) {
+  ChaosStack stack;
+  PageId p = testing_util::MustAllocate(stack.cache, DataClass::kBase);
+  std::vector<uint8_t> data(512, 0x42);
+  ASSERT_TRUE(stack.cache.Write(p, data).ok());
+  PageReadGuard read_guard;
+  ASSERT_TRUE(stack.cache.PinForRead(p, &read_guard).ok());
+  PageWriteGuard write_guard;
+  ASSERT_TRUE(stack.cache.PinForWrite(p, &write_guard).ok());
+  write_guard.MarkDirty();
+
+  stack.cache.Crash();
+  // Late releases of pre-crash guards are tolerated no-ops.
+  read_guard.Release();
+  EXPECT_TRUE(write_guard.Release().ok());
+  EXPECT_EQ(stack.cache.pinned_pages(), 0u);
+  EXPECT_EQ(stack.faulty.pinned_pages(), 0u);
+}
+
+// Dirty state that never reached the bottom is gone after a crash -- and
+// that must be *visible* (stale pre-image), never a half-written block.
+TEST(ChaosTest, CrashDropsUnflushedDirtyState) {
+  ChaosStack stack;
+  PageId p = testing_util::MustAllocate(stack.cache, DataClass::kBase);
+  std::vector<uint8_t> v1(512, 0x01);
+  ASSERT_TRUE(stack.cache.Write(p, v1).ok());
+  ASSERT_TRUE(stack.cache.FlushAll().ok());
+  std::vector<uint8_t> v2(512, 0x02);
+  ASSERT_TRUE(stack.cache.Write(p, v2).ok());  // Dirty in cache only.
+
+  stack.cache.Crash();
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(stack.cache.Read(p, &out).ok());
+  EXPECT_EQ(out, v1);  // The durable pre-image, exactly.
+}
+
+// ----------------------------------------------------------------- Retry
+
+TEST(ChaosTest, RetryingDeviceHealsTransientsAndChargesCounters) {
+  RumCounters counters;
+  BlockDevice base(512, &counters);
+  FaultyDevice faulty(&base);
+  Options options;
+  options.storage.retry.max_attempts = 16;
+  options.storage.retry.backoff_base_us = 10;
+  RetryingDevice device(&faulty, options, &counters);
+
+  faulty.SetPlan(FaultPlan::Transient(kChaosSeed, 0.0)
+                     .WithRate(FaultOp::kRead, 0.5)
+                     .WithRate(FaultOp::kWrite, 0.5)
+                     .WithRate(FaultOp::kAllocate, 0.5));
+  std::vector<uint8_t> data(512, 0x77);
+  std::vector<uint8_t> out;
+  uint64_t healed = 0;
+  for (int i = 0; i < 50; ++i) {
+    PageId p;
+    ASSERT_TRUE(device.Allocate(DataClass::kBase, &p).ok());
+    ASSERT_TRUE(device.Write(p, data).ok());
+    ASSERT_TRUE(device.Read(p, &out).ok());
+    EXPECT_EQ(out, data);
+  }
+  CounterSnapshot snap = counters.snapshot();
+  healed = snap.retries;
+  EXPECT_GT(snap.io_errors, 0u);
+  EXPECT_GT(snap.retries, 0u);
+  EXPECT_GE(snap.io_errors, snap.retries);  // Every retry follows an error.
+  EXPECT_GT(device.simulated_backoff_us(), 0u);
+
+  // kCorruption is never retried: a torn page stays corrupt.
+  PageId p;
+  faulty.ClearFaults();
+  ASSERT_TRUE(device.Allocate(DataClass::kBase, &p).ok());
+  faulty.SetPlan(FaultPlan::Transient(kChaosSeed, 0.0)
+                     .WithRate(FaultOp::kWrite, 1.0)
+                     .WithTornWrites(1.0, 16));
+  EXPECT_FALSE(device.Write(p, data).ok());
+  ASSERT_TRUE(faulty.page_torn(p));
+  uint64_t retries_before = counters.snapshot().retries;
+  EXPECT_EQ(device.Read(p, &out).code(), Code::kCorruption);
+  EXPECT_EQ(counters.snapshot().retries, retries_before);  // No retry.
+  EXPECT_GT(healed, 0u);
+}
+
+// ----------------------------------------------------- Runner error modes
+
+WorkloadSpec ChaosSpec(ErrorMode mode) {
+  WorkloadSpec spec;
+  spec.operations = 600;
+  spec.key_range = 1 << 10;
+  spec.insert_fraction = 0.4;
+  spec.update_fraction = 0.1;
+  spec.delete_fraction = 0.1;
+  spec.scan_fraction = 0.05;
+  spec.seed = kChaosSeed;
+  spec.error_mode = mode;
+  return spec;
+}
+
+FaultPlan RunnerPlan() {
+  return FaultPlan::Transient(kChaosSeed + 7, 0.0)
+      .WithRate(FaultOp::kRead, 0.05)
+      .WithRate(FaultOp::kWrite, 0.05)
+      .WithRate(FaultOp::kAllocate, 0.05);
+}
+
+TEST(ChaosTest, RunnerAbortModeSurfacesTheFault) {
+  ChaosStack stack;
+  auto method = MakeAccessMethod("btree", SmallOptions(), &stack.cache);
+  ASSERT_NE(method, nullptr);
+  stack.faulty.SetPlan(RunnerPlan());
+  Result<RumProfile> r =
+      WorkloadRunner::Run(method.get(), ChaosSpec(ErrorMode::kAbort));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(IsExplicitFailure(r.code())) << r.status().ToString();
+}
+
+TEST(ChaosTest, RunnerSkipAndCountAbsorbsAndTallies) {
+  ChaosStack stack;
+  auto method = MakeAccessMethod("btree", SmallOptions(), &stack.cache);
+  ASSERT_NE(method, nullptr);
+  stack.faulty.SetPlan(RunnerPlan());
+  Result<RumProfile> r =
+      WorkloadRunner::Run(method.get(), ChaosSpec(ErrorMode::kSkipAndCount));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().worker_errors.size(), 1u);
+  EXPECT_GT(r.value().errors().failed(), 0u);
+  EXPECT_EQ(r.value().errors().degraded_skips, 0u);
+}
+
+TEST(ChaosTest, RunnerDegradeModeStopsMutatingAfterFirstError) {
+  ChaosStack stack;
+  auto method = MakeAccessMethod("btree", SmallOptions(), &stack.cache);
+  ASSERT_NE(method, nullptr);
+  stack.faulty.SetPlan(RunnerPlan());
+  Result<RumProfile> r =
+      WorkloadRunner::Run(method.get(), ChaosSpec(ErrorMode::kDegrade));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ErrorTally tally = r.value().errors();
+  EXPECT_GT(tally.failed(), 0u);
+  EXPECT_GT(tally.degraded_skips, 0u);
+}
+
+// ---------------------------------------------------- Deterministic replay
+
+// The whole point of seeded fault draws: two identical stacks running the
+// same serial workload under the same plan inject identical faults, absorb
+// identical errors, and end with byte-identical RUM traffic.
+TEST(ChaosTest, SameSeedReplaysIdenticalErrorTallies) {
+  auto run_once = [](ErrorTally* tally, CounterSnapshot* snap,
+                     std::array<uint64_t, kFaultOpCount>* injected) {
+    ChaosStack stack;
+    auto method = MakeAccessMethod("btree", SmallOptions(), &stack.cache);
+    ASSERT_NE(method, nullptr);
+    stack.faulty.SetPlan(RunnerPlan());
+    Result<RumProfile> r = WorkloadRunner::Run(
+        method.get(), ChaosSpec(ErrorMode::kSkipAndCount));
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    *tally = r.value().errors();
+    *snap = stack.counters.snapshot();
+    for (size_t i = 0; i < kFaultOpCount; ++i) {
+      (*injected)[i] = stack.faulty.faults_injected(static_cast<FaultOp>(i));
+    }
+  };
+
+  ErrorTally t1, t2;
+  CounterSnapshot s1, s2;
+  std::array<uint64_t, kFaultOpCount> i1{}, i2{};
+  run_once(&t1, &s1, &i1);
+  run_once(&t2, &s2, &i2);
+
+  EXPECT_GT(t1.failed(), 0u);
+  EXPECT_EQ(t1.io_errors, t2.io_errors);
+  EXPECT_EQ(t1.corruption, t2.corruption);
+  EXPECT_EQ(t1.other, t2.other);
+  EXPECT_EQ(i1, i2);
+  EXPECT_EQ(s1.blocks_read, s2.blocks_read);
+  EXPECT_EQ(s1.blocks_written, s2.blocks_written);
+  EXPECT_EQ(s1.bytes_read_base, s2.bytes_read_base);
+  EXPECT_EQ(s1.bytes_written_base, s2.bytes_written_base);
+  EXPECT_EQ(s1.io_errors, s2.io_errors);
+}
+
+// ------------------------------------------------------------- Concurrency
+
+// Sharded methods over ONE shared faulty stack under concurrent chaos: the
+// run must complete with no crash, no race (TSan tier), and absorbed errors
+// in the tallies; after the plan clears, every probe answers exactly or
+// explicitly.
+TEST(ChaosTest, ConcurrentShardedChaosOverSharedStack) {
+  ChaosStack stack(512, 16);
+  Options options = SmallOptions();
+  auto method =
+      MakeAccessMethod("sharded-btree", options, &stack.cache);
+  ASSERT_NE(method, nullptr);
+
+  stack.faulty.SetPlan(FaultPlan::Transient(kChaosSeed + 9, 0.0)
+                           .WithRate(FaultOp::kRead, 0.02)
+                           .WithRate(FaultOp::kWrite, 0.02));
+  WorkloadSpec spec = ChaosSpec(ErrorMode::kSkipAndCount);
+  spec.concurrency = 4;
+  spec.scan_fraction = 0;  // Scans cross shards; keep workers disjoint.
+  Result<RumProfile> r = WorkloadRunner::Run(method.get(), spec);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().worker_errors.size(), 4u);
+
+  stack.faulty.ClearFaults();
+  for (Key k = 0; k < 256; ++k) {
+    Result<Value> probe = method->Get(k);
+    EXPECT_TRUE(probe.ok() || probe.code() == Code::kNotFound ||
+                IsExplicitFailure(probe.code()))
+        << "key " << k << ": " << probe.status().ToString();
+  }
+}
+
+}  // namespace
+}  // namespace rum

@@ -8,6 +8,7 @@
 #include "storage/caching_device.h"
 #include "storage/heap_file.h"
 #include "storage/page_format.h"
+#include "tests/testing_util.h"
 
 namespace rum {
 namespace {
@@ -17,8 +18,8 @@ constexpr size_t kBlock = 512;
 TEST(BlockDeviceTest, AllocateChargesSpaceByClass) {
   RumCounters counters;
   BlockDevice device(kBlock, &counters);
-  PageId base = device.Allocate(DataClass::kBase);
-  PageId aux = device.Allocate(DataClass::kAux);
+  PageId base = testing_util::MustAllocate(device, DataClass::kBase);
+  PageId aux = testing_util::MustAllocate(device, DataClass::kAux);
   EXPECT_NE(base, aux);
   EXPECT_EQ(counters.snapshot().space_base, kBlock);
   EXPECT_EQ(counters.snapshot().space_aux, kBlock);
@@ -29,10 +30,10 @@ TEST(BlockDeviceTest, AllocateChargesSpaceByClass) {
 TEST(BlockDeviceTest, FreeReturnsSpaceAndRecyclesIds) {
   RumCounters counters;
   BlockDevice device(kBlock, &counters);
-  PageId p = device.Allocate(DataClass::kBase);
+  PageId p = testing_util::MustAllocate(device, DataClass::kBase);
   ASSERT_TRUE(device.Free(p).ok());
   EXPECT_EQ(counters.snapshot().space_base, 0u);
-  PageId q = device.Allocate(DataClass::kAux);
+  PageId q = testing_util::MustAllocate(device, DataClass::kAux);
   EXPECT_EQ(q, p);  // Recycled.
   EXPECT_EQ(counters.snapshot().space_aux, kBlock);
 }
@@ -40,7 +41,7 @@ TEST(BlockDeviceTest, FreeReturnsSpaceAndRecyclesIds) {
 TEST(BlockDeviceTest, DoubleFreeFails) {
   RumCounters counters;
   BlockDevice device(kBlock, &counters);
-  PageId p = device.Allocate(DataClass::kBase);
+  PageId p = testing_util::MustAllocate(device, DataClass::kBase);
   ASSERT_TRUE(device.Free(p).ok());
   EXPECT_FALSE(device.Free(p).ok());
 }
@@ -48,7 +49,7 @@ TEST(BlockDeviceTest, DoubleFreeFails) {
 TEST(BlockDeviceTest, ReadWriteRoundTripAndCharges) {
   RumCounters counters;
   BlockDevice device(kBlock, &counters);
-  PageId p = device.Allocate(DataClass::kBase);
+  PageId p = testing_util::MustAllocate(device, DataClass::kBase);
   std::vector<uint8_t> data(kBlock, 0xAB);
   ASSERT_TRUE(device.Write(p, data).ok());
   std::vector<uint8_t> readback;
@@ -63,7 +64,7 @@ TEST(BlockDeviceTest, ReadWriteRoundTripAndCharges) {
 TEST(BlockDeviceTest, WriteWrongSizeRejected) {
   RumCounters counters;
   BlockDevice device(kBlock, &counters);
-  PageId p = device.Allocate(DataClass::kBase);
+  PageId p = testing_util::MustAllocate(device, DataClass::kBase);
   std::vector<uint8_t> tiny(10);
   EXPECT_EQ(device.Write(p, tiny).code(), Code::kInvalidArgument);
 }
@@ -78,12 +79,12 @@ TEST(BlockDeviceTest, ReadOfDeadPageFails) {
 TEST(BlockDeviceTest, FreeAllocRoundTripKeepsAccountingStable) {
   RumCounters counters;
   BlockDevice device(kBlock, &counters);
-  PageId p = device.Allocate(DataClass::kBase);
+  PageId p = testing_util::MustAllocate(device, DataClass::kBase);
   std::vector<uint8_t> data(kBlock, 0x5A);
   ASSERT_TRUE(device.Write(p, data).ok());
   CounterSnapshot before = counters.snapshot();
   ASSERT_TRUE(device.Free(p).ok());
-  PageId q = device.Allocate(DataClass::kBase);
+  PageId q = testing_util::MustAllocate(device, DataClass::kBase);
   EXPECT_EQ(q, p);  // Recycled in place; the slot's capacity is retained.
   CounterSnapshot after = counters.snapshot();
   EXPECT_EQ(after.space_base, before.space_base);
@@ -99,7 +100,7 @@ TEST(BlockDeviceTest, FreeAllocRoundTripKeepsAccountingStable) {
 TEST(BlockDeviceTest, PinForReadChargesLikeRead) {
   RumCounters counters;
   BlockDevice device(kBlock, &counters);
-  PageId p = device.Allocate(DataClass::kBase);
+  PageId p = testing_util::MustAllocate(device, DataClass::kBase);
   std::vector<uint8_t> data(kBlock, 0xAB);
   ASSERT_TRUE(device.Write(p, data).ok());
   CounterSnapshot before = counters.snapshot();
@@ -120,7 +121,7 @@ TEST(BlockDeviceTest, PinForReadChargesLikeRead) {
 TEST(BlockDeviceTest, PinForWriteChargesOnlyOnDirtyRelease) {
   RumCounters counters;
   BlockDevice device(kBlock, &counters);
-  PageId p = device.Allocate(DataClass::kBase);
+  PageId p = testing_util::MustAllocate(device, DataClass::kBase);
   CounterSnapshot before = counters.snapshot();
   {
     PageWriteGuard guard;
@@ -143,7 +144,7 @@ TEST(BlockDeviceTest, PinForWriteChargesOnlyOnDirtyRelease) {
 TEST(BlockDeviceTest, CleanWritePinChargesNothing) {
   RumCounters counters;
   BlockDevice device(kBlock, &counters);
-  PageId p = device.Allocate(DataClass::kBase);
+  PageId p = testing_util::MustAllocate(device, DataClass::kBase);
   CounterSnapshot before = counters.snapshot();
   PageWriteGuard guard;
   ASSERT_TRUE(device.PinForWrite(p, &guard).ok());
@@ -157,7 +158,7 @@ TEST(BlockDeviceTest, CleanWritePinChargesNothing) {
 TEST(BlockDeviceTest, FreeWhilePinnedRejected) {
   RumCounters counters;
   BlockDevice device(kBlock, &counters);
-  PageId p = device.Allocate(DataClass::kBase);
+  PageId p = testing_util::MustAllocate(device, DataClass::kBase);
   PageReadGuard guard;
   ASSERT_TRUE(device.PinForRead(p, &guard).ok());
   EXPECT_EQ(device.Free(p).code(), Code::kInvalidArgument);
@@ -168,7 +169,7 @@ TEST(BlockDeviceTest, FreeWhilePinnedRejected) {
 TEST(BlockDeviceTest, ReclassifyMovesSpace) {
   RumCounters counters;
   BlockDevice device(kBlock, &counters);
-  PageId p = device.Allocate(DataClass::kBase);
+  PageId p = testing_util::MustAllocate(device, DataClass::kBase);
   ASSERT_TRUE(device.Reclassify(p, DataClass::kAux).ok());
   EXPECT_EQ(counters.snapshot().space_base, 0u);
   EXPECT_EQ(counters.snapshot().space_aux, kBlock);
@@ -214,7 +215,7 @@ TEST(CachingDeviceTest, HitsAreServedWithoutBaseTraffic) {
   RumCounters counters;
   BlockDevice device(kBlock, &counters);
   CachingDevice cache(&device, /*capacity_pages=*/4);
-  PageId p = cache.Allocate(DataClass::kBase);
+  PageId p = testing_util::MustAllocate(cache, DataClass::kBase);
   std::vector<uint8_t> data(kBlock, 1);
   ASSERT_TRUE(cache.Write(p, data).ok());
   uint64_t base_reads_before = counters.snapshot().bytes_read_base;
@@ -232,7 +233,7 @@ TEST(CachingDeviceTest, EvictionWritesBackDirtyPages) {
   CachingDevice cache(&device, /*capacity_pages=*/2);
   std::vector<PageId> pages;
   for (int i = 0; i < 3; ++i) {
-    PageId p = cache.Allocate(DataClass::kBase);
+    PageId p = testing_util::MustAllocate(cache, DataClass::kBase);
     std::vector<uint8_t> data(kBlock, static_cast<uint8_t>(i + 1));
     ASSERT_TRUE(cache.Write(p, data).ok());
     pages.push_back(p);
@@ -251,7 +252,7 @@ TEST(CachingDeviceTest, FlushAllPushesDirtyPagesDown) {
   RumCounters counters;
   BlockDevice device(kBlock, &counters);
   CachingDevice cache(&device, 8);
-  PageId p = cache.Allocate(DataClass::kBase);
+  PageId p = testing_util::MustAllocate(cache, DataClass::kBase);
   std::vector<uint8_t> data(kBlock, 7);
   ASSERT_TRUE(cache.Write(p, data).ok());
   ASSERT_TRUE(cache.FlushAll().ok());
@@ -264,7 +265,7 @@ TEST(CachingDeviceTest, ZeroCapacityIsWriteThrough) {
   RumCounters counters;
   BlockDevice device(kBlock, &counters);
   CachingDevice cache(&device, 0);
-  PageId p = cache.Allocate(DataClass::kBase);
+  PageId p = testing_util::MustAllocate(cache, DataClass::kBase);
   std::vector<uint8_t> data(kBlock, 9);
   ASSERT_TRUE(cache.Write(p, data).ok());
   std::vector<uint8_t> out;
@@ -277,7 +278,7 @@ TEST(CachingDeviceTest, FreeDropsCachedCopy) {
   RumCounters counters;
   BlockDevice device(kBlock, &counters);
   CachingDevice cache(&device, 4);
-  PageId p = cache.Allocate(DataClass::kBase);
+  PageId p = testing_util::MustAllocate(cache, DataClass::kBase);
   std::vector<uint8_t> data(kBlock, 3);
   ASSERT_TRUE(cache.Write(p, data).ok());
   ASSERT_TRUE(cache.Free(p).ok());
@@ -288,7 +289,7 @@ TEST(CachingDeviceTest, LevelStatsTrackResidency) {
   RumCounters counters;
   BlockDevice device(kBlock, &counters);
   CachingDevice cache(&device, 4);
-  PageId p = cache.Allocate(DataClass::kBase);
+  PageId p = testing_util::MustAllocate(cache, DataClass::kBase);
   std::vector<uint8_t> data(kBlock, 3);
   ASSERT_TRUE(cache.Write(p, data).ok());
   EXPECT_EQ(cache.level_stats().space_aux, kBlock);
@@ -298,7 +299,7 @@ TEST(CachingDeviceTest, ReadPinMissChargesBaseHitChargesCache) {
   RumCounters counters;
   BlockDevice device(kBlock, &counters);
   CachingDevice cache(&device, /*capacity_pages=*/4);
-  PageId p = cache.Allocate(DataClass::kBase);
+  PageId p = testing_util::MustAllocate(cache, DataClass::kBase);
   std::vector<uint8_t> data(kBlock, 0x11);
   ASSERT_TRUE(device.Write(p, data).ok());  // Populate base, bypass cache.
   uint64_t base_reads = counters.snapshot().bytes_read_base;
@@ -324,7 +325,7 @@ TEST(CachingDeviceTest, SpeculativeWritePinDropsOnCleanRelease) {
   RumCounters counters;
   BlockDevice device(kBlock, &counters);
   CachingDevice cache(&device, /*capacity_pages=*/4);
-  PageId p = cache.Allocate(DataClass::kBase);
+  PageId p = testing_util::MustAllocate(cache, DataClass::kBase);
   std::vector<uint8_t> data(kBlock, 0x22);
   ASSERT_TRUE(device.Write(p, data).ok());
   uint64_t base_reads = counters.snapshot().bytes_read_base;
@@ -348,7 +349,7 @@ TEST(CachingDeviceTest, DirtyWritePinReachesBaseOnFlush) {
   RumCounters counters;
   BlockDevice device(kBlock, &counters);
   CachingDevice cache(&device, /*capacity_pages=*/4);
-  PageId p = cache.Allocate(DataClass::kBase);
+  PageId p = testing_util::MustAllocate(cache, DataClass::kBase);
   uint64_t base_writes = counters.snapshot().blocks_written;
   {
     PageWriteGuard guard;
@@ -371,7 +372,7 @@ TEST(CachingDeviceTest, ZeroCapacityPinWritesThroughAtRelease) {
   RumCounters counters;
   BlockDevice device(kBlock, &counters);
   CachingDevice cache(&device, /*capacity_pages=*/0);
-  PageId p = cache.Allocate(DataClass::kBase);
+  PageId p = testing_util::MustAllocate(cache, DataClass::kBase);
   {
     PageWriteGuard guard;
     ASSERT_TRUE(cache.PinForWrite(p, &guard).ok());
@@ -391,8 +392,8 @@ TEST(CachingDeviceTest, EvictionSkipsPinnedPages) {
   RumCounters counters;
   BlockDevice device(kBlock, &counters);
   CachingDevice cache(&device, /*capacity_pages=*/1);
-  PageId a = cache.Allocate(DataClass::kBase);
-  PageId b = cache.Allocate(DataClass::kBase);
+  PageId a = testing_util::MustAllocate(cache, DataClass::kBase);
+  PageId b = testing_util::MustAllocate(cache, DataClass::kBase);
   PageReadGuard guard_a;
   std::vector<uint8_t> zeros(kBlock, 0);
   ASSERT_TRUE(device.Write(a, zeros).ok());

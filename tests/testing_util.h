@@ -9,10 +9,20 @@
 
 #include "core/access_method.h"
 #include "core/options.h"
+#include "storage/device.h"
 #include "workload/distribution.h"
 
 namespace rum {
 namespace testing_util {
+
+/// Allocates a page, asserting success. For tests running against stacks
+/// with no allocation faults armed, where failure is a test bug.
+inline PageId MustAllocate(Device& device, DataClass cls) {
+  PageId page = kInvalidPageId;
+  Status s = device.Allocate(cls, &page);
+  EXPECT_TRUE(s.ok()) << "Allocate failed: " << s.ToString();
+  return page;
+}
 
 /// Options shrunk so small tests exercise page splits, memtable flushes,
 /// zone splits, directory rehashes, and delta merges.
