@@ -12,6 +12,7 @@
 
 #include "bench/bench_util.h"
 #include "core/access_method.h"
+#include "core/metrics.h"
 #include "methods/factory.h"
 #include "workload/runner.h"
 
@@ -27,8 +28,9 @@ size_t g_preload = 50000;
 uint64_t g_ops = 200000;
 constexpr Key kRange = 1u << 18;
 
-// One row of BENCH_concurrency.json: configuration, throughput, and the
-// merged RUM amplifications for that run.
+// One row of BENCH_concurrency.json: configuration, throughput, the merged
+// RUM amplifications, and the merged per-op-class latency histograms
+// (worker-local recording, merged after the join) for that run.
 struct JsonRow {
   std::string method;
   uint32_t threads;
@@ -39,6 +41,7 @@ struct JsonRow {
   double update_overhead;
   double memory_overhead;
   uint64_t ops;
+  std::string latency_json;
 };
 
 std::vector<JsonRow>& JsonRows() {
@@ -60,12 +63,17 @@ void WriteJson(const char* path) {
         f,
         "    {\"method\": \"%s\", \"threads\": %u, \"shards\": %zu, "
         "\"wall_ms\": %.3f, \"mops_per_sec\": %.4f, \"RO\": %.4f, "
-        "\"UO\": %.4f, \"MO\": %.4f, \"ops\": %llu}%s\n",
+        "\"UO\": %.4f, \"MO\": %.4f, \"ops\": %llu, \"latency_ns\": %s}%s\n",
         r.method.c_str(), r.threads, r.shards, r.wall_ms, r.mops_per_sec,
         r.read_overhead, r.update_overhead, r.memory_overhead,
-        static_cast<unsigned long long>(r.ops), i + 1 < rows.size() ? "," : "");
+        static_cast<unsigned long long>(r.ops), r.latency_json.c_str(),
+        i + 1 < rows.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  // The registry runs enabled for the whole sweep, so this carries the
+  // cross-run owned counters (e.g. sharded_method.stats_merges -- a handful
+  // per run now that the runner samples costs without merging shard stats).
+  std::fprintf(f, "  ],\n  \"metrics\": %s\n}\n",
+               MetricsRegistry::Global().ToJson().c_str());
   std::fclose(f);
   std::printf("\nwrote %zu rows to %s\n", rows.size(), path);
 }
@@ -94,7 +102,7 @@ WorkloadSpec MixedSpec(uint32_t threads) {
 void SweepMethod(const std::string& inner) {
   Banner(("threads x shards sweep: sharded-" + inner).c_str());
   Table table({"threads", "shards", "wall ms", "Mops/s", "speedup", "RO",
-               "UO", "MO", "ops"});
+               "UO", "MO", "ops", "get p99 us"});
   double baseline_ms = 0;
   for (size_t shards : {1, 2, 4, 8}) {
     for (uint32_t threads : {1u, 2u, 4u, 8u}) {
@@ -117,13 +125,15 @@ void SweepMethod(const std::string& inner) {
           std::chrono::duration<double, std::milli>(stop - start).count();
       if (baseline_ms == 0) baseline_ms = ms;
       const CounterSnapshot& d = profile.value().delta;
+      const OpLatencies& latency = profile.value().latency;
       JsonRows().push_back(JsonRow{
           "sharded-" + inner, threads, shards, ms,
           static_cast<double>(g_ops) / (ms * 1000.0),
           d.read_amplification(), d.write_amplification(),
           d.space_amplification(),
           d.inserts + d.updates + d.deletes + d.point_queries +
-              d.range_queries});
+              d.range_queries,
+          latency.ToJson()});
       table.AddRow({FmtU(threads), FmtU(shards), Fmt("%.1f", ms),
                     Fmt("%.2f", static_cast<double>(g_ops) / (ms * 1000.0)),
                     Fmt("%.2fx", baseline_ms / ms),
@@ -131,7 +141,10 @@ void SweepMethod(const std::string& inner) {
                     Fmt("%.2f", d.write_amplification()),
                     Fmt("%.2f", d.space_amplification()),
                     FmtU(d.inserts + d.updates + d.deletes + d.point_queries +
-                         d.range_queries)});
+                         d.range_queries),
+                    Fmt("%.1f", static_cast<double>(
+                                    latency.point.Percentile(0.99)) /
+                                    1000.0)});
     }
   }
   table.Print();
@@ -153,6 +166,10 @@ int main(int argc, char** argv) {
       rum::g_ops = 5000;
     }
   }
+  // Metrics on for the whole sweep: callback gauges come and go with each
+  // per-row stack; the owned counters accumulate and land in the JSON's
+  // "metrics" section.
+  rum::MetricsRegistry::Global().set_enabled(true);
   rum::bench::Banner(
       "Concurrency sweep: parallel runner over sharded methods "
       "(mixed read/write, zero-scan workload)");

@@ -2,12 +2,20 @@
 // point gets and inserts on a pre-loaded structure. The amplification
 // benches are the reproduction targets; these numbers show the simulator's
 // own throughput and the relative CPU cost of the structures.
+//
+// Set RUMLAB_BENCH_METRICS=1 to enable the metrics registry for the run and
+// mirror its JSON export to BENCH_wallclock_metrics.json. It is off by
+// default so the committed BENCH_wallclock.json baseline (and ci.sh's
+// regression guard against it) measures the observability-disabled path.
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include <benchmark/benchmark.h>
 
+#include "core/metrics.h"
 #include "methods/factory.h"
 #include "workload/distribution.h"
 
@@ -46,6 +54,14 @@ void AttachRumCounters(benchmark::State& state, const CounterSnapshot& before,
   state.counters["MO"] = after.space_amplification();
 }
 
+// When the registry is enabled (RUMLAB_BENCH_METRICS=1), accumulate timed
+// iterations per benchmark family so the metrics sidecar carries run totals.
+void CountIterations(const char* counter, const benchmark::State& state) {
+  if (!MetricsRegistry::Global().enabled()) return;
+  MetricsRegistry::Global().FindOrCreateCounter(counter)->Increment(
+      static_cast<uint64_t>(state.iterations()));
+}
+
 void BM_Get(benchmark::State& state, const std::string& name, size_t load) {
   std::unique_ptr<AccessMethod> method = LoadedMethod(name, load);
   Rng rng(1);
@@ -56,6 +72,7 @@ void BM_Get(benchmark::State& state, const std::string& name, size_t load) {
   }
   state.SetItemsProcessed(state.iterations());
   AttachRumCounters(state, before, method->stats());
+  CountIterations("bench_wallclock.get_iterations", state);
 }
 
 void BM_Insert(benchmark::State& state, const std::string& name,
@@ -69,6 +86,7 @@ void BM_Insert(benchmark::State& state, const std::string& name,
   }
   state.SetItemsProcessed(state.iterations());
   AttachRumCounters(state, before, method->stats());
+  CountIterations("bench_wallclock.insert_iterations", state);
 }
 
 void BM_Scan(benchmark::State& state, const std::string& name, size_t load) {
@@ -83,6 +101,7 @@ void BM_Scan(benchmark::State& state, const std::string& name, size_t load) {
   }
   state.SetItemsProcessed(state.iterations());
   AttachRumCounters(state, before, method->stats());
+  CountIterations("bench_wallclock.scan_iterations", state);
 }
 
 struct Registration {
@@ -142,7 +161,19 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(effective_argc, args.data())) {
     return 1;
   }
+  const bool metrics = std::getenv("RUMLAB_BENCH_METRICS") != nullptr;
+  if (metrics) rum::MetricsRegistry::Global().set_enabled(true);
   benchmark::RunSpecifiedBenchmarks();
+  if (metrics) {
+    const char* path = "BENCH_wallclock_metrics.json";
+    std::FILE* f = std::fopen(path, "w");
+    if (f != nullptr) {
+      std::string json = rum::MetricsRegistry::Global().ToJson();
+      std::fprintf(f, "%s\n", json.c_str());
+      std::fclose(f);
+      std::printf("wrote metrics registry export to %s\n", path);
+    }
+  }
   benchmark::Shutdown();
   return 0;
 }

@@ -47,6 +47,50 @@ if [[ "${STAGE}" == "all" || "${STAGE}" == "release" ]]; then
     python3 -m json.tool BENCH_wallclock.json >/dev/null &&
     python3 -m json.tool BENCH_concurrency.json >/dev/null &&
     echo "BENCH_wallclock.json + BENCH_concurrency.json parse OK")
+  # Observability overhead guard: with tracing and metrics off (the
+  # default), the Get path must stay within 3% (geomean) of the committed
+  # BENCH_wallclock.json baseline. This is what makes "tracing is cheap
+  # when disabled" an enforced contract rather than a comment. Wall-clock
+  # baselines are host-specific: set RUMLAB_SKIP_BENCH_GUARD=1 on hosts
+  # that did not produce the committed baseline, and refresh the baseline
+  # (run bench_wallclock, commit the JSON) when it moves for a good reason.
+  if [[ "${RUMLAB_SKIP_BENCH_GUARD:-0}" == "1" ]]; then
+    echo "=== release: bench guard skipped (RUMLAB_SKIP_BENCH_GUARD=1) ==="
+  else
+    echo "=== release: disabled-observability Get-path guard (<3%) ==="
+    (cd build-ci/bench &&
+      ./bench_wallclock --benchmark_filter='^Get/' \
+        --benchmark_min_time=0.25 \
+        --benchmark_out=BENCH_wallclock_guard.json \
+        --benchmark_out_format=json >/dev/null)
+    python3 - build-ci/bench/BENCH_wallclock_guard.json \
+        BENCH_wallclock.json <<'PYEOF'
+import json, math, sys
+fresh_path, baseline_path = sys.argv[1], sys.argv[2]
+def get_times(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {b["name"]: b["real_time"] for b in doc.get("benchmarks", [])
+            if b["name"].startswith("Get/") and b.get("real_time")}
+fresh, baseline = get_times(fresh_path), get_times(baseline_path)
+shared = sorted(set(fresh) & set(baseline))
+if not shared:
+    sys.exit("bench guard: no shared Get/ benchmarks between fresh run "
+             "and committed baseline")
+log_sum = 0.0
+for name in shared:
+    ratio = fresh[name] / baseline[name]
+    log_sum += math.log(ratio)
+    print(f"  {name:<24} {ratio:6.3f}x")
+geomean = math.exp(log_sum / len(shared))
+print(f"  geomean over {len(shared)} Get benchmarks: {geomean:.4f}x "
+      f"(limit 1.03)")
+if geomean > 1.03:
+    sys.exit("bench guard FAILED: disabled-observability Get path "
+             f"regressed {100 * (geomean - 1):.1f}% vs baseline")
+print("bench guard OK")
+PYEOF
+  fi
 fi
 
 if [[ "${STAGE}" == "all" || "${STAGE}" == "asan" ]]; then
@@ -62,13 +106,20 @@ if [[ "${STAGE}" == "all" || "${STAGE}" == "asan" ]]; then
   # replay gate (same fault seed => byte-identical error and RUM tallies).
   echo "=== asan: chaos tier (explicit) ==="
   (cd build-asan && ctest --output-on-failure -R chaos_test)
+  # The observability tier is named explicitly too: ring wraparound, drain,
+  # and the event-counts-match-device-counters acceptance contract must hold
+  # with ASan watching the ring and registry memory.
+  echo "=== asan: trace tier (explicit) ==="
+  (cd build-asan && ctest --output-on-failure -R trace_test)
 fi
 
 if [[ "${STAGE}" == "all" || "${STAGE}" == "tsan" ]]; then
   # chaos_test rides in the TSan tier for its concurrent case: sharded
   # methods hammering one shared FaultyDevice + CachingDevice stack while
   # faults inject, with per-worker error tallies absorbing the failures.
-  TSAN_FILTER="-R concurrency_test|differential_test|chaos_test"
+  # trace_test rides along for concurrent trace emission: four workers
+  # appending to per-thread rings while drawing the shared sequence number.
+  TSAN_FILTER="-R concurrency_test|differential_test|chaos_test|trace_test"
   if [[ "${RUMLAB_CI_FULL_TSAN:-0}" == "1" ]]; then
     TSAN_FILTER=""
   fi

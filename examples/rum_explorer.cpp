@@ -7,12 +7,24 @@
 //        (default: mixed)
 //   n    entries to bulk-load (default 20000)
 //   ops  operations to run (default 10000)
+//
+// Or:    rum_explorer trace [method] [n] [ops]
+//   Runs one method (default "btree") on a BlockDevice -> FaultyDevice ->
+//   CachingDevice chaos stack with tracing and the metrics registry on,
+//   then prints the drained event stream's tail, per-kind event counts
+//   cross-checked against the device counters, per-op-class latency
+//   percentiles, and the metrics registry JSON.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <memory>
 
+#include "core/trace.h"
 #include "methods/factory.h"
+#include "storage/block_device.h"
+#include "storage/caching_device.h"
+#include "storage/faulty_device.h"
 #include "workload/runner.h"
 
 namespace {
@@ -34,10 +46,124 @@ rum::WorkloadSpec SpecFor(const char* mix, uint64_t ops, rum::Key range) {
   return WorkloadSpec::Mixed(ops, range);
 }
 
+void PrintHistogramRow(const char* label, const rum::LatencyHistogram& h) {
+  if (h.count() == 0) return;
+  std::printf("  %-8s %8llu ops   p50=%8lluns p95=%8lluns p99=%8lluns "
+              "max=%8lluns\n",
+              label, static_cast<unsigned long long>(h.count()),
+              static_cast<unsigned long long>(h.Percentile(0.50)),
+              static_cast<unsigned long long>(h.Percentile(0.95)),
+              static_cast<unsigned long long>(h.Percentile(0.99)),
+              static_cast<unsigned long long>(h.max()));
+}
+
+int RunTrace(int argc, char** argv) {
+  using namespace rum;
+  const char* name = argc > 2 ? argv[2] : "btree";
+  size_t n = argc > 3 ? static_cast<size_t>(std::atoll(argv[3])) : 20000;
+  uint64_t ops =
+      argc > 4 ? static_cast<uint64_t>(std::atoll(argv[4])) : 10000;
+
+  Options options;
+  options.block_size = 4096;
+  options.bitmap.key_domain = n;
+  options.extremes.magic_array_domain = 4 * n;
+  options.observability.trace = true;
+  options.observability.metrics = true;
+  // Observability switches must be thrown before the stack is built so the
+  // devices' MetricsGroups register their gauges.
+  ApplyObservability(options);
+
+  RumCounters device_counters;
+  BlockDevice base(options.block_size, &device_counters);
+  FaultyDevice faulty(&base);
+  CachingDevice cache(&faulty, /*capacity_pages=*/64);
+
+  std::unique_ptr<AccessMethod> method =
+      MakeAccessMethod(name, options, &cache);
+  if (method == nullptr) {
+    std::fprintf(stderr, "unknown method: %s\n", name);
+    return 1;
+  }
+
+  WorkloadSpec spec = WorkloadSpec::Mixed(ops, n);
+  spec.error_mode = ErrorMode::kSkipAndCount;
+
+  // Load clean, then arm a modest all-class chaos plan for the phase.
+  std::vector<Entry> entries = MakeSortedEntries(n);
+  Status s = method->BulkLoad(entries);
+  if (s.ok()) s = method->Flush();
+  if (!s.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  method->ResetStats();
+  faulty.SetPlan(FaultPlan::Transient(/*seed=*/0xC4A05ULL, /*rate=*/0.01));
+
+  Result<RumProfile> profile = WorkloadRunner::Run(method.get(), spec);
+  if (!profile.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 profile.status().ToString().c_str());
+    return 1;
+  }
+  const RumProfile& p = profile.value();
+
+  std::vector<TraceEvent> events = Trace::Drain();
+  std::map<TraceKind, uint64_t> by_kind;
+  for (const TraceEvent& e : events) ++by_kind[e.kind];
+
+  std::printf("method: %s  ops: %llu  errors: %s\n", p.method.c_str(),
+              static_cast<unsigned long long>(ops),
+              p.errors().ToString().c_str());
+  std::printf("\nevent counts (vs device counters):\n");
+  for (const auto& [kind, count] : by_kind) {
+    std::printf("  %-22s %8llu\n", std::string(TraceKindName(kind)).c_str(),
+                static_cast<unsigned long long>(count));
+  }
+  std::printf("  dropped (ring wrap)    %8llu\n",
+              static_cast<unsigned long long>(Trace::dropped_events()));
+  std::printf("  cache: hits=%llu misses=%llu evictions=%llu "
+              "write_backs=%llu wb_failures=%llu\n",
+              static_cast<unsigned long long>(cache.hits()),
+              static_cast<unsigned long long>(cache.misses()),
+              static_cast<unsigned long long>(cache.evictions()),
+              static_cast<unsigned long long>(cache.write_backs()),
+              static_cast<unsigned long long>(cache.write_back_failures()));
+  std::printf("  faulty: injected=%llu torn=%llu\n",
+              static_cast<unsigned long long>(faulty.faults_injected()),
+              static_cast<unsigned long long>(faulty.torn_writes()));
+
+  std::printf("\nlast events:\n");
+  size_t tail = events.size() > 20 ? events.size() - 20 : 0;
+  for (size_t i = tail; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    std::printf("  #%-8llu %-22s op=%-8s page=%-8u detail=%llu\n",
+                static_cast<unsigned long long>(e.seq),
+                std::string(TraceKindName(e.kind)).c_str(),
+                std::string(TraceOpName(e.op)).c_str(),
+                static_cast<unsigned>(e.page),
+                static_cast<unsigned long long>(e.detail));
+  }
+
+  std::printf("\nper-op-class latency:\n");
+  PrintHistogramRow("get", p.latency.point);
+  PrintHistogramRow("scan", p.latency.scan);
+  PrintHistogramRow("insert", p.latency.insert);
+  PrintHistogramRow("update", p.latency.update);
+  PrintHistogramRow("delete", p.latency.erase);
+
+  std::printf("\nmetrics registry:\n%s\n",
+              MetricsRegistry::Global().ToJson().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace rum;
+  if (argc > 1 && std::strcmp(argv[1], "trace") == 0) {
+    return RunTrace(argc, argv);
+  }
   const char* mix = argc > 1 ? argv[1] : "mixed";
   size_t n = argc > 2 ? static_cast<size_t>(std::atoll(argv[2])) : 20000;
   uint64_t ops = argc > 3 ? static_cast<uint64_t>(std::atoll(argv[3]))

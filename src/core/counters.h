@@ -96,6 +96,25 @@ struct CounterSnapshot {
   std::string ToString() const;
 };
 
+/// Running totals of the physical traffic the *calling thread* has charged
+/// to any RumCounters instance, ever. Two plain thread-local adds per
+/// charge, no locks, no merging. This is the cheap sampling path the
+/// workload runner uses for per-op cost deltas: on a serial run every
+/// charge lands on the sampling thread, so deltas of this tally equal
+/// deltas of a full `stats()` merge across every counters instance in the
+/// stack -- without locking and merging N shards per operation (the
+/// ShardedMethod pathology trace_test's sampling-regression check pins).
+struct ThreadIoTally {
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+};
+
+/// The calling thread's tally (monotone; never reset -- sample deltas).
+inline ThreadIoTally& ThisThreadIo() {
+  thread_local ThreadIoTally tally;
+  return tally;
+}
+
 /// Mutable accumulator fed by devices, memory trackers, and access methods.
 ///
 /// Threading model (see DESIGN.md "Threading model"): traffic is recorded
@@ -124,6 +143,7 @@ class RumCounters {
 
   /// Records `bytes` physically read from data of class `cls`.
   void OnRead(DataClass cls, uint64_t bytes) {
+    ThisThreadIo().bytes_read += bytes;
     CounterSnapshot& s = local();
     if (cls == DataClass::kBase) {
       s.bytes_read_base += bytes;
@@ -134,6 +154,7 @@ class RumCounters {
 
   /// Records `bytes` physically written to data of class `cls`.
   void OnWrite(DataClass cls, uint64_t bytes) {
+    ThisThreadIo().bytes_written += bytes;
     CounterSnapshot& s = local();
     if (cls == DataClass::kBase) {
       s.bytes_written_base += bytes;

@@ -1,0 +1,189 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace rum {
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  for (size_t i = 0; i < kBucketCount; ++i) buckets_[i] += other.buckets_[i];
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+uint64_t LatencyHistogram::Percentile(double q) const {
+  if (count_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-th sample, 1-based, matching CostPercentiles::From's
+  // ceil(q * n) order statistic.
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      // Clamp to the observed extremes so p0/p100 are exact.
+      uint64_t lo = BucketLowerBound(i);
+      if (lo < min_) lo = min_;
+      if (lo > max_) lo = max_;
+      return lo;
+    }
+  }
+  return max_;
+}
+
+std::string LatencyHistogram::ToJson() const {
+  std::ostringstream os;
+  os << "{\"count\":" << count_ << ",\"mean\":" << mean()
+     << ",\"min\":" << min() << ",\"p50\":" << Percentile(0.50)
+     << ",\"p95\":" << Percentile(0.95) << ",\"p99\":" << Percentile(0.99)
+     << ",\"max\":" << max_ << "}";
+  return os.str();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Counter* MetricsRegistry::FindOrCreateCounter(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [existing, counter] : counters_) {
+    if (existing == name) return counter.get();
+  }
+  counters_.emplace_back(name, std::make_unique<Counter>());
+  return counters_.back().second.get();
+}
+
+uint64_t MetricsRegistry::RegisterGauge(std::string name,
+                                        std::function<uint64_t()> fn) {
+  if (!enabled()) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t id = next_id_++;
+  gauges_.push_back(GaugeEntry{id, std::move(name), std::move(fn)});
+  return id;
+}
+
+uint64_t MetricsRegistry::RegisterHistogram(
+    std::string name, std::function<LatencyHistogram()> fn) {
+  if (!enabled()) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t id = next_id_++;
+  histograms_.push_back(HistogramEntry{id, std::move(name), std::move(fn)});
+  return id;
+}
+
+void MetricsRegistry::Unregister(uint64_t id) {
+  if (id == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_.erase(std::remove_if(gauges_.begin(), gauges_.end(),
+                               [id](const GaugeEntry& g) { return g.id == id; }),
+                gauges_.end());
+  histograms_.erase(
+      std::remove_if(histograms_.begin(), histograms_.end(),
+                     [id](const HistogramEntry& h) { return h.id == id; }),
+      histograms_.end());
+}
+
+std::string MetricsRegistry::InstanceName(std::string_view prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [existing, seq] : instance_seq_) {
+    if (existing == prefix) {
+      std::ostringstream os;
+      os << prefix << "[" << seq++ << "]";
+      return os.str();
+    }
+  }
+  instance_seq_.emplace_back(std::string(prefix), 1);
+  std::ostringstream os;
+  os << prefix << "[0]";
+  return os.str();
+}
+
+namespace {
+
+void AppendJsonString(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::string>> counter_rows;
+  counter_rows.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    counter_rows.emplace_back(name, std::to_string(counter->value()));
+  }
+  std::vector<std::pair<std::string, std::string>> gauge_rows;
+  gauge_rows.reserve(gauges_.size());
+  for (const auto& g : gauges_) {
+    gauge_rows.emplace_back(g.name, std::to_string(g.fn()));
+  }
+  std::vector<std::pair<std::string, std::string>> histogram_rows;
+  histogram_rows.reserve(histograms_.size());
+  for (const auto& h : histograms_) {
+    histogram_rows.emplace_back(h.name, h.fn().ToJson());
+  }
+  auto emit = [](std::ostringstream& os,
+                 std::vector<std::pair<std::string, std::string>>& rows) {
+    std::sort(rows.begin(), rows.end());
+    os << '{';
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (i) os << ',';
+      AppendJsonString(os, rows[i].first);
+      os << ':' << rows[i].second;
+    }
+    os << '}';
+  };
+  std::ostringstream os;
+  os << "{\"counters\":";
+  emit(os, counter_rows);
+  os << ",\"gauges\":";
+  emit(os, gauge_rows);
+  os << ",\"histograms\":";
+  emit(os, histogram_rows);
+  os << '}';
+  return os.str();
+}
+
+void MetricsGroup::Init(std::string_view prefix) {
+  Reset();
+  if (!MetricsRegistry::Global().enabled()) return;
+  instance_ = MetricsRegistry::Global().InstanceName(prefix);
+}
+
+void MetricsGroup::Gauge(std::string_view name, std::function<uint64_t()> fn) {
+  if (instance_.empty()) return;
+  uint64_t id = MetricsRegistry::Global().RegisterGauge(
+      instance_ + "." + std::string(name), std::move(fn));
+  if (id != 0) ids_.push_back(id);
+}
+
+void MetricsGroup::Histogram(std::string_view name,
+                             std::function<LatencyHistogram()> fn) {
+  if (instance_.empty()) return;
+  uint64_t id = MetricsRegistry::Global().RegisterHistogram(
+      instance_ + "." + std::string(name), std::move(fn));
+  if (id != 0) ids_.push_back(id);
+}
+
+void MetricsGroup::Reset() {
+  for (uint64_t id : ids_) MetricsRegistry::Global().Unregister(id);
+  ids_.clear();
+  instance_.clear();
+}
+
+}  // namespace rum

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <unordered_map>
 
+#include "core/trace.h"
+
 namespace rum {
 
 LsmTree::LsmTree(const Options& options)
@@ -126,6 +128,8 @@ std::vector<LogRecord> LsmTree::MergeStreams(
 Status LsmTree::CompactInto(size_t level, std::vector<LogRecord> records) {
   if (levels_.size() <= level) levels_.resize(level + 1);
   if (records.empty()) return Status::OK();
+  Trace::Emit(TraceKind::kLsmCompaction, TraceOp::kWrite, kInvalidPageId,
+              DataClass::kBase, level);
   std::unique_ptr<SortedRun> run;
   Status s = SortedRun::Build(device_, &counters(), records,
                               options_.lsm.bloom_bits_per_key, &run,
@@ -146,6 +150,8 @@ Status LsmTree::FlushMemtable() {
         r.key, r.value, r.tombstone ? LogOp::kDelete : LogOp::kPut});
   });
   memtable_->Clear();
+  Trace::Emit(TraceKind::kLsmFlush, TraceOp::kFlush, kInvalidPageId,
+              DataClass::kBase, records.size());
 
   if (levels_.empty()) levels_.resize(1);
 

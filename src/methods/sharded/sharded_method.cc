@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "core/metrics.h"
+
 namespace rum {
 
 ShardedMethod::ShardedMethod(
@@ -111,6 +113,14 @@ size_t ShardedMethod::size() const {
 }
 
 CounterSnapshot ShardedMethod::stats() const {
+  // A full stats() locks and merges every shard -- fine per phase, ruinous
+  // per operation. The counter below is how trace_test's sampling-
+  // regression check verifies the workload runner no longer does the
+  // latter (the counter is cheap: one relaxed atomic add).
+  static MetricsRegistry::Counter* merges =
+      MetricsRegistry::Global().FindOrCreateCounter(
+          "sharded_method.stats_merges");
+  merges->Increment();
   CounterSnapshot out;
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);

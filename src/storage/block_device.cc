@@ -2,12 +2,23 @@
 
 #include <cassert>
 
+#include "core/trace.h"
+
 namespace rum {
 
 BlockDevice::BlockDevice(size_t block_size, RumCounters* counters)
     : block_size_(block_size), counters_(counters) {
   assert(block_size_ > 0);
   assert(counters_ != nullptr);
+  metrics_.Init("block_device");
+  metrics_.Gauge("live_pages",
+                 [this] { return static_cast<uint64_t>(live_total_); });
+  metrics_.Gauge("live_pages_base",
+                 [this] { return static_cast<uint64_t>(live_base_); });
+  metrics_.Gauge("live_pages_aux",
+                 [this] { return static_cast<uint64_t>(live_aux_); });
+  metrics_.Gauge("pinned_pages",
+                 [this] { return static_cast<uint64_t>(pins_outstanding_); });
 }
 
 Status BlockDevice::Allocate(DataClass cls, PageId* out) {
@@ -124,6 +135,8 @@ Status BlockDevice::UnpinWrite(PageId page, bool dirty) {
 }
 
 void BlockDevice::Crash() {
+  Trace::Emit(TraceKind::kCrash, TraceOp::kNone, kInvalidPageId,
+              DataClass::kBase, pins_outstanding_);
   for (PageSlot& slot : pages_) slot.pins = 0;
   pins_outstanding_ = 0;
 }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/counters.h"
+#include "core/metrics.h"
 #include "core/status.h"
 #include "core/types.h"
 #include "storage/device.h"
@@ -107,6 +108,10 @@ class BlockDevice : public Device {
   size_t live_base_ = 0;
   size_t live_aux_ = 0;
   size_t pins_outstanding_ = 0;
+  /// Last member: unregisters before any state its callbacks read dies.
+  /// BlockDevice has no internal lock (upper layers serialize access), so
+  /// its gauges must only be exported at quiescence.
+  MetricsGroup metrics_;
 };
 
 }  // namespace rum

@@ -1,20 +1,51 @@
 #include "storage/caching_device.h"
 
 #include <cassert>
+#include <chrono>
 #include <utility>
 
 #include "core/status_builder.h"
+#include "core/trace.h"
 
 namespace rum {
+
+namespace {
+/// Steady-clock nanoseconds, read only on traced pin transitions.
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
 
 CachingDevice::CachingDevice(Device* base, size_t capacity_pages)
     : base_(base), capacity_pages_(capacity_pages) {
   assert(base_ != nullptr);
+  metrics_.Init("caching_device");
+  metrics_.Gauge("hits", [this] { return hits(); });
+  metrics_.Gauge("misses", [this] { return misses(); });
+  metrics_.Gauge("evictions", [this] { return evictions(); });
+  metrics_.Gauge("write_backs", [this] { return write_backs(); });
+  metrics_.Gauge("write_back_failures",
+                 [this] { return write_back_failures(); });
+  metrics_.Gauge("cached_pages",
+                 [this] { return static_cast<uint64_t>(cached_pages()); });
+  metrics_.Gauge("pinned_pages",
+                 [this] { return static_cast<uint64_t>(pinned_pages()); });
 }
 
 Status CachingDevice::Allocate(DataClass cls, PageId* out) {
   std::lock_guard<std::mutex> lock(mu_);
+  NoteRecoveryLocked();
   return base_->Allocate(cls, out);
+}
+
+void CachingDevice::NoteRecoveryLocked() {
+  if (!crashed_) return;
+  crashed_ = false;
+  Trace::Emit(TraceKind::kRecovery, TraceOp::kNone, kInvalidPageId,
+              DataClass::kAux);
 }
 
 size_t CachingDevice::cached_pages() const {
@@ -30,6 +61,21 @@ uint64_t CachingDevice::hits() const {
 uint64_t CachingDevice::misses() const {
   std::lock_guard<std::mutex> lock(mu_);
   return misses_;
+}
+
+uint64_t CachingDevice::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+uint64_t CachingDevice::write_backs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return write_backs_;
+}
+
+uint64_t CachingDevice::write_back_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return write_back_failures_;
 }
 
 size_t CachingDevice::pinned_pages() const {
@@ -55,33 +101,55 @@ void CachingDevice::Touch(PageId page, CacheEntry* entry) {
   entry->lru_pos = lru_.begin();
 }
 
-void CachingDevice::DropEntry(PageId page, CacheEntry* entry) {
+std::list<PageId>::iterator CachingDevice::DropEntry(PageId page,
+                                                     CacheEntry* entry) {
   counters_.AdjustSpace(DataClass::kAux, -static_cast<int64_t>(block_size()));
-  lru_.erase(entry->lru_pos);
+  auto next = lru_.erase(entry->lru_pos);
   entries_.erase(page);
+  return next;
 }
 
 Status CachingDevice::EvictDownTo(size_t target) {
-  while (entries_.size() > target) {
-    // LRU-first scan for an unpinned victim; pinned entries must stay at a
-    // stable address, so they are skipped (transient capacity overshoot).
-    auto victim = lru_.rbegin();
-    while (victim != lru_.rend() && entries_.at(*victim).pins != 0) {
-      ++victim;
-    }
-    if (victim == lru_.rend()) return Status::OK();
-    PageId page = *victim;
+  // One backward sweep, LRU toward MRU. Skipping (rather than aborting on)
+  // pinned entries and failed write-backs is what keeps a single unwritable
+  // dirty page from wedging eviction while clean victims exist -- and the
+  // cache can never grow past capacity under repeated write-back faults,
+  // because the stuck victims stay *within* the existing entry set and
+  // inserts that cannot make room below capacity fail instead of growing.
+  Status first_failure = Status::OK();
+  auto it = lru_.end();
+  while (entries_.size() > target && it != lru_.begin()) {
+    --it;
+    PageId page = *it;
     CacheEntry& entry = entries_.at(page);
-    if (entry.dirty) {
+    if (entry.pins != 0) continue;  // Must stay at a stable address.
+    bool was_dirty = entry.dirty;
+    if (was_dirty) {
       Status s = base_->Write(page, entry.bytes);
       if (!s.ok()) {
-        // Name the victim: the caller's op (an unrelated insert or unpin)
-        // is not the page whose write-back actually failed.
-        return StatusBuilder(s).Op("EvictDownTo write-back").Page(page);
+        ++write_back_failures_;
+        Trace::Emit(TraceKind::kCacheWriteBackFail, TraceOp::kWrite, page,
+                    DataClass::kAux);
+        if (first_failure.ok()) {
+          // Name the victim: the caller's op (an unrelated insert or unpin)
+          // is not the page whose write-back actually failed.
+          first_failure =
+              StatusBuilder(s).Op("EvictDownTo write-back").Page(page);
+        }
+        continue;  // Victim stays cached (and dirty); try the next one.
       }
+      ++write_backs_;
+      Trace::Emit(TraceKind::kCacheWriteBack, TraceOp::kWrite, page,
+                  DataClass::kAux);
     }
-    DropEntry(page, &entry);
+    ++evictions_;
+    Trace::Emit(TraceKind::kCacheEvict, TraceOp::kNone, page, DataClass::kAux,
+                was_dirty ? 1 : 0);
+    it = DropEntry(page, &entry);
   }
+  // Report a failure only when it actually kept the cache above target; an
+  // all-pinned overshoot is the caller's documented transient state.
+  if (entries_.size() > target && !first_failure.ok()) return first_failure;
   return Status::OK();
 }
 
@@ -130,9 +198,11 @@ CachingDevice::CacheEntry* CachingDevice::InsertPinnedEntry(
 
 Status CachingDevice::Read(PageId page, std::vector<uint8_t>* out) {
   std::lock_guard<std::mutex> lock(mu_);
+  NoteRecoveryLocked();
   auto it = entries_.find(page);
   if (it != entries_.end()) {
     ++hits_;
+    Trace::Emit(TraceKind::kCacheHit, TraceOp::kRead, page, DataClass::kAux);
     // Served at this level: charge the cache, not the device below.
     counters_.OnRead(DataClass::kAux, block_size());
     counters_.OnBlockRead();
@@ -141,6 +211,7 @@ Status CachingDevice::Read(PageId page, std::vector<uint8_t>* out) {
     return Status::OK();
   }
   ++misses_;
+  Trace::Emit(TraceKind::kCacheMiss, TraceOp::kRead, page, DataClass::kAux);
   Status s = base_->Read(page, out);
   if (!s.ok()) return s;
   return InsertEntry(page, *out, /*dirty=*/false);
@@ -148,6 +219,7 @@ Status CachingDevice::Read(PageId page, std::vector<uint8_t>* out) {
 
 Status CachingDevice::Write(PageId page, const std::vector<uint8_t>& data) {
   std::lock_guard<std::mutex> lock(mu_);
+  NoteRecoveryLocked();
   if (data.size() != block_size()) {
     return Status::InvalidArgument("write size must equal block size");
   }
@@ -155,46 +227,66 @@ Status CachingDevice::Write(PageId page, const std::vector<uint8_t>& data) {
   counters_.OnBlockWrite();
   auto it = entries_.find(page);
   if (it != entries_.end()) {
+    Trace::Emit(TraceKind::kCacheHit, TraceOp::kWrite, page, DataClass::kAux);
     it->second.bytes = data;
     it->second.dirty = true;
     Touch(page, &it->second);
     return Status::OK();
   }
+  Trace::Emit(TraceKind::kCacheMiss, TraceOp::kWrite, page, DataClass::kAux);
   return InsertEntry(page, data, /*dirty=*/true);
 }
 
 Status CachingDevice::PinForRead(PageId page, PageReadGuard* out) {
   std::lock_guard<std::mutex> lock(mu_);
+  NoteRecoveryLocked();
   auto it = entries_.find(page);
   if (it != entries_.end()) {
     ++hits_;
+    Trace::Emit(TraceKind::kCacheHit, TraceOp::kPin, page, DataClass::kAux);
     // Served at this level: charge the cache, not the device below.
     counters_.OnRead(DataClass::kAux, block_size());
     counters_.OnBlockRead();
     Touch(page, &it->second);
     ++it->second.pins;
     ++pins_outstanding_;
+    if (Trace::enabled()) {
+      if (it->second.pins == 1) it->second.pinned_at_ns = NowNs();
+      Trace::Emit(TraceKind::kPinAcquire, TraceOp::kPin, page,
+                  DataClass::kAux);
+    }
     *out = MakeReadGuard(this, page, it->second.bytes.data(), block_size());
     return Status::OK();
   }
   ++misses_;
+  Trace::Emit(TraceKind::kCacheMiss, TraceOp::kPin, page, DataClass::kAux);
   std::vector<uint8_t> bytes;
   Status s = base_->Read(page, &bytes);
   if (!s.ok()) return s;
   CacheEntry* entry =
       InsertPinnedEntry(page, std::move(bytes), /*speculative=*/false, &s);
   if (entry == nullptr) return s;
+  if (Trace::enabled()) {
+    entry->pinned_at_ns = NowNs();
+    Trace::Emit(TraceKind::kPinAcquire, TraceOp::kPin, page, DataClass::kAux);
+  }
   *out = MakeReadGuard(this, page, entry->bytes.data(), block_size());
   return Status::OK();
 }
 
 Status CachingDevice::PinForWrite(PageId page, PageWriteGuard* out) {
   std::lock_guard<std::mutex> lock(mu_);
+  NoteRecoveryLocked();
   auto it = entries_.find(page);
   if (it != entries_.end()) {
     Touch(page, &it->second);
     ++it->second.pins;
     ++pins_outstanding_;
+    if (Trace::enabled()) {
+      if (it->second.pins == 1) it->second.pinned_at_ns = NowNs();
+      Trace::Emit(TraceKind::kPinAcquire, TraceOp::kPin, page,
+                  DataClass::kAux);
+    }
     *out = MakeWriteGuard(this, page, it->second.bytes.data(), block_size());
     return Status::OK();
   }
@@ -204,6 +296,10 @@ Status CachingDevice::PinForWrite(PageId page, PageWriteGuard* out) {
   CacheEntry* entry = InsertPinnedEntry(page, std::vector<uint8_t>(block_size(), 0),
                                         /*speculative=*/true, &s);
   if (entry == nullptr) return s;
+  if (Trace::enabled()) {
+    entry->pinned_at_ns = NowNs();
+    Trace::Emit(TraceKind::kPinAcquire, TraceOp::kPin, page, DataClass::kAux);
+  }
   *out = MakeWriteGuard(this, page, entry->bytes.data(), block_size());
   return Status::OK();
 }
@@ -216,6 +312,13 @@ void CachingDevice::UnpinRead(PageId page) {
   }
   --it->second.pins;
   --pins_outstanding_;
+  if (Trace::enabled()) {
+    uint64_t held = it->second.pins == 0 && it->second.pinned_at_ns != 0
+                        ? NowNs() - it->second.pinned_at_ns
+                        : 0;
+    Trace::Emit(TraceKind::kPinRelease, TraceOp::kPin, page, DataClass::kAux,
+                held);
+  }
   if (it->second.pins == 0) {
     // Trim any pin-induced overshoot. A failed write-back here simply
     // leaves the dirty victim cached; it retries on the next eviction.
@@ -232,6 +335,13 @@ Status CachingDevice::UnpinWrite(PageId page, bool dirty) {
   CacheEntry& entry = it->second;
   --entry.pins;
   --pins_outstanding_;
+  if (Trace::enabled()) {
+    uint64_t held = entry.pins == 0 && entry.pinned_at_ns != 0
+                        ? NowNs() - entry.pinned_at_ns
+                        : 0;
+    Trace::Emit(TraceKind::kPinRelease, TraceOp::kPin, page, DataClass::kAux,
+                held);
+  }
   if (dirty) {
     // The write lands at this level; charge it here exactly like Write.
     counters_.OnWrite(DataClass::kAux, block_size());
@@ -252,12 +362,18 @@ Status CachingDevice::UnpinWrite(PageId page, bool dirty) {
 
 Status CachingDevice::FlushAll() {
   std::lock_guard<std::mutex> lock(mu_);
+  NoteRecoveryLocked();
   for (auto& [page, entry] : entries_) {
     if (entry.dirty) {
       Status s = base_->Write(page, entry.bytes);
       if (!s.ok()) {
+        Trace::Emit(TraceKind::kCacheWriteBackFail, TraceOp::kFlush, page,
+                    DataClass::kAux);
         return StatusBuilder(s).Op("FlushAll write-back").Page(page);
       }
+      ++write_backs_;
+      Trace::Emit(TraceKind::kCacheWriteBack, TraceOp::kFlush, page,
+                  DataClass::kAux);
       entry.dirty = false;
     }
   }
@@ -266,6 +382,9 @@ Status CachingDevice::FlushAll() {
 
 void CachingDevice::Crash() {
   std::lock_guard<std::mutex> lock(mu_);
+  Trace::Emit(TraceKind::kCrash, TraceOp::kNone, kInvalidPageId,
+              DataClass::kAux, entries_.size());
+  crashed_ = true;
   // All buffered state -- dirty or clean -- is volatile at this level;
   // releasing it adjusts this level's resident space back down. Dirty bytes
   // that never reached the base are simply lost, which is the point.

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/counters.h"
+#include "core/metrics.h"
 #include "core/status.h"
 #include "core/types.h"
 #include "storage/device.h"
@@ -76,6 +77,13 @@ class CachingDevice : public Device {
   size_t cached_pages() const;
   uint64_t hits() const;
   uint64_t misses() const;
+  /// Entries dropped from the cache by eviction sweeps.
+  uint64_t evictions() const;
+  /// Dirty victims successfully written back (by eviction or FlushAll).
+  uint64_t write_backs() const;
+  /// Dirty-victim write-backs that failed during eviction sweeps; the
+  /// victim stays cached and the sweep moves on to the next candidate.
+  uint64_t write_back_failures() const;
 
   /// Cached pages currently pinned (tests / debugging).
   size_t pinned_pages() const;
@@ -92,13 +100,20 @@ class CachingDevice : public Device {
     /// Created by a missed write pin: contents are not backed by the base
     /// device until a dirty release lands; dropped on a clean release.
     bool speculative = false;
+    /// Steady-clock stamp of the 0->1 pin, read only while tracing, so a
+    /// kPinRelease event can carry the held duration.
+    uint64_t pinned_at_ns = 0;
     std::list<PageId>::iterator lru_pos;
   };
 
   /// Moves `page` to the MRU position.
   void Touch(PageId page, CacheEntry* entry);
-  /// Evicts unpinned LRU pages (writing back dirty victims) until at most
-  /// `target` entries remain or every remaining entry is pinned.
+  /// One LRU-to-MRU eviction sweep (writing back dirty victims) until at
+  /// most `target` entries remain. Pinned entries and victims whose dirty
+  /// write-back fails are *skipped*, not sweep-ending: a single unwritable
+  /// page cannot wedge eviction while clean victims exist. Returns non-OK
+  /// (the first write-back failure) only when failures left the cache above
+  /// `target`; an all-pinned overshoot still returns OK.
   Status EvictDownTo(size_t target);
   /// Inserts a page copy, evicting as needed.
   Status InsertEntry(PageId page, std::vector<uint8_t> bytes, bool dirty);
@@ -108,7 +123,12 @@ class CachingDevice : public Device {
   CacheEntry* InsertPinnedEntry(PageId page, std::vector<uint8_t> bytes,
                                 bool speculative, Status* s);
   /// Removes `entry` from the map and LRU list, releasing its space.
-  void DropEntry(PageId page, CacheEntry* entry);
+  /// Returns the LRU-list iterator following the removed position, so an
+  /// eviction sweep can keep walking.
+  std::list<PageId>::iterator DropEntry(PageId page, CacheEntry* entry);
+  /// Emits the one-shot kRecovery event on the first operation after a
+  /// Crash(). Call with mu_ held.
+  void NoteRecoveryLocked();
 
   Device* base_;  // Not owned.
   size_t capacity_pages_;
@@ -119,6 +139,12 @@ class CachingDevice : public Device {
   size_t pins_outstanding_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t write_backs_ = 0;
+  uint64_t write_back_failures_ = 0;
+  bool crashed_ = false;
+  /// Last member: unregisters before any state its callbacks read dies.
+  MetricsGroup metrics_;
 };
 
 }  // namespace rum

@@ -5,11 +5,30 @@
 #include <utility>
 
 #include "core/status_builder.h"
+#include "core/trace.h"
 
 namespace rum {
 
+namespace {
+TraceOp TraceOpFor(FaultOp op) {
+  switch (op) {
+    case FaultOp::kRead: return TraceOp::kRead;
+    case FaultOp::kWrite: return TraceOp::kWrite;
+    case FaultOp::kPin: return TraceOp::kPin;
+    case FaultOp::kAllocate: return TraceOp::kAllocate;
+    case FaultOp::kFlush: return TraceOp::kFlush;
+  }
+  return TraceOp::kNone;
+}
+}  // namespace
+
 FaultyDevice::FaultyDevice(Device* base) : base_(base) {
   assert(base_ != nullptr);
+  metrics_.Init("faulty_device");
+  metrics_.Gauge("faults_injected", [this] { return faults_injected(); });
+  metrics_.Gauge("torn_writes", [this] { return torn_writes(); });
+  metrics_.Gauge("pinned_pages",
+                 [this] { return static_cast<uint64_t>(pinned_pages()); });
 }
 
 FaultyDevice::FaultyDevice(Device* base, FaultPlan plan) : FaultyDevice(base) {
@@ -63,6 +82,8 @@ Status FaultyDevice::MaybeFault(FaultOp op, PageId page, bool counts_io) {
   uint64_t draw = draw_index_[idx]++;
   if (FaultDraw(plan_.seed, op, draw, plan_.transient_rate[idx])) {
     ++injected_[idx];
+    Trace::Emit(TraceKind::kFaultInjected, TraceOpFor(op), page,
+                DataClass::kBase);
     StatusBuilder b(Code::kIOError, "injected transient fault");
     b.Op(FaultOpName(op));
     if (page != kInvalidPageId) b.Page(page);
@@ -71,6 +92,8 @@ Status FaultyDevice::MaybeFault(FaultOp op, PageId page, bool counts_io) {
   if (counts_io && plan_.fail_after_io != FaultPlan::kNever) {
     if (io_budget_left_ == 0) {
       ++injected_[idx];
+      Trace::Emit(TraceKind::kFaultInjected, TraceOpFor(op), page,
+                  DataClass::kBase);
       StatusBuilder b(Code::kIOError, "injected device fault");
       b.Op(FaultOpName(op));
       if (page != kInvalidPageId) b.Page(page);
@@ -141,6 +164,8 @@ Status FaultyDevice::Write(PageId page, const std::vector<uint8_t>& data) {
         guard.Release();  // Clean: uncharged.
         torn_.insert(page);
         ++torn_writes_;
+        Trace::Emit(TraceKind::kTornWrite, TraceOp::kWrite, page,
+                    DataClass::kBase);
       }
     }
     return s;
@@ -225,6 +250,8 @@ Status FaultyDevice::UnpinWrite(PageId page, bool dirty) {
       FlipTail(base_guard.bytes());
       torn_.insert(page);
       ++torn_writes_;
+      Trace::Emit(TraceKind::kTornWrite, TraceOp::kWrite, page,
+                  DataClass::kBase);
     }
     base_guard.Release();  // Clean: uncharged.
     return s;
@@ -237,6 +264,8 @@ Status FaultyDevice::UnpinWrite(PageId page, bool dirty) {
 
 void FaultyDevice::Crash() {
   std::lock_guard<std::mutex> lock(mu_);
+  Trace::Emit(TraceKind::kCrash, TraceOp::kNone, kInvalidPageId,
+              DataClass::kBase, pins_outstanding_);
   // Drop this level's pin bookkeeping first (releasing the base pins while
   // the base is still pre-crash), then crash the levels below. Torn pages
   // stay poisoned: the damage is on the durable medium.

@@ -9,6 +9,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/metrics.h"
 #include "core/status.h"
 #include "core/types.h"
 #include "storage/device.h"
@@ -119,6 +120,8 @@ class FaultyDevice : public Device {
   std::unordered_set<PageId> torn_;
   std::unordered_map<PageId, PagePins> pins_;
   size_t pins_outstanding_ = 0;
+  /// Last member: unregisters before any state its callbacks read dies.
+  MetricsGroup metrics_;
 };
 
 }  // namespace rum

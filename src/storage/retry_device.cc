@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "core/trace.h"
+
 namespace rum {
 
 RetryingDevice::RetryingDevice(Device* base, const Options& options,
@@ -11,6 +13,9 @@ RetryingDevice::RetryingDevice(Device* base, const Options& options,
   assert(base_ != nullptr);
   assert(counters_ != nullptr);
   if (policy_.max_attempts == 0) policy_.max_attempts = 1;
+  metrics_.Init("retrying_device");
+  metrics_.Gauge("simulated_backoff_us",
+                 [this] { return simulated_backoff_us(); });
 }
 
 uint64_t RetryingDevice::simulated_backoff_us() const {
@@ -18,24 +23,30 @@ uint64_t RetryingDevice::simulated_backoff_us() const {
 }
 
 template <typename Op>
-Status RetryingDevice::WithRetries(Op&& op) {
+Status RetryingDevice::WithRetries(TraceOp traced_op, PageId page, Op&& op) {
   Status s;
   for (size_t attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
     if (attempt > 1) {
       counters_->OnRetry();
+      Trace::Emit(TraceKind::kRetryAttempt, traced_op, page, DataClass::kBase,
+                  attempt);
       backoff_us_.fetch_add(policy_.backoff_base_us << (attempt - 2),
                             std::memory_order_relaxed);
     }
     s = op();
     if (s.ok()) return s;
+    // Only operations that actually returned kIOError charge the io_errors
+    // tick (the counters.h contract); a kCorruption or argument failure is
+    // not an I/O error and is never retried either.
+    if (s.code() != Code::kIOError) return s;
     counters_->OnIoError();
-    if (s.code() != Code::kIOError) return s;  // Only kIOError may heal.
   }
   return s;
 }
 
 Status RetryingDevice::Allocate(DataClass cls, PageId* out) {
-  return WithRetries([&] { return base_->Allocate(cls, out); });
+  return WithRetries(TraceOp::kAllocate, kInvalidPageId,
+                     [&] { return base_->Allocate(cls, out); });
 }
 
 Status RetryingDevice::Free(PageId page) {
@@ -44,23 +55,28 @@ Status RetryingDevice::Free(PageId page) {
 }
 
 Status RetryingDevice::Read(PageId page, std::vector<uint8_t>* out) {
-  return WithRetries([&] { return base_->Read(page, out); });
+  return WithRetries(TraceOp::kRead, page,
+                     [&] { return base_->Read(page, out); });
 }
 
 Status RetryingDevice::Write(PageId page, const std::vector<uint8_t>& data) {
-  return WithRetries([&] { return base_->Write(page, data); });
+  return WithRetries(TraceOp::kWrite, page,
+                     [&] { return base_->Write(page, data); });
 }
 
 Status RetryingDevice::FlushAll() {
-  return WithRetries([&] { return base_->FlushAll(); });
+  return WithRetries(TraceOp::kFlush, kInvalidPageId,
+                     [&] { return base_->FlushAll(); });
 }
 
 Status RetryingDevice::PinForRead(PageId page, PageReadGuard* out) {
-  return WithRetries([&] { return base_->PinForRead(page, out); });
+  return WithRetries(TraceOp::kPin, page,
+                     [&] { return base_->PinForRead(page, out); });
 }
 
 Status RetryingDevice::PinForWrite(PageId page, PageWriteGuard* out) {
-  return WithRetries([&] { return base_->PinForWrite(page, out); });
+  return WithRetries(TraceOp::kPin, page,
+                     [&] { return base_->PinForWrite(page, out); });
 }
 
 }  // namespace rum

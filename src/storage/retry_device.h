@@ -7,8 +7,10 @@
 #include <vector>
 
 #include "core/counters.h"
+#include "core/metrics.h"
 #include "core/options.h"
 #include "core/status.h"
+#include "core/trace.h"
 #include "core/types.h"
 #include "storage/device.h"
 
@@ -21,10 +23,13 @@ namespace rum {
 /// acquisitions) is attempted up to `max_attempts` times. Only kIOError is
 /// retried: a transient fault may clear on re-attempt, but kCorruption is a
 /// checksum mismatch on durable bytes and does not heal, and argument errors
-/// are the caller's bug. Every failed attempt charges one `io_errors` tick
-/// and every re-attempt one `retries` tick on the counters supplied at
-/// construction; failed attempts never charge traffic (the device contract:
-/// a faulted op moves no bytes).
+/// are the caller's bug. Every attempt that failed *with kIOError* charges
+/// one `io_errors` tick and every re-attempt one `retries` tick on the
+/// counters supplied at construction (so `io_errors - retries` equals the
+/// number of operations that ultimately failed with kIOError, and wrapping
+/// a FaultyDevice directly makes io_errors equal its faults_injected());
+/// non-kIOError failures charge nothing here. Failed attempts never charge
+/// traffic (the device contract: a faulted op moves no bytes).
 ///
 /// Backoff is simulated, not slept: before retry k (1-based) the decorator
 /// adds `backoff_base_us << (k-1)` to an accumulated virtual wait readable
@@ -66,13 +71,16 @@ class RetryingDevice : public Device {
 
  private:
   /// Runs `op()` with the retry policy; `op` must be re-invocable.
+  /// `traced_op`/`page` label the kRetryAttempt trace events.
   template <typename Op>
-  Status WithRetries(Op&& op);
+  Status WithRetries(TraceOp traced_op, PageId page, Op&& op);
 
   Device* base_;           // Not owned.
   RumCounters* counters_;  // Not owned.
   Options::Storage::Retry policy_;
   std::atomic<uint64_t> backoff_us_{0};
+  /// Last member: unregisters before any state its callbacks read dies.
+  MetricsGroup metrics_;
 };
 
 }  // namespace rum

@@ -59,6 +59,34 @@ std::string ErrorTally::ToString() const {
   return std::string(buf);
 }
 
+void OpLatencies::Merge(const OpLatencies& o) {
+  point.Merge(o.point);
+  scan.Merge(o.scan);
+  insert.Merge(o.insert);
+  update.Merge(o.update);
+  erase.Merge(o.erase);
+}
+
+LatencyHistogram OpLatencies::Total() const {
+  LatencyHistogram all;
+  all.Merge(point);
+  all.Merge(scan);
+  all.Merge(insert);
+  all.Merge(update);
+  all.Merge(erase);
+  return all;
+}
+
+std::string OpLatencies::ToJson() const {
+  std::string out = "{\"point\":" + point.ToJson();
+  out += ",\"scan\":" + scan.ToJson();
+  out += ",\"insert\":" + insert.ToJson();
+  out += ",\"update\":" + update.ToJson();
+  out += ",\"delete\":" + erase.ToJson();
+  out += "}";
+  return out;
+}
+
 ErrorTally RumProfile::errors() const {
   ErrorTally merged;
   for (const ErrorTally& t : worker_errors) merged += t;
@@ -148,6 +176,23 @@ bool IsMutation(const WorkloadSpec& spec, double dice) {
          spec.insert_fraction + spec.update_fraction + spec.delete_fraction;
 }
 
+/// The latency histogram for the op class `dice` selects -- the same
+/// thresholds ExecuteOne uses to dispatch.
+LatencyHistogram* ClassHistogram(OpLatencies* lat, const WorkloadSpec& spec,
+                                 double dice) {
+  if (dice < spec.insert_fraction) return &lat->insert;
+  if (dice < spec.insert_fraction + spec.update_fraction) return &lat->update;
+  if (dice < spec.insert_fraction + spec.update_fraction +
+                 spec.delete_fraction) {
+    return &lat->erase;
+  }
+  if (dice < spec.insert_fraction + spec.update_fraction +
+                 spec.delete_fraction + spec.scan_fraction) {
+    return &lat->scan;
+  }
+  return &lat->point;
+}
+
 /// ExecuteOne wrapped in the spec's error policy. Returns non-OK only when
 /// the phase must abort; otherwise failures land in `tally` (and, under
 /// kDegrade, flip `degraded`, after which mutations are withheld).
@@ -184,24 +229,37 @@ Result<RumProfile> RunSerial(AccessMethod* method, const WorkloadSpec& spec) {
   std::vector<uint64_t> write_samples;
   read_samples.reserve(spec.operations);
   write_samples.reserve(spec.operations);
-  uint64_t last_read = before.total_bytes_read();
-  uint64_t last_written = before.total_bytes_written();
+  // Sample per-op costs from the thread-local traffic tally: two plain
+  // reads per op, independent of the method's shape. The old path called
+  // method->stats() per op, which for ShardedMethod locks and merges every
+  // shard -- O(shards) mutex acquisitions per operation (trace_test pins
+  // the fixed behavior via the sharded_method.stats_merges metric).
+  const ThreadIoTally& io = ThisThreadIo();
+  uint64_t last_read = io.bytes_read;
+  uint64_t last_written = io.bytes_written;
 
+  OpLatencies latency;
   ErrorTally tally;
   bool degraded = false;
   std::vector<Entry> scan_buffer;
   for (uint64_t i = 0; i < spec.operations; ++i) {
     double dice = op_rng.NextDouble();
     Key key = keys.Next();
+    auto op_start = std::chrono::steady_clock::now();
     Status s =
         ExecuteOnePolicied(method, spec, dice, key, scan_width, &value_rng,
                            &scan_buffer, &tally, &degraded);
+    auto op_end = std::chrono::steady_clock::now();
     if (!s.ok()) return s;
-    CounterSnapshot now = method->stats();
-    read_samples.push_back(now.total_bytes_read() - last_read);
-    write_samples.push_back(now.total_bytes_written() - last_written);
-    last_read = now.total_bytes_read();
-    last_written = now.total_bytes_written();
+    ClassHistogram(&latency, spec, dice)
+        ->Record(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(op_end -
+                                                                 op_start)
+                .count()));
+    read_samples.push_back(io.bytes_read - last_read);
+    write_samples.push_back(io.bytes_written - last_written);
+    last_read = io.bytes_read;
+    last_written = io.bytes_written;
   }
 
   auto end = std::chrono::steady_clock::now();
@@ -214,6 +272,7 @@ Result<RumProfile> RunSerial(AccessMethod* method, const WorkloadSpec& spec) {
       std::chrono::duration<double>(end - start).count();
   profile.read_cost = CostPercentiles::From(std::move(read_samples));
   profile.write_cost = CostPercentiles::From(std::move(write_samples));
+  profile.latency = latency;
   if (spec.error_mode != ErrorMode::kAbort) {
     profile.worker_errors.push_back(tally);
   }
@@ -229,7 +288,9 @@ Result<RumProfile> RunSerial(AccessMethod* method, const WorkloadSpec& spec) {
 /// depends on interleaving.)
 Status RunWorker(AccessMethod* method, const WorkloadSpec& spec,
                  const KeyPartitioned* parts, uint32_t workers, uint32_t t,
-                 ErrorTally* tally) {
+                 ErrorTally* tally, OpLatencies* latency,
+                 std::vector<uint64_t>* read_samples,
+                 std::vector<uint64_t>* write_samples) {
   uint64_t ops = spec.operations / workers +
                  (t < spec.operations % workers ? 1 : 0);
   uint64_t worker_seed = SplitMix64(spec.seed ^ SplitMix64(t + 1));
@@ -249,21 +310,41 @@ Status RunWorker(AccessMethod* method, const WorkloadSpec& spec,
     return keys.Next();
   };
 
+  // This worker's thread-local tally: deltas capture exactly the bytes this
+  // thread charged during the op, no cross-thread probes, no locks.
+  const ThreadIoTally& io = ThisThreadIo();
+  uint64_t last_read = io.bytes_read;
+  uint64_t last_written = io.bytes_written;
+  read_samples->reserve(ops);
+  write_samples->reserve(ops);
+
   bool degraded = false;
   std::vector<Entry> scan_buffer;
   for (uint64_t i = 0; i < ops; ++i) {
     double dice = op_rng.NextDouble();
     Key key = next_owned_key();
+    auto op_start = std::chrono::steady_clock::now();
     Status s = ExecuteOnePolicied(method, spec, dice, key, scan_width,
                                   &value_rng, &scan_buffer, tally, &degraded);
+    auto op_end = std::chrono::steady_clock::now();
     if (!s.ok()) return s;
+    ClassHistogram(latency, spec, dice)
+        ->Record(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(op_end -
+                                                                 op_start)
+                .count()));
+    read_samples->push_back(io.bytes_read - last_read);
+    write_samples->push_back(io.bytes_written - last_written);
+    last_read = io.bytes_read;
+    last_written = io.bytes_written;
   }
   return Status::OK();
 }
 
-/// Concurrent phase: a worker pool over a partition-aware method. Per-op
-/// cost percentiles are not sampled (a global stats() probe per op would
-/// serialize the workers); RumProfile.read_cost/write_cost stay zero.
+/// Concurrent phase: a worker pool over a partition-aware method. Each
+/// worker samples per-op costs from its own thread-local tally and records
+/// latencies into a private OpLatencies; the join is the happens-before
+/// edge under which everything merges exactly.
 Result<RumProfile> RunConcurrent(AccessMethod* method,
                                  const WorkloadSpec& spec) {
   const auto* parts = dynamic_cast<const KeyPartitioned*>(method);
@@ -284,15 +365,20 @@ Result<RumProfile> RunConcurrent(AccessMethod* method,
 
   std::vector<Status> statuses(workers, Status::OK());
   std::vector<ErrorTally> tallies(workers);
+  std::vector<OpLatencies> latencies(workers);
+  std::vector<std::vector<uint64_t>> read_samples(workers);
+  std::vector<std::vector<uint64_t>> write_samples(workers);
   {
     std::vector<std::thread> pool;
     pool.reserve(workers);
     for (uint32_t t = 0; t < workers; ++t) {
-      pool.emplace_back(
-          [method, &spec, parts, workers, t, &statuses, &tallies] {
-            statuses[t] =
-                RunWorker(method, spec, parts, workers, t, &tallies[t]);
-          });
+      pool.emplace_back([method, &spec, parts, workers, t, &statuses,
+                         &tallies, &latencies, &read_samples,
+                         &write_samples] {
+        statuses[t] =
+            RunWorker(method, spec, parts, workers, t, &tallies[t],
+                      &latencies[t], &read_samples[t], &write_samples[t]);
+      });
     }
     for (std::thread& worker : pool) worker.join();
   }
@@ -310,6 +396,17 @@ Result<RumProfile> RunConcurrent(AccessMethod* method,
   profile.point = RumPoint::FromSnapshot(profile.delta);
   profile.wall_seconds =
       std::chrono::duration<double>(end - start).count();
+  std::vector<uint64_t> all_reads;
+  std::vector<uint64_t> all_writes;
+  for (uint32_t t = 0; t < workers; ++t) {
+    profile.latency.Merge(latencies[t]);
+    all_reads.insert(all_reads.end(), read_samples[t].begin(),
+                     read_samples[t].end());
+    all_writes.insert(all_writes.end(), write_samples[t].begin(),
+                      write_samples[t].end());
+  }
+  profile.read_cost = CostPercentiles::From(std::move(all_reads));
+  profile.write_cost = CostPercentiles::From(std::move(all_writes));
   if (spec.error_mode != ErrorMode::kAbort) {
     profile.worker_errors = std::move(tallies);
   }

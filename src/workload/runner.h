@@ -5,6 +5,7 @@
 
 #include "core/access_method.h"
 #include "core/counters.h"
+#include "core/metrics.h"
 #include "core/rum_point.h"
 #include "core/status.h"
 #include "workload/spec.h"
@@ -37,6 +38,25 @@ struct ErrorTally {
   std::string ToString() const;
 };
 
+/// Wall-clock latency distributions per operation class, in nanoseconds.
+/// Each worker records into its own copy (plain adds, no sharing); the
+/// runner merges per-worker copies after the join, so concurrent phases get
+/// latency tails too. Values are wall-clock and therefore not deterministic
+/// run-to-run -- unlike the byte-cost percentiles, which are.
+struct OpLatencies {
+  LatencyHistogram point;   ///< Get
+  LatencyHistogram scan;    ///< Scan
+  LatencyHistogram insert;  ///< Insert
+  LatencyHistogram update;  ///< Update
+  LatencyHistogram erase;   ///< Delete
+
+  void Merge(const OpLatencies& o);
+  /// All classes folded together.
+  LatencyHistogram Total() const;
+  /// {"point":{...},"scan":{...},...} -- class keys with histogram summaries.
+  std::string ToJson() const;
+};
+
 /// Result of running a workload phase against an access method: the
 /// counter delta over the phase plus derived RUM coordinates.
 struct RumProfile {
@@ -47,11 +67,16 @@ struct RumProfile {
   double wall_seconds = 0;
   /// Per-operation bytes-read distribution: means hide tails (an LSM's
   /// occasional compaction, a sorted column's shift cascade); these don't.
-  /// Only sampled on serial phases (spec.concurrency <= 1); a concurrent
-  /// phase would need a global stats() probe per op, serializing workers.
+  /// Sampled from the per-thread traffic tally (ThisThreadIo), so both
+  /// serial and concurrent phases get samples without any cross-thread
+  /// probing. The tally counts every byte the op's thread charged anywhere
+  /// in the stack, so for device-injected stacks the samples include
+  /// cache-layer charges alongside the method's own.
   CostPercentiles read_cost;
-  /// Per-operation bytes-written distribution (serial phases only).
+  /// Per-operation bytes-written distribution (same sampling path).
   CostPercentiles write_cost;
+  /// Wall-clock latency histograms per op class (serial and concurrent).
+  OpLatencies latency;
   /// One tally per worker (one entry for serial phases). Empty unless the
   /// spec ran with kSkipAndCount or kDegrade.
   std::vector<ErrorTally> worker_errors;

@@ -323,6 +323,115 @@ TEST(ChaosTest, CrashDropsUnflushedDirtyState) {
   EXPECT_EQ(out, v1);  // The durable pre-image, exactly.
 }
 
+// ------------------------------------------------------- Eviction faults
+
+// The cache must stay bounded under repeated write-back faults: once every
+// resident page is dirty and unwritable, further inserts FAIL rather than
+// grow the cache, and clearing the fault drains the backlog.
+TEST(ChaosTest, CacheStaysBoundedUnderRepeatedWriteBackFaults) {
+  constexpr size_t kCapacity = 4;
+  RumCounters counters;
+  BlockDevice base(512, &counters);
+  FaultyDevice faulty(&base);
+  CachingDevice cache(&faulty, kCapacity);
+  std::vector<uint8_t> data(512, 0xEE);
+
+  faulty.SetPlan(FaultPlan::Transient(kChaosSeed + 3, 0.0)
+                     .WithRate(FaultOp::kWrite, 1.0));
+  std::vector<PageId> cached, rejected;
+  for (int i = 0; i < 32; ++i) {
+    PageId p = testing_util::MustAllocate(cache, DataClass::kBase);
+    Status s = cache.Write(p, data);
+    if (s.ok()) {
+      cached.push_back(p);
+    } else {
+      EXPECT_EQ(s.code(), Code::kIOError) << s.ToString();
+      rejected.push_back(p);
+    }
+    ASSERT_LE(cache.cached_pages(), kCapacity) << "cache grew unboundedly";
+  }
+  // The first kCapacity writes filled the cache; every later insert needed
+  // an eviction, every eviction needed a write-back, and every write-back
+  // faulted -- so exactly the rest were rejected.
+  EXPECT_EQ(cached.size(), kCapacity);
+  EXPECT_EQ(rejected.size(), 32u - kCapacity);
+  EXPECT_EQ(cache.cached_pages(), kCapacity);
+  EXPECT_GT(cache.write_back_failures(), 0u);
+  EXPECT_EQ(cache.evictions(), 0u);
+
+  // Clearing the fault drains the dirty backlog and restores service.
+  faulty.ClearFaults();
+  ASSERT_TRUE(cache.FlushAll().ok());
+  std::vector<uint8_t> out;
+  for (PageId p : cached) {
+    ASSERT_TRUE(base.Read(p, &out).ok());
+    EXPECT_EQ(out, data);  // The retained dirty bytes, now durable.
+  }
+  PageId p = testing_util::MustAllocate(cache, DataClass::kBase);
+  EXPECT_TRUE(cache.Write(p, data).ok());  // Evictions work again.
+}
+
+// A single unwritable dirty victim -- or a pinned one -- must not wedge
+// eviction while clean victims exist: the sweep skips it and keeps serving.
+TEST(ChaosTest, UnwritableOrPinnedDirtyVictimDoesNotWedgeEviction) {
+  constexpr size_t kCapacity = 4;
+  RumCounters counters;
+  BlockDevice base(512, &counters);
+  FaultyDevice faulty(&base);
+  CachingDevice cache(&faulty, kCapacity);
+
+  std::vector<PageId> pages;
+  std::vector<uint8_t> clean(512, 0x01);
+  for (int i = 0; i < 12; ++i) {
+    PageId p = testing_util::MustAllocate(cache, DataClass::kBase);
+    ASSERT_TRUE(cache.Write(p, clean).ok());
+    pages.push_back(p);
+  }
+  ASSERT_TRUE(cache.FlushAll().ok());  // Everything durable and clean.
+
+  // Dirty one resident page, then make every write-back fail.
+  std::vector<uint8_t> dirty(512, 0xD1);
+  ASSERT_TRUE(cache.Write(pages[0], dirty).ok());
+  faulty.SetPlan(FaultPlan::Transient(kChaosSeed + 4, 0.0)
+                     .WithRate(FaultOp::kWrite, 1.0));
+
+  // Read-miss traffic across the other pages: each miss inserts a clean
+  // entry, so eviction keeps finding clean victims past the stuck page.
+  // Before the skip-and-continue sweep this wedged on the dirty LRU tail.
+  std::vector<uint8_t> out;
+  for (int round = 0; round < 3; ++round) {
+    for (size_t i = 1; i < pages.size(); ++i) {
+      ASSERT_TRUE(cache.Read(pages[i], &out).ok())
+          << "round " << round << " page " << pages[i];
+      ASSERT_LE(cache.cached_pages(), kCapacity);
+    }
+  }
+  EXPECT_GT(cache.write_back_failures(), 0u);
+  EXPECT_GT(cache.evictions(), 0u);  // Clean victims kept moving.
+
+  // The stuck page still serves its unflushed contents from cache...
+  ASSERT_TRUE(cache.Read(pages[0], &out).ok());
+  EXPECT_EQ(out, dirty);
+  // ...and a pinned page is likewise skipped, not spun on.
+  PageWriteGuard guard;
+  ASSERT_TRUE(cache.PinForWrite(pages[1], &guard).ok());
+  std::fill(guard.bytes().begin(), guard.bytes().end(), 0x77);
+  guard.MarkDirty();
+  for (size_t i = 2; i < 8; ++i) {
+    ASSERT_TRUE(cache.Read(pages[i], &out).ok());
+  }
+  ASSERT_TRUE(guard.Release().ok());  // Stays cached: release defers the
+                                      // failed write-back, never loses it.
+
+  // Fault gone: the whole backlog (stuck page + pinned mutation) flushes.
+  faulty.ClearFaults();
+  ASSERT_TRUE(cache.FlushAll().ok());
+  ASSERT_TRUE(base.Read(pages[0], &out).ok());
+  EXPECT_EQ(out, dirty);
+  ASSERT_TRUE(base.Read(pages[1], &out).ok());
+  EXPECT_EQ(out, std::vector<uint8_t>(512, 0x77));
+}
+
 // ----------------------------------------------------------------- Retry
 
 TEST(ChaosTest, RetryingDeviceHealsTransientsAndChargesCounters) {
@@ -368,6 +477,66 @@ TEST(ChaosTest, RetryingDeviceHealsTransientsAndChargesCounters) {
   EXPECT_EQ(device.Read(p, &out).code(), Code::kCorruption);
   EXPECT_EQ(counters.snapshot().retries, retries_before);  // No retry.
   EXPECT_GT(healed, 0u);
+}
+
+// Retry accounting replays exactly: two identical stacks under the same
+// seeded plan charge identical io_errors/retries/backoff, io_errors equals
+// the faults the faulty layer injected, and io_errors - retries equals the
+// operations that ultimately failed with kIOError.
+TEST(ChaosTest, RetryAccountingMatchesDeterministicReplay) {
+  auto run_once = [](CounterSnapshot* snap, uint64_t* injected,
+                     uint64_t* backoff, uint64_t* failed_ops) {
+    RumCounters counters;
+    BlockDevice base(512, &counters);
+    FaultyDevice faulty(&base);
+    Options options;
+    options.storage.retry.max_attempts = 3;
+    options.storage.retry.backoff_base_us = 7;
+    RetryingDevice device(&faulty, options, &counters);
+
+    std::vector<PageId> pages;
+    for (int i = 0; i < 30; ++i) {
+      pages.push_back(testing_util::MustAllocate(device, DataClass::kBase));
+    }
+    faulty.SetPlan(FaultPlan::Transient(kChaosSeed + 11, 0.0)
+                       .WithRate(FaultOp::kRead, 0.45)
+                       .WithRate(FaultOp::kWrite, 0.45));
+    std::vector<uint8_t> data(512, 0x21);
+    std::vector<uint8_t> out;
+    *failed_ops = 0;
+    for (PageId p : pages) {
+      Status w = device.Write(p, data);
+      if (!w.ok()) {
+        EXPECT_EQ(w.code(), Code::kIOError) << w.ToString();
+        ++*failed_ops;
+      }
+      Status r = device.Read(p, &out);
+      if (!r.ok()) {
+        EXPECT_EQ(r.code(), Code::kIOError) << r.ToString();
+        ++*failed_ops;
+      }
+    }
+    *snap = counters.snapshot();
+    *injected = faulty.faults_injected();
+    *backoff = device.simulated_backoff_us();
+  };
+
+  CounterSnapshot s1, s2;
+  uint64_t inj1 = 0, inj2 = 0, bo1 = 0, bo2 = 0, fail1 = 0, fail2 = 0;
+  run_once(&s1, &inj1, &bo1, &fail1);
+  run_once(&s2, &inj2, &bo2, &fail2);
+
+  EXPECT_GT(s1.retries, 0u);
+  EXPECT_GT(fail1, 0u);
+  EXPECT_EQ(s1.io_errors, s2.io_errors);
+  EXPECT_EQ(s1.retries, s2.retries);
+  EXPECT_EQ(inj1, inj2);
+  EXPECT_EQ(bo1, bo2);
+  EXPECT_EQ(fail1, fail2);
+  // The ledger closes: every injected fault is one io_errors tick, and the
+  // ticks not covered by a retry are exactly the ops that surfaced failure.
+  EXPECT_EQ(s1.io_errors, inj1);
+  EXPECT_EQ(s1.io_errors - s1.retries, fail1);
 }
 
 // ----------------------------------------------------- Runner error modes
