@@ -18,7 +18,7 @@ using bench::Fmt;
 using bench::FmtU;
 using bench::Table;
 
-void Sweep(CompactionPolicy policy, const char* label) {
+void Sweep(LsmPolicy policy, const char* label) {
   Banner(label);
   Table table({"bits/key", "filter KB", "MO", "hit blk/q", "miss blk/q",
                "RO(mixed)"});
@@ -72,8 +72,8 @@ void Sweep(CompactionPolicy policy, const char* label) {
 int main() {
   rum::bench::Banner(
       "A1: Bloom bits/key vs LSM read cost -- spending M to buy R");
-  rum::Sweep(rum::CompactionPolicy::kLeveled, "Levelled LSM");
-  rum::Sweep(rum::CompactionPolicy::kTiered, "Tiered LSM");
+  rum::Sweep(rum::LsmPolicy::kLeveled, "Levelled LSM");
+  rum::Sweep(rum::LsmPolicy::kTiered, "Tiered LSM");
   std::printf(
       "\nExpected shape: miss cost collapses toward zero blocks within the\n"
       "first ~8 bits/key while filter space (MO) grows linearly; the\n"

@@ -2,10 +2,11 @@
 // number of merge trees dynamically, the depth of the merge hierarchy and
 // the frequency of merging".
 //
-// Leveled vs tiered compaction across size ratios: write amplification and
-// read amplification cross over -- the same structure sliding along the
-// R/U tradeoff curve. The stepped-merge tree (no filters) is included as
-// the PBT/MaSM-style baseline.
+// All four compaction policies (leveled, tiered, lazy-leveled, hybrid)
+// across size ratios: write amplification and read amplification cross
+// over -- the same structure sliding along the R/U tradeoff curve, with
+// lazy leveling and the hybrid occupying the middle. The stepped-merge
+// tree (no filters) is included as the PBT/MaSM-style baseline.
 #include <memory>
 
 #include "bench/bench_util.h"
@@ -46,8 +47,9 @@ void Sweep() {
   Banner("Merge policy x size ratio: write amp vs read cost");
   Table table({"policy", "T", "UO (write amp)", "read blk/q", "runs"});
   for (size_t ratio : {2u, 3u, 4u, 6u, 8u, 10u}) {
-    for (CompactionPolicy policy :
-         {CompactionPolicy::kLeveled, CompactionPolicy::kTiered}) {
+    for (LsmPolicy policy :
+         {LsmPolicy::kLeveled, LsmPolicy::kTiered,
+          LsmPolicy::kLazyLeveled, LsmPolicy::kHybrid}) {
       Options options;
       options.block_size = 4096;
       options.lsm.memtable_entries = 2048;
@@ -58,10 +60,13 @@ void Sweep() {
       double uo, read_blocks;
       size_t runs;
       Measure(&tree, &uo, &read_blocks, &runs);
-      table.AddRow({policy == CompactionPolicy::kLeveled ? "leveled"
-                                                         : "tiered",
-                    FmtU(ratio), Fmt("%.2f", uo), Fmt("%.2f", read_blocks),
-                    FmtU(runs)});
+      const char* label = policy == LsmPolicy::kLeveled  ? "leveled"
+                          : policy == LsmPolicy::kTiered ? "tiered"
+                          : policy == LsmPolicy::kLazyLeveled
+                              ? "lazy-leveled"
+                              : "hybrid";
+      table.AddRow({label, FmtU(ratio), Fmt("%.2f", uo),
+                    Fmt("%.2f", read_blocks), FmtU(runs)});
     }
     // Stepped-merge with runs_per_level = T as the differential baseline.
     Options options;

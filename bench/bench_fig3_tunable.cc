@@ -161,8 +161,8 @@ void LsmSweep() {
   std::vector<std::string> labels;
   std::vector<RumPoint> points;
   std::vector<std::string> runs;
-  for (CompactionPolicy policy :
-       {CompactionPolicy::kLeveled, CompactionPolicy::kTiered}) {
+  for (LsmPolicy policy :
+       {LsmPolicy::kLeveled, LsmPolicy::kTiered}) {
     for (size_t ratio : {2u, 4u, 8u}) {
       Options options;
       options.lsm.size_ratio = ratio;
@@ -171,7 +171,7 @@ void LsmSweep() {
       LsmTree tree(options);
       points.push_back(MeasurePhases(&tree));
       labels.push_back(
-          std::string(policy == CompactionPolicy::kLeveled ? "leveled"
+          std::string(policy == LsmPolicy::kLeveled ? "leveled"
                                                            : "tiered") +
           " T=" + bench::FmtU(ratio));
       runs.push_back(bench::FmtU(tree.total_runs()));

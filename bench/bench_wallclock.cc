@@ -111,7 +111,8 @@ struct Registration {
     const std::pair<const char*, size_t> configs[] = {
         {"btree", kLoad},          {"hash", kLoad},
         {"zonemap", kLoad},        {"lsm-leveled", kLoad},
-        {"lsm-tiered", kLoad},     {"sorted-column", kLoad},
+        {"lsm-tiered", kLoad},     {"lsm-lazy", kLoad},
+        {"lsm-hybrid", kLoad},     {"sorted-column", kLoad},
         {"skiplist", kLoad},       {"trie", kLoad},
         {"bitmap-delta", kLoad},   {"cracking", kLoad},
         {"stepped-merge", kLoad},  {"bloom-zones", kLoad},

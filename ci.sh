@@ -58,21 +58,31 @@ if [[ "${STAGE}" == "all" || "${STAGE}" == "release" ]]; then
     echo "=== release: bench guard skipped (RUMLAB_SKIP_BENCH_GUARD=1) ==="
   else
     echo "=== release: disabled-observability Get-path guard (<3%) ==="
+    # Three passes, per-benchmark minimum: wall clock on a shared host
+    # swings +-8% with transient load, and the *floor* over a few runs is
+    # the stable estimator. One slow pass must not fail the guard.
     (cd build-ci/bench &&
-      ./bench_wallclock --benchmark_filter='^Get/' \
-        --benchmark_min_time=0.25 \
-        --benchmark_out=BENCH_wallclock_guard.json \
-        --benchmark_out_format=json >/dev/null)
-    python3 - build-ci/bench/BENCH_wallclock_guard.json \
-        BENCH_wallclock.json <<'PYEOF'
+      for pass in 1 2 3; do
+        ./bench_wallclock --benchmark_filter='^Get/' \
+          --benchmark_min_time=0.25 \
+          --benchmark_out="BENCH_wallclock_guard${pass}.json" \
+          --benchmark_out_format=json >/dev/null
+      done)
+    python3 - BENCH_wallclock.json \
+        build-ci/bench/BENCH_wallclock_guard1.json \
+        build-ci/bench/BENCH_wallclock_guard2.json \
+        build-ci/bench/BENCH_wallclock_guard3.json <<'PYEOF'
 import json, math, sys
-fresh_path, baseline_path = sys.argv[1], sys.argv[2]
+baseline_path, fresh_paths = sys.argv[1], sys.argv[2:]
 def get_times(path):
     with open(path) as f:
         doc = json.load(f)
     return {b["name"]: b["real_time"] for b in doc.get("benchmarks", [])
             if b["name"].startswith("Get/") and b.get("real_time")}
-fresh, baseline = get_times(fresh_path), get_times(baseline_path)
+runs = [get_times(p) for p in fresh_paths]
+fresh = {name: min(r[name] for r in runs)
+         for name in set.intersection(*(set(r) for r in runs))}
+baseline = get_times(baseline_path)
 shared = sorted(set(fresh) & set(baseline))
 if not shared:
     sys.exit("bench guard: no shared Get/ benchmarks between fresh run "
@@ -111,6 +121,14 @@ if [[ "${STAGE}" == "all" || "${STAGE}" == "asan" ]]; then
   # with ASan watching the ring and registry memory.
   echo "=== asan: trace tier (explicit) ==="
   (cd build-asan && ctest --output-on-failure -R trace_test)
+  # The compaction-policy tier (every policy differential against the
+  # std::map oracle + structural invariants after every flush) and the
+  # cost-model validation (predicted vs measured amplifications within
+  # tolerance) are named explicitly so the policy/merge machinery always
+  # runs with ASan watching the run-shuffling unique_ptr moves.
+  echo "=== asan: compaction policy + cost model tiers (explicit) ==="
+  (cd build-asan &&
+    ctest --output-on-failure -R "compaction_policy_test|cost_model_test")
 fi
 
 if [[ "${STAGE}" == "all" || "${STAGE}" == "tsan" ]]; then
@@ -119,7 +137,10 @@ if [[ "${STAGE}" == "all" || "${STAGE}" == "tsan" ]]; then
   # faults inject, with per-worker error tallies absorbing the failures.
   # trace_test rides along for concurrent trace emission: four workers
   # appending to per-thread rings while drawing the shared sequence number.
-  TSAN_FILTER="-R concurrency_test|differential_test|chaos_test|trace_test"
+  # compaction_policy_test rides in the TSan tier too: the chaos tier's
+  # concurrent case exercises lsm-lazy/lsm-hybrid merges under sharding,
+  # and the differential tier keeps the policy oracle checks in the sweep.
+  TSAN_FILTER="-R concurrency_test|differential_test|chaos_test|trace_test|compaction_policy_test"
   if [[ "${RUMLAB_CI_FULL_TSAN:-0}" == "1" ]]; then
     TSAN_FILTER=""
   fi

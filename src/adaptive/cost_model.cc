@@ -1,0 +1,317 @@
+#include "adaptive/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/types.h"
+#include "storage/append_log.h"
+
+namespace rum {
+
+namespace {
+
+/// Record-count shadow of the LSM level structure: levels[i] holds the
+/// record count of each run at level i, newest last. Mirrors the trigger
+/// rules in methods/lsm/compaction_policy.cc exactly (for distinct keys a
+/// merge's output size is the sum of its inputs, so record arithmetic is
+/// exact structure).
+struct SimState {
+  std::vector<std::vector<uint64_t>> levels;
+  uint64_t built_records = 0;  ///< Records written across all run builds.
+  uint64_t built_blocks = 0;   ///< Whole blocks those builds charged.
+};
+
+struct SimParams {
+  uint64_t memtable = 0;
+  uint64_t ratio = 0;
+  size_t records_per_page = 0;
+  size_t tiered_levels = 0;  ///< Leveled/tiered boundary for ComposedPolicy.
+};
+
+uint64_t LevelTargetOf(const SimParams& p, size_t level) {
+  uint64_t target = p.memtable;
+  for (size_t i = 0; i <= level; ++i) target *= p.ratio;
+  return target;
+}
+
+bool SimIsLastPopulated(const SimState& s, size_t level) {
+  for (size_t i = level + 1; i < s.levels.size(); ++i) {
+    if (!s.levels[i].empty()) return false;
+  }
+  return true;
+}
+
+size_t SimLastPopulated(const SimState& s) {
+  for (size_t i = s.levels.size(); i-- > 0;) {
+    if (!s.levels[i].empty()) return i;
+  }
+  return s.levels.size();
+}
+
+void SimBuild(SimState* s, const SimParams& p, size_t level, uint64_t n) {
+  if (s->levels.size() <= level) s->levels.resize(level + 1);
+  if (n == 0) return;
+  s->built_records += n;
+  s->built_blocks += (n + p.records_per_page - 1) / p.records_per_page;
+  s->levels[level].push_back(n);
+}
+
+uint64_t SimDrainLevel(SimState* s, size_t level) {
+  uint64_t n = 0;
+  for (uint64_t run : s->levels[level]) n += run;
+  s->levels[level].clear();
+  return n;
+}
+
+/// One flush under the composed (leveled/tiered/hybrid) discipline.
+void SimComposedFlush(SimState* s, const SimParams& p) {
+  auto tiered = [&](size_t level) { return level < p.tiered_levels; };
+  if (s->levels.empty()) s->levels.resize(1);
+  if (tiered(0)) {
+    SimBuild(s, p, 0, p.memtable);
+  } else {
+    uint64_t merged = p.memtable + SimDrainLevel(s, 0);
+    SimBuild(s, p, 0, merged);
+  }
+  for (size_t level = 0; level < s->levels.size(); ++level) {
+    if (s->levels[level].empty()) continue;
+    if (tiered(level)) {
+      if (s->levels[level].size() < p.ratio) continue;
+      uint64_t merged = SimDrainLevel(s, level);
+      if (s->levels.size() <= level + 1) s->levels.resize(level + 2);
+      if (!tiered(level + 1)) merged += SimDrainLevel(s, level + 1);
+      SimBuild(s, p, level + 1, merged);
+    } else {
+      if (s->levels[level].back() <= LevelTargetOf(p, level)) continue;
+      uint64_t merged = SimDrainLevel(s, level);
+      if (s->levels.size() <= level + 1) s->levels.resize(level + 2);
+      merged += SimDrainLevel(s, level + 1);
+      SimBuild(s, p, level + 1, merged);
+    }
+  }
+}
+
+/// One flush under lazy leveling.
+void SimLazyFlush(SimState* s, const SimParams& p) {
+  if (s->levels.empty()) s->levels.resize(1);
+  SimBuild(s, p, 0, p.memtable);
+  for (size_t level = 0; level < s->levels.size(); ++level) {
+    if (s->levels[level].size() < p.ratio) continue;
+    uint64_t merged = SimDrainLevel(s, level);
+    if (s->levels.size() <= level + 1) s->levels.resize(level + 2);
+    if (!s->levels[level + 1].empty() && SimIsLastPopulated(*s, level + 1)) {
+      merged += SimDrainLevel(s, level + 1);
+    }
+    SimBuild(s, p, level + 1, merged);
+  }
+  // Normalize: the last populated level holds exactly one run.
+  while (true) {
+    size_t last = SimLastPopulated(*s);
+    if (last >= s->levels.size() || s->levels[last].size() <= 1) break;
+    uint64_t merged = SimDrainLevel(s, last);
+    SimBuild(s, p, last, merged);
+  }
+  // Relocate an oversized bottom run (pointer move: nothing charged).
+  for (size_t last = SimLastPopulated(*s); last < s->levels.size(); ++last) {
+    if (s->levels[last].size() != 1 ||
+        s->levels[last].back() <= LevelTargetOf(p, last)) {
+      break;
+    }
+    uint64_t run = s->levels[last].back();
+    s->levels[last].clear();
+    if (s->levels.size() <= last + 1) s->levels.resize(last + 2);
+    s->levels[last + 1].push_back(run);
+  }
+}
+
+size_t CeilDiv(uint64_t a, uint64_t b) {
+  return static_cast<size_t>((a + b - 1) / b);
+}
+
+size_t Log2Probes(size_t n) {
+  // Probe count of the fence binary search over n fences.
+  size_t probes = 0;
+  while (n > 0) {
+    ++probes;
+    n >>= 1;
+  }
+  return probes;
+}
+
+}  // namespace
+
+RumPoint LsmCostPrediction::AsRumPoint() const {
+  RumPoint point;
+  point.read_overhead = std::max(1.0, read_amp);
+  point.update_overhead = std::max(1.0, update_amp);
+  point.memory_overhead = std::max(1.0, memory_amp);
+  return point;
+}
+
+std::string LsmCostPrediction::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "L=%.0f runs=%.0f RO=%.1f UO=%.2f MO=%.3f", levels, runs,
+                read_amp, update_amp, memory_amp);
+  return buf;
+}
+
+LsmCostPrediction PredictLsmCost(LsmPolicy policy, uint64_t entries,
+                                 const Options& options) {
+  const Options::Lsm& lsm = options.lsm;
+  LsmCostPrediction out;
+  out.policy = policy;
+  if (entries == 0) return out;
+
+  SimParams p;
+  p.memtable = lsm.memtable_entries;
+  p.ratio = lsm.size_ratio;
+  p.records_per_page =
+      (options.block_size - sizeof(uint64_t)) / LogRecord::kWireSize;
+  switch (policy) {
+    case LsmPolicy::kLeveled:
+      p.tiered_levels = 0;
+      break;
+    case LsmPolicy::kTiered:
+      p.tiered_levels = static_cast<size_t>(-1);
+      break;
+    case LsmPolicy::kHybrid:
+      p.tiered_levels = lsm.hybrid_tiered_levels;
+      break;
+    case LsmPolicy::kLazyLeveled:
+      break;  // Own flush routine below.
+  }
+
+  // ---- Structure layer: replay the flush cascade in record counts.
+  SimState s;
+  uint64_t flushes = entries / p.memtable;
+  for (uint64_t f = 0; f < flushes; ++f) {
+    if (policy == LsmPolicy::kLazyLeveled) {
+      SimLazyFlush(&s, p);
+    } else {
+      SimComposedFlush(&s, p);
+    }
+  }
+
+  uint64_t resident = 0;
+  size_t populated_levels = 0;
+  std::vector<uint64_t> run_sizes;  // Probe order: level-major, newest first.
+  for (const auto& level : s.levels) {
+    if (!level.empty()) ++populated_levels;
+    for (size_t i = level.size(); i-- > 0;) run_sizes.push_back(level[i]);
+    for (uint64_t n : level) resident += n;
+  }
+  out.levels = static_cast<double>(populated_levels);
+  out.runs = static_cast<double>(run_sizes.size());
+  if (resident == 0) return out;
+
+  // ---- Accounting layer: map structure to the simulator's charge rates.
+  const double block = static_cast<double>(options.block_size);
+  const size_t bits_per_key = lsm.bloom_bits_per_key;
+  const size_t bloom_probes =
+      bits_per_key == 0
+          ? 0
+          : std::max<size_t>(
+                1, static_cast<size_t>(bits_per_key * 0.6931471805599453 +
+                                       0.5));
+  const size_t pages_per_fence = std::max<size_t>(
+      1, CeilDiv(lsm.fence_entries, p.records_per_page));
+
+  // Update amplification. Every insert pays the memtable (entry bytes plus
+  // two 8-byte pointer splices per expected tower level 1/(1-p)), then its
+  // share of the run builds: whole blocks plus one Bloom byte per probe.
+  const double expect_height =
+      1.0 / (1.0 - std::min(0.99, options.skiplist.promote_probability));
+  const double memtable_bytes = kEntrySize + 16.0 * expect_height;
+  double written =
+      static_cast<double>(entries) * memtable_bytes +
+      static_cast<double>(s.built_blocks) * block +
+      static_cast<double>(s.built_records) * static_cast<double>(bloom_probes);
+  out.update_amp = written / (static_cast<double>(entries) * kEntrySize);
+
+  // Read amplification for a uniform point hit: each resident run before
+  // the containing one is filtered out (or false-positives into a fence
+  // group scan); the containing run pays filter + fence search + half a
+  // fence group of whole-block reads.
+  double prefix_negative = 8.0;  // Empty-memtable probe: one pointer read.
+  double expected_read = 0;
+  for (uint64_t n : run_sizes) {
+    size_t pages = CeilDiv(n, p.records_per_page);
+    size_t group = std::min(pages_per_fence, pages);
+    size_t fences = CeilDiv(pages, pages_per_fence);
+    double fence_bytes = 8.0 * static_cast<double>(Log2Probes(fences));
+    double scan_bytes = (static_cast<double>(group) + 1.0) / 2.0 * block;
+    double positive =
+        static_cast<double>(bloom_probes) + fence_bytes + scan_bytes;
+    double negative;
+    if (bits_per_key == 0) {
+      negative = fence_bytes + scan_bytes;  // No filter: full miss scan.
+    } else {
+      double bits = static_cast<double>(
+          std::max<uint64_t>(64, n * bits_per_key));
+      double fill = 1.0 - std::exp(-static_cast<double>(bloom_probes) *
+                                   static_cast<double>(n) / bits);
+      double fp = std::pow(fill, static_cast<double>(bloom_probes));
+      // Expected probe bytes until the first unset bit, capped at k.
+      double probe_bytes = fill >= 1.0
+                               ? static_cast<double>(bloom_probes)
+                               : (1.0 - fp) / (1.0 - fill);
+      negative = probe_bytes + fp * (fence_bytes + scan_bytes);
+    }
+    double weight = static_cast<double>(n) / static_cast<double>(resident);
+    expected_read += weight * (prefix_negative + positive);
+    prefix_negative += negative;
+  }
+  out.read_amp = expected_read / kEntrySize;
+
+  // Memory amplification: whole pages (wire inflation + block slack) plus
+  // Bloom bytes and in-memory fences, over live entry bytes.
+  double space = 0;
+  for (uint64_t n : run_sizes) {
+    size_t pages = CeilDiv(n, p.records_per_page);
+    size_t fences = CeilDiv(pages, pages_per_fence);
+    space += static_cast<double>(pages) * block;
+    if (bits_per_key > 0) {
+      space += static_cast<double>(
+                   std::max<uint64_t>(64, n * bits_per_key) + 7) /
+               8.0;
+    }
+    space += static_cast<double>(fences) * 8.0;
+  }
+  out.memory_amp =
+      space / (static_cast<double>(entries) * kEntrySize);
+  return out;
+}
+
+LsmPolicy PickLsmPolicy(uint64_t entries, const Options& options,
+                        double read_weight, double write_weight,
+                        double space_weight) {
+  constexpr LsmPolicy kAll[] = {LsmPolicy::kLeveled, LsmPolicy::kTiered,
+                                LsmPolicy::kLazyLeveled, LsmPolicy::kHybrid};
+  LsmCostPrediction preds[4];
+  double best_ro = 0, best_uo = 0, best_mo = 0;
+  for (size_t i = 0; i < 4; ++i) {
+    preds[i] = PredictLsmCost(kAll[i], entries, options);
+    if (i == 0 || preds[i].read_amp < best_ro) best_ro = preds[i].read_amp;
+    if (i == 0 || preds[i].update_amp < best_uo) best_uo = preds[i].update_amp;
+    if (i == 0 || preds[i].memory_amp < best_mo) best_mo = preds[i].memory_amp;
+  }
+  LsmPolicy best = LsmPolicy::kLeveled;
+  double best_score = 0;
+  for (size_t i = 0; i < 4; ++i) {
+    // Normalize each axis by the best policy's value so a weight of 1 means
+    // "one relative unit of pain" on every axis.
+    double score = read_weight * preds[i].read_amp / std::max(1e-9, best_ro) +
+                   write_weight * preds[i].update_amp / std::max(1e-9, best_uo) +
+                   space_weight * preds[i].memory_amp / std::max(1e-9, best_mo);
+    if (i == 0 || score < best_score) {
+      best_score = score;
+      best = kAll[i];
+    }
+  }
+  return best;
+}
+
+}  // namespace rum

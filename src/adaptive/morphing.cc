@@ -52,7 +52,7 @@ std::unique_ptr<AccessMethod> MorphingAccessMethod::MakeDelegate(
       return std::make_unique<SteppedMergeTree>(opts);
     }
     case MorphShape::kBalanced: {
-      opts.lsm.policy = CompactionPolicy::kLeveled;
+      opts.lsm.policy = LsmPolicy::kLeveled;
       opts.lsm.memtable_entries = options_.morphing.batch_entries;
       return std::make_unique<LsmTree>(opts);
     }

@@ -2,7 +2,27 @@
 
 #include <algorithm>
 
+#include "adaptive/cost_model.h"
+
 namespace rum {
+
+namespace {
+
+std::string_view PolicyName(LsmPolicy policy) {
+  switch (policy) {
+    case LsmPolicy::kLeveled:
+      return "leveled";
+    case LsmPolicy::kTiered:
+      return "tiered";
+    case LsmPolicy::kLazyLeveled:
+      return "lazy-leveled";
+    case LsmPolicy::kHybrid:
+      return "hybrid";
+  }
+  return "?";
+}
+
+}  // namespace
 
 TuningAction OnlineTuner::Observe(std::string_view method_name,
                                   const Options& current,
@@ -31,10 +51,31 @@ TuningAction OnlineTuner::Observe(std::string_view method_name,
     return action;
   }
 
-  if (method_name == "lsm-leveled" || method_name == "lsm-tiered") {
+  if (method_name == "lsm-leveled" || method_name == "lsm-tiered" ||
+      method_name == "lsm-lazy" || method_name == "lsm-hybrid") {
+    if (reads_hurt && writes_hurt) {
+      // Mixed pain: no single directional rule wins, so rank all four
+      // policies under the analytical model, weighted by how far each axis
+      // is over target. This is where lazy leveling and the hybrid earn
+      // their keep. Sized for a mid-life tree (a few populated levels).
+      uint64_t nominal = current.lsm.memtable_entries;
+      for (int i = 0; i < 3; ++i) nominal *= current.lsm.size_ratio;
+      LsmPolicy pick = PickLsmPolicy(
+          nominal, current, std::max(0.0, read_excess - 1.0),
+          std::max(0.0, write_excess - 1.0),
+          std::max(0.0, space_excess - 1.0));
+      if (pick != current.lsm.policy) {
+        action.options.lsm.policy = pick;
+        action.reason = std::string("read+write pain: cost model picks ") +
+                        std::string(PolicyName(pick)) + " merging";
+        action.changed = true;
+        return action;
+      }
+      // Already on the model's choice; fall through to the knob rules.
+    }
     if (reads_hurt && worst == read_excess) {
-      if (current.lsm.policy == CompactionPolicy::kTiered) {
-        action.options.lsm.policy = CompactionPolicy::kLeveled;
+      if (current.lsm.policy != LsmPolicy::kLeveled) {
+        action.options.lsm.policy = LsmPolicy::kLeveled;
         action.reason = "reads over target: switch to leveled merging";
       } else if (current.lsm.bloom_bits_per_key < 16 && !space_hurts) {
         action.options.lsm.bloom_bits_per_key =
@@ -49,8 +90,8 @@ TuningAction OnlineTuner::Observe(std::string_view method_name,
       }
       action.changed = true;
     } else if (writes_hurt && worst == write_excess) {
-      if (current.lsm.policy == CompactionPolicy::kLeveled) {
-        action.options.lsm.policy = CompactionPolicy::kTiered;
+      if (current.lsm.policy != LsmPolicy::kTiered) {
+        action.options.lsm.policy = LsmPolicy::kTiered;
         action.reason = "writes over target: switch to tiered merging";
       } else {
         action.options.lsm.size_ratio = current.lsm.size_ratio + 2;

@@ -74,6 +74,25 @@ Recommendation RumWizard::Predict(std::string_view method,
     rec.write_cost = levels / B;
     rec.space_blocks = blocks * 1.60;
     rec.rationale = "lazy merging: cheapest writes, more runs to read";
+  } else if (method == "lsm-lazy") {
+    double fp = options_.lsm.bloom_bits_per_key > 0 ? 0.01 : 1.0;
+    // Dostoevsky: up to T runs per upper level, a single run at the bottom.
+    double upper = T * std::max(0.0, levels - 1);
+    rec.read_cost = 1 + fp * (upper + 1) + 0.1 * upper;
+    rec.scan_cost = upper + 1 + m / B;
+    rec.write_cost = (std::max(0.0, levels - 1) + (T + 1) / 2) / B;
+    rec.space_blocks = blocks * 1.40;
+    rec.rationale = "tiered upper levels, one-run bottom: balanced RUM";
+  } else if (method == "lsm-hybrid") {
+    double fp = options_.lsm.bloom_bits_per_key > 0 ? 0.01 : 1.0;
+    double k = std::min(
+        static_cast<double>(options_.lsm.hybrid_tiered_levels), levels);
+    double runs = T * k + (levels - k);
+    rec.read_cost = 1 + fp * runs + 0.1 * runs;
+    rec.scan_cost = runs + m / B;
+    rec.write_cost = (k + (levels - k) * (T + 1) / 2) / B;
+    rec.space_blocks = blocks * 1.45;
+    rec.rationale = "tiered shallow levels, leveled deep: tunable midpoint";
   } else if (method == "stepped-merge") {
     double runs =
         static_cast<double>(options_.stepped.runs_per_level) * levels;

@@ -40,6 +40,12 @@ Status ValidateOptions(const Options& options) {
   if (options.lsm.size_ratio < 2) {
     return Status::InvalidArgument("lsm.size_ratio must be >= 2");
   }
+  if (options.lsm.policy == LsmPolicy::kHybrid &&
+      options.lsm.hybrid_tiered_levels < 1) {
+    return Status::InvalidArgument(
+        "lsm.hybrid_tiered_levels must be >= 1 under the hybrid policy "
+        "(0 tiered levels is the leveled policy)");
+  }
   if (options.stepped.buffer_entries < 1) {
     return Status::InvalidArgument("stepped.buffer_entries must be >= 1");
   }

@@ -10,11 +10,23 @@
 namespace rum {
 
 /// Compaction policy for the LSM-tree (Section 5's "dynamic merge depth"
-/// knob: levelled merges eagerly into one run per level; tiered accumulates
-/// up to `size_ratio` runs per level before merging).
-enum class CompactionPolicy {
+/// knob). Each value names a `CompactionPolicy` strategy implementation
+/// (methods/lsm/compaction_policy.h):
+///  - kLeveled: one run per level; every flush merges eagerly (lowest read
+///    amplification, highest write amplification);
+///  - kTiered: up to `size_ratio` runs per level, merged only when the
+///    level fills (lowest write amplification, highest read amplification);
+///  - kLazyLeveled: tiered in every level except the last populated one,
+///    which stays a single run -- point reads nearly as cheap as leveled
+///    while upper-level writes stay tiered-cheap;
+///  - kHybrid: per-level composition -- the shallowest
+///    `lsm.hybrid_tiered_levels` levels merge tiered, deeper levels merge
+///    leveled, placing an intermediate point on the read/write curve.
+enum class LsmPolicy {
   kLeveled,
   kTiered,
+  kLazyLeveled,
+  kHybrid,
 };
 
 /// Tuning knobs shared by every access method plus per-method sections.
@@ -81,8 +93,12 @@ struct Options {
     size_t memtable_entries = 4096;
     /// Size ratio T between adjacent levels.
     size_t size_ratio = 4;
-    /// Leveled vs tiered merging.
-    CompactionPolicy policy = CompactionPolicy::kLeveled;
+    /// Merge policy (see LsmPolicy above).
+    LsmPolicy policy = LsmPolicy::kLeveled;
+    /// kHybrid only: levels below this index merge tiered (up to
+    /// `size_ratio` runs); levels at or beyond it keep one run each.
+    /// 0 degenerates to leveled everywhere.
+    size_t hybrid_tiered_levels = 2;
     /// Bloom-filter bits per key on every run; 0 disables filters.
     size_t bloom_bits_per_key = 10;
     /// Fence pointer granularity: one fence per this many entries.

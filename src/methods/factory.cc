@@ -62,17 +62,27 @@ std::unique_ptr<AccessMethod> MakeImpl(std::string_view name,
   if (name == "zonemap") return MakeBacked<ZoneMapColumn>(options, device);
   if (name == "lsm-leveled") {
     Options opts = options;
-    opts.lsm.policy = CompactionPolicy::kLeveled;
+    opts.lsm.policy = LsmPolicy::kLeveled;
     return MakeBacked<LsmTree>(opts, device);
   }
   if (name == "lsm-tiered") {
     Options opts = options;
-    opts.lsm.policy = CompactionPolicy::kTiered;
+    opts.lsm.policy = LsmPolicy::kTiered;
+    return MakeBacked<LsmTree>(opts, device);
+  }
+  if (name == "lsm-lazy") {
+    Options opts = options;
+    opts.lsm.policy = LsmPolicy::kLazyLeveled;
+    return MakeBacked<LsmTree>(opts, device);
+  }
+  if (name == "lsm-hybrid") {
+    Options opts = options;
+    opts.lsm.policy = LsmPolicy::kHybrid;
     return MakeBacked<LsmTree>(opts, device);
   }
   if (name == "lsm-compressed") {
     Options opts = options;
-    opts.lsm.policy = CompactionPolicy::kLeveled;
+    opts.lsm.policy = LsmPolicy::kLeveled;
     opts.lsm.compress_runs = true;
     return MakeBacked<LsmTree>(opts, device);
   }
@@ -145,7 +155,8 @@ std::unique_ptr<AccessMethod> MakeAccessMethod(std::string_view name,
 std::vector<std::string_view> AllAccessMethodNames() {
   return {
       "btree",         "hash",          "zonemap",       "lsm-leveled",
-      "lsm-tiered",    "lsm-compressed", "sorted-column", "unsorted-column", "skiplist",
+      "lsm-tiered",    "lsm-lazy",      "lsm-hybrid",
+      "lsm-compressed", "sorted-column", "unsorted-column", "skiplist",
       "trie",          "bitmap",        "bitmap-delta",  "cracking",
       "stepped-merge", "bloom-zones",   "imprints",      "hot-cold",
       "pbt",           "sparse-index",

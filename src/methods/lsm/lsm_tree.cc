@@ -10,21 +10,40 @@ namespace rum {
 
 LsmTree::LsmTree(const Options& options)
     : options_(options),
-      policy_(options.lsm.policy),
+      policy_(CompactionPolicy::Make(options.lsm.policy)),
       owned_device_(
           std::make_unique<BlockDevice>(options.block_size, &counters())),
       device_(owned_device_.get()),
       memtable_(
-          std::make_unique<SkipListMap>(options.skiplist, &mem_counters_)) {}
+          std::make_unique<SkipListMap>(options.skiplist, &mem_counters_)) {
+  InitMetrics();
+}
 
 LsmTree::LsmTree(const Options& options, Device* device)
     : options_(options),
-      policy_(options.lsm.policy),
+      policy_(CompactionPolicy::Make(options.lsm.policy)),
       device_(device),
       memtable_(
-          std::make_unique<SkipListMap>(options.skiplist, &mem_counters_)) {}
+          std::make_unique<SkipListMap>(options.skiplist, &mem_counters_)) {
+  InitMetrics();
+}
 
 LsmTree::~LsmTree() = default;
+
+void LsmTree::InitMetrics() {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  flush_counter_ = registry.FindOrCreateCounter("lsm.flushes");
+  compaction_counter_ = registry.FindOrCreateCounter("lsm.compactions");
+  compaction_records_counter_ =
+      registry.FindOrCreateCounter("lsm.compaction_records");
+  if (options_.observability.metrics) {
+    metrics_.Init("lsm");
+    metrics_.Gauge("levels", [this] { return levels_.size(); });
+    metrics_.Gauge("runs", [this] { return total_runs(); });
+    metrics_.Gauge("flushes", [this] { return flushes_; });
+    metrics_.Gauge("compactions", [this] { return compactions_; });
+  }
+}
 
 size_t LsmTree::total_runs() const {
   size_t n = 0;
@@ -72,60 +91,20 @@ Status LsmTree::Delete(Key key) {
 }
 
 std::vector<LogRecord> LsmTree::GatherRun(SortedRun* run) {
-  std::vector<LogRecord> records;
-  records.reserve(run->record_count());
-  // Charged: compaction reads every input page.
-  Status s = run->VisitAll(
-      [&](const LogRecord& r) { records.push_back(r); });
-  assert(s.ok());
-  (void)s;
-  return records;
+  return GatherSortedRun(run);
 }
 
 std::vector<LogRecord> LsmTree::MergeRuns(
     const std::vector<SortedRun*>& inputs, bool drop_tombstones) {
-  std::vector<std::vector<LogRecord>> streams;
-  streams.reserve(inputs.size());
-  for (SortedRun* run : inputs) {
-    streams.push_back(GatherRun(run));
-  }
-  return MergeStreams(std::move(streams), drop_tombstones);
+  return MergeSortedRuns(inputs, drop_tombstones);
 }
 
 std::vector<LogRecord> LsmTree::MergeStreams(
     std::vector<std::vector<LogRecord>> streams, bool drop_tombstones) {
-  // Streams are ordered newest first; a newer version of a key shadows all
-  // older ones.
-  std::vector<size_t> pos(streams.size(), 0);
-  std::vector<LogRecord> out;
-  while (true) {
-    Key best = kMaxKey;
-    size_t winner = streams.size();
-    bool any = false;
-    for (size_t i = 0; i < streams.size(); ++i) {
-      if (pos[i] >= streams[i].size()) continue;
-      Key k = streams[i][pos[i]].key;
-      if (!any || k < best) {
-        best = k;
-        winner = i;
-        any = true;
-      }
-    }
-    if (!any) break;
-    LogRecord chosen = streams[winner][pos[winner]];
-    // Skip every (older) duplicate of this key.
-    for (size_t i = 0; i < streams.size(); ++i) {
-      while (pos[i] < streams[i].size() && streams[i][pos[i]].key == best) {
-        ++pos[i];
-      }
-    }
-    if (drop_tombstones && chosen.op == LogOp::kDelete) continue;
-    out.push_back(chosen);
-  }
-  return out;
+  return MergeLogStreams(std::move(streams), drop_tombstones);
 }
 
-Status LsmTree::CompactInto(size_t level, std::vector<LogRecord> records) {
+Status LsmTree::BuildRun(size_t level, std::vector<LogRecord> records) {
   if (levels_.size() <= level) levels_.resize(level + 1);
   if (records.empty()) return Status::OK();
   Trace::Emit(TraceKind::kLsmCompaction, TraceOp::kWrite, kInvalidPageId,
@@ -141,6 +120,14 @@ Status LsmTree::CompactInto(size_t level, std::vector<LogRecord> records) {
   return Status::OK();
 }
 
+void LsmTree::NoteCompaction(size_t input_runs, uint64_t input_records) {
+  (void)input_runs;
+  ++compactions_;
+  compaction_input_records_ += input_records;
+  compaction_counter_->Increment();
+  compaction_records_counter_->Increment(input_records);
+}
+
 Status LsmTree::FlushMemtable() {
   if (memtable_->record_count() == 0) return Status::OK();
   std::vector<LogRecord> records;
@@ -154,75 +141,9 @@ Status LsmTree::FlushMemtable() {
               DataClass::kBase, records.size());
 
   if (levels_.empty()) levels_.resize(1);
-
-  if (policy_ == CompactionPolicy::kLeveled) {
-    // Merge the flush into level 0 directly from memory (the memtable is
-    // the newest stream), then cascade any level that overflows its target
-    // into the next one. One run per level.
-    {
-      std::vector<std::vector<LogRecord>> streams;
-      streams.push_back(std::move(records));
-      if (!levels_[0].empty()) {
-        streams.push_back(GatherRun(levels_[0].back().get()));
-        Status d = levels_[0].back()->Destroy();
-        if (!d.ok()) return d;
-        levels_[0].clear();
-      }
-      std::vector<LogRecord> merged =
-          MergeStreams(std::move(streams), IsLastPopulated(0));
-      Status s = CompactInto(0, std::move(merged));
-      if (!s.ok()) return s;
-    }
-    // Cascade.
-    for (size_t level = 0; level < levels_.size(); ++level) {
-      if (levels_[level].empty()) continue;
-      if (levels_[level].back()->record_count() <= LevelTarget(level)) {
-        continue;
-      }
-      std::vector<SortedRun*> merge_inputs;
-      merge_inputs.push_back(levels_[level].back().get());
-      if (levels_.size() <= level + 1) levels_.resize(level + 2);
-      if (!levels_[level + 1].empty()) {
-        merge_inputs.push_back(levels_[level + 1].back().get());
-      }
-      std::vector<LogRecord> merged =
-          MergeRuns(merge_inputs, IsLastPopulated(level + 1));
-      Status s = levels_[level].back()->Destroy();
-      if (!s.ok()) return s;
-      levels_[level].clear();
-      if (!levels_[level + 1].empty()) {
-        s = levels_[level + 1].back()->Destroy();
-        if (!s.ok()) return s;
-        levels_[level + 1].clear();
-      }
-      s = CompactInto(level + 1, std::move(merged));
-      if (!s.ok()) return s;
-    }
-    return Status::OK();
-  }
-
-  // Tiered: the flush becomes a new level-0 run; a level holding
-  // `size_ratio` runs merges them into one run at the next level.
-  Status s = CompactInto(0, std::move(records));
-  if (!s.ok()) return s;
-  for (size_t level = 0; level < levels_.size(); ++level) {
-    if (levels_[level].size() < options_.lsm.size_ratio) continue;
-    std::vector<SortedRun*> inputs;
-    // Newest runs are at the back; MergeRuns wants newest first.
-    for (size_t i = levels_[level].size(); i-- > 0;) {
-      inputs.push_back(levels_[level][i].get());
-    }
-    std::vector<LogRecord> merged =
-        MergeRuns(inputs, IsLastPopulated(level));
-    for (auto& run : levels_[level]) {
-      Status d = run->Destroy();
-      if (!d.ok()) return d;
-    }
-    levels_[level].clear();
-    s = CompactInto(level + 1, std::move(merged));
-    if (!s.ok()) return s;
-  }
-  return Status::OK();
+  ++flushes_;
+  flush_counter_->Increment();
+  return policy_->HandleFlush(this, std::move(records));
 }
 
 Result<Value> LsmTree::Get(Key key) {
@@ -290,7 +211,7 @@ Status LsmTree::BulkLoad(std::span<const Entry> entries) {
   while (LevelTarget(level) < records.size()) ++level;
   counters().OnLogicalWrite(static_cast<uint64_t>(entries.size()) *
                             kEntrySize);
-  return CompactInto(level, std::move(records));
+  return BuildRun(level, std::move(records));
 }
 
 Status LsmTree::Flush() { return FlushMemtable(); }

@@ -6,7 +6,9 @@
 #include <vector>
 
 #include "core/access_method.h"
+#include "core/metrics.h"
 #include "core/options.h"
+#include "methods/lsm/compaction_policy.h"
 #include "methods/lsm/sorted_run.h"
 #include "methods/skiplist/skiplist.h"
 #include "storage/block_device.h"
@@ -18,12 +20,13 @@ namespace rum {
 ///
 /// Writes buffer in a skiplist memtable; flushes produce immutable sorted
 /// runs that cascade through exponentially growing levels (size ratio T =
-/// `lsm.size_ratio`). Two merge policies implement the Section-5 "dynamic
-/// merge depth" knob:
-///  - kLeveled: one run per level; every flush merges eagerly (lower read
-///    amplification, higher write amplification);
-///  - kTiered: up to T runs per level, merged only when the level fills
-///    (lower write amplification, higher read amplification).
+/// `lsm.size_ratio`). The merge discipline is a pluggable CompactionPolicy
+/// strategy (Section 5's "dynamic merge depth" knob, selected by
+/// `lsm.policy`): leveled, tiered, lazy-leveled, or per-level hybrid --
+/// see LsmPolicy in core/options.h for the tradeoffs. The tree implements
+/// CompactionContext, handing the policy its level structure plus charged
+/// BuildRun/merge services; cost_model.h predicts each policy's RO/UO/MO
+/// and cost_model_test pins prediction against the measured counters.
 ///
 /// Each run carries fence pointers and an optional Bloom filter
 /// (`lsm.bloom_bits_per_key`) -- the paper's "logs enhanced by
@@ -34,7 +37,7 @@ namespace rum {
 /// accounted as auxiliary space in stats() (live entries are the base
 /// data), so the LSM's MO visibly grows with update skew and shrinks at
 /// every deep merge.
-class LsmTree : public AccessMethod {
+class LsmTree : public AccessMethod, public CompactionContext {
  public:
   explicit LsmTree(const Options& options);
   LsmTree(const Options& options, Device* device);
@@ -43,8 +46,17 @@ class LsmTree : public AccessMethod {
 
   std::string_view name() const override {
     if (options_.lsm.compress_runs) return "lsm-compressed";
-    return policy_ == CompactionPolicy::kLeveled ? "lsm-leveled"
-                                                 : "lsm-tiered";
+    switch (options_.lsm.policy) {
+      case LsmPolicy::kLeveled:
+        return "lsm-leveled";
+      case LsmPolicy::kTiered:
+        return "lsm-tiered";
+      case LsmPolicy::kLazyLeveled:
+        return "lsm-lazy";
+      case LsmPolicy::kHybrid:
+        return "lsm-hybrid";
+    }
+    return "lsm";
   }
 
   Status Insert(Key key, Value value) override;
@@ -65,6 +77,30 @@ class LsmTree : public AccessMethod {
   /// Total runs across all levels.
   size_t total_runs() const;
 
+  /// The active merge strategy (also checkable via MaxRunsAt in tests).
+  const CompactionPolicy& policy() const { return *policy_; }
+  /// Memtable flushes since construction.
+  uint64_t flushes() const { return flushes_; }
+  /// Merges of existing on-device runs since construction (flush-run
+  /// builds excluded). Also mirrored into the process-wide MetricsRegistry
+  /// counters "lsm.flushes" / "lsm.compactions" / "lsm.compaction_records"
+  /// -- the signals OnlineTuner reads to re-tune the policy.
+  uint64_t compactions() const { return compactions_; }
+  /// Records read out of existing runs by those merges.
+  uint64_t compaction_input_records() const {
+    return compaction_input_records_;
+  }
+
+  // CompactionContext (the services a policy reorganizes):
+  const Options::Lsm& lsm_options() const override { return options_.lsm; }
+  std::vector<std::vector<std::unique_ptr<SortedRun>>>& levels() override {
+    return levels_;
+  }
+  uint64_t LevelTarget(size_t level) const override;
+  bool IsLastPopulated(size_t level) const override;
+  Status BuildRun(size_t level, std::vector<LogRecord> records) override;
+  void NoteCompaction(size_t input_runs, uint64_t input_records) override;
+
   /// Merges sorted record streams (newest first) into one; drops shadowed
   /// versions, and tombstones too when `drop_tombstones`.
   static std::vector<LogRecord> MergeStreams(
@@ -78,17 +114,13 @@ class LsmTree : public AccessMethod {
  private:
   /// One write-buffered record enters the tree.
   Status Put(Key key, Value value, bool tombstone);
-  /// Seals the memtable into a level-0 run and compacts as needed.
+  /// Seals the memtable and hands it to the policy.
   Status FlushMemtable();
-  /// Collects every input's records (charged), merges, and rebuilds.
-  Status CompactInto(size_t level, std::vector<LogRecord> records);
-  /// Target record capacity of a level.
-  uint64_t LevelTarget(size_t level) const;
-  /// True when no populated level exists below `level`.
-  bool IsLastPopulated(size_t level) const;
+  /// Wires the MetricsRegistry counters and callback gauges.
+  void InitMetrics();
 
   Options options_;
-  CompactionPolicy policy_;
+  std::unique_ptr<CompactionPolicy> policy_;
   std::unique_ptr<BlockDevice> owned_device_;
   Device* device_;
 
@@ -100,6 +132,16 @@ class LsmTree : public AccessMethod {
   // Simulator-side bookkeeping (unaccounted): exact live-key set for size()
   // and the stats() base/aux space split.
   std::unordered_set<Key> live_keys_;
+
+  // Flush/compaction tallies, mirrored into registry-owned counters (always
+  // available) and exported as gauges when the registry is enabled.
+  uint64_t flushes_ = 0;
+  uint64_t compactions_ = 0;
+  uint64_t compaction_input_records_ = 0;
+  MetricsRegistry::Counter* flush_counter_ = nullptr;
+  MetricsRegistry::Counter* compaction_counter_ = nullptr;
+  MetricsRegistry::Counter* compaction_records_counter_ = nullptr;
+  MetricsGroup metrics_;  // Last member: unregisters before state dies.
 };
 
 }  // namespace rum

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "adaptive/cost_model.h"
 #include "adaptive/morphing.h"
 #include "adaptive/tuner.h"
 #include "adaptive/wizard.h"
@@ -207,25 +208,25 @@ TEST(TunerTest, WithinToleranceMakesNoChange) {
 TEST(TunerTest, LsmReadPainSwitchesTieredToLeveled) {
   OnlineTuner tuner(0.2);
   Options options;
-  options.lsm.policy = CompactionPolicy::kTiered;
+  options.lsm.policy = LsmPolicy::kTiered;
   RumPoint measured{20.0, 1.5, 1.3};
   RumPoint target{5.0, 1.5, 1.3};
   TuningAction action = tuner.Observe("lsm-tiered", options, measured,
                                       target);
   EXPECT_TRUE(action.changed);
-  EXPECT_EQ(action.options.lsm.policy, CompactionPolicy::kLeveled);
+  EXPECT_EQ(action.options.lsm.policy, LsmPolicy::kLeveled);
 }
 
 TEST(TunerTest, LsmWritePainSwitchesLeveledToTiered) {
   OnlineTuner tuner(0.2);
   Options options;
-  options.lsm.policy = CompactionPolicy::kLeveled;
+  options.lsm.policy = LsmPolicy::kLeveled;
   RumPoint measured{2.0, 30.0, 1.3};
   RumPoint target{2.0, 5.0, 1.3};
   TuningAction action = tuner.Observe("lsm-leveled", options, measured,
                                       target);
   EXPECT_TRUE(action.changed);
-  EXPECT_EQ(action.options.lsm.policy, CompactionPolicy::kTiered);
+  EXPECT_EQ(action.options.lsm.policy, LsmPolicy::kTiered);
 }
 
 TEST(TunerTest, BTreeNodeSizeMovesWithPain) {
@@ -247,7 +248,7 @@ TEST(TunerTest, ClosedLoopDrivesLsmReadCostDown) {
   // A filterless tiered LSM has painful point reads; the tuner must steer
   // it (policy flip, filter bits) until measured reads genuinely improve.
   Options options = SmallOptions();
-  options.lsm.policy = CompactionPolicy::kTiered;
+  options.lsm.policy = LsmPolicy::kTiered;
   options.lsm.bloom_bits_per_key = 0;
 
   auto measure = [](const Options& opts) {
@@ -275,7 +276,7 @@ TEST(TunerTest, ClosedLoopDrivesLsmReadCostDown) {
     TuningAction action = tuner.Observe(name, tuned, measured, target);
     if (!action.changed) break;
     tuned = action.options;
-    name = tuned.lsm.policy == CompactionPolicy::kLeveled ? "lsm-leveled"
+    name = tuned.lsm.policy == LsmPolicy::kLeveled ? "lsm-leveled"
                                                           : "lsm-tiered";
     measured = measure(tuned);
   }
@@ -283,6 +284,121 @@ TEST(TunerTest, ClosedLoopDrivesLsmReadCostDown) {
   EXPECT_LT(measured.read_overhead, initial.read_overhead / 2)
       << "initial RO=" << initial.read_overhead
       << " final RO=" << measured.read_overhead;
+}
+
+TEST(TunerTest, MixedPainConsultsCostModel) {
+  // When reads AND writes are both over target, no single directional rule
+  // applies; the tuner must defer to the analytical cost model and adopt
+  // its ranked pick (the path that can land on lazy/hybrid).
+  OnlineTuner tuner(0.2);
+  Options options = SmallOptions();
+  options.lsm.policy = LsmPolicy::kLeveled;
+  RumPoint measured{30.0, 30.0, 1.2};
+  RumPoint target{5.0, 5.0, 1.2};
+  TuningAction action = tuner.Observe("lsm-leveled", options, measured,
+                                      target);
+
+  uint64_t nominal = options.lsm.memtable_entries;
+  for (int i = 0; i < 3; ++i) nominal *= options.lsm.size_ratio;
+  LsmPolicy expected = PickLsmPolicy(nominal, options, 5.0, 5.0, 0.0);
+  if (expected != LsmPolicy::kLeveled) {
+    ASSERT_TRUE(action.changed) << action.reason;
+    EXPECT_EQ(action.options.lsm.policy, expected) << action.reason;
+    EXPECT_NE(action.reason.find("cost model"), std::string::npos)
+        << action.reason;
+  } else {
+    // Already optimal: the tuner falls through to the knob rules instead.
+    EXPECT_TRUE(action.changed);
+    EXPECT_EQ(action.options.lsm.policy, LsmPolicy::kLeveled);
+  }
+}
+
+TEST(TunerTest, PhaseShiftRetunesPolicyAndBeatsStaticBaseline) {
+  // Regression for the online re-tuning story: a tree tuned for a
+  // read-heavy phase (leveled) hits a write-heavy phase; the tuner must
+  // switch the compaction policy, and the re-tuned configuration must beat
+  // the static starting policy on the measured RUM point of the new phase.
+  Options options = SmallOptions();
+  options.lsm.policy = LsmPolicy::kLeveled;
+
+  // The write-heavy phase, measured from a warm tree.
+  auto measure_write_phase = [](const Options& opts) {
+    LsmTree tree(opts);
+    Rng rng(77);
+    for (int i = 0; i < 3000; ++i) {
+      (void)tree.Insert(rng.NextBelow(1u << 13), i);
+    }
+    tree.ResetStats();
+    for (int i = 0; i < 6000; ++i) {
+      (void)tree.Insert(rng.NextBelow(1u << 13), i);
+    }
+    for (int i = 0; i < 300; ++i) {
+      (void)tree.Get(rng.NextBelow(1u << 13));
+    }
+    return RumPoint::FromSnapshot(tree.stats());
+  };
+
+  auto method_name = [](LsmPolicy policy) -> std::string_view {
+    switch (policy) {
+      case LsmPolicy::kLeveled:
+        return "lsm-leveled";
+      case LsmPolicy::kTiered:
+        return "lsm-tiered";
+      case LsmPolicy::kLazyLeveled:
+        return "lsm-lazy";
+      case LsmPolicy::kHybrid:
+        return "lsm-hybrid";
+    }
+    return "lsm-leveled";
+  };
+
+  RumPoint static_point = measure_write_phase(options);
+
+  // The operator's target: reads were fine in the old phase and stay
+  // uncritical (generous bound); writes must get far cheaper than any
+  // default-knob policy delivers, so a bare policy flip is not enough and
+  // the tuner has to keep working the knobs.
+  RumPoint target = static_point;
+  target.read_overhead = static_point.read_overhead * 2;
+  target.update_overhead = std::max(1.0, static_point.update_overhead / 3);
+
+  OnlineTuner tuner(0.15);
+  Options tuned = options;
+  RumPoint measured = static_point;
+  for (int round = 0; round < 6; ++round) {
+    TuningAction action =
+        tuner.Observe(method_name(tuned.lsm.policy), tuned, measured,
+                      target);
+    if (!action.changed) break;
+    tuned = action.options;
+    measured = measure_write_phase(tuned);
+  }
+
+  EXPECT_NE(tuned.lsm.policy, LsmPolicy::kLeveled)
+      << "tuner never left the read-optimized policy";
+  EXPECT_LT(measured.update_overhead, static_point.update_overhead * 0.8)
+      << "static UO=" << static_point.update_overhead
+      << " re-tuned UO=" << measured.update_overhead;
+
+  // The acceptance bar: on this phase, the re-tuned configuration beats
+  // EVERY static policy at default knobs -- distance to the operator's
+  // target (worst targeted-axis excess), not just raw write cost.
+  auto score = [&target](const RumPoint& p) {
+    return std::max(p.read_overhead / target.read_overhead,
+                    p.update_overhead / target.update_overhead);
+  };
+  for (LsmPolicy policy :
+       {LsmPolicy::kLeveled, LsmPolicy::kTiered, LsmPolicy::kLazyLeveled,
+        LsmPolicy::kHybrid}) {
+    Options static_options = SmallOptions();
+    static_options.lsm.policy = policy;
+    RumPoint static_measured = measure_write_phase(static_options);
+    EXPECT_LT(score(measured), score(static_measured))
+        << "re-tuned config does not beat static "
+        << method_name(policy) << " (tuned UO="
+        << measured.update_overhead
+        << " static UO=" << static_measured.update_overhead << ")";
+  }
 }
 
 TEST(TunerTest, UnknownMethodReportsNoKnobs) {

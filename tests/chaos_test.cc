@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "methods/factory.h"
+#include "methods/lsm/compaction_policy.h"
+#include "methods/lsm/lsm_tree.h"
 #include "storage/block_device.h"
 #include "storage/caching_device.h"
 #include "storage/faulty_device.h"
@@ -636,6 +638,167 @@ TEST(ChaosTest, SameSeedReplaysIdenticalErrorTallies) {
   EXPECT_EQ(s1.bytes_read_base, s2.bytes_read_base);
   EXPECT_EQ(s1.bytes_written_base, s2.bytes_written_base);
   EXPECT_EQ(s1.io_errors, s2.io_errors);
+}
+
+// ----------------------------------------- New compaction policies
+
+// The lazy-leveling and hybrid policies run multi-run merges, bottom-level
+// normalization, and free run relocation that the classic policies never
+// exercise; this section drives exactly those paths under chaos. (The
+// name-list tests above already cover lsm-lazy/lsm-hybrid for the generic
+// contracts; these pin the policy-specific structure.)
+
+constexpr std::string_view kNewPolicyNames[] = {"lsm-lazy", "lsm-hybrid"};
+
+// Write/allocate faults landing inside a flush cascade may abort a merge
+// half-way. Acceptable outcomes are the usual two (right answer or explicit
+// error) -- and once the plan clears, a single clean flush must restore
+// every structural invariant the policy promises.
+TEST(ChaosTest, NewPoliciesRestoreInvariantsAfterCompactionFaults) {
+  for (std::string_view name : kNewPolicyNames) {
+    ChaosStack stack;
+    Options options = SmallOptions();
+    auto method = MakeAccessMethod(name, options, &stack.cache);
+    ASSERT_NE(method, nullptr) << name;
+    auto* tree = dynamic_cast<LsmTree*>(method.get());
+    ASSERT_NE(tree, nullptr) << name;
+    ReferenceModel reference;
+    ASSERT_TRUE(LoadClean(method.get(), &reference, 300)) << name;
+
+    stack.faulty.SetPlan(FaultPlan::Transient(kChaosSeed + 20, 0.0)
+                             .WithRate(FaultOp::kWrite, 0.10)
+                             .WithRate(FaultOp::kAllocate, 0.10));
+    uint64_t mutation_faults = 0;
+    for (Key k = 300; k < 800; ++k) {
+      Status s = method->Insert(k, ValueFor(k));
+      if (!s.ok()) {
+        EXPECT_TRUE(IsExplicitFailure(s.code()))
+            << name << " key " << k << ": " << s.ToString();
+        ++mutation_faults;
+      }
+    }
+    EXPECT_GT(mutation_faults, 0u) << name << ": the chaos was real";
+
+    // Clear the plan and push one clean memtable through: the cascade
+    // walks every level, so any level a faulted merge left over-full is
+    // re-merged and the policy's bounds hold again.
+    stack.faulty.ClearFaults();
+    for (Key k = 0; k < options.lsm.memtable_entries; ++k) {
+      ASSERT_TRUE(method->Insert(k, ValueFor(k)).ok()) << name;
+    }
+    const CompactionPolicy& policy = tree->policy();
+    for (size_t level = 0; level < tree->level_count(); ++level) {
+      EXPECT_LE(tree->runs_at(level), policy.MaxRunsAt(level, *tree))
+          << name << " level " << level << " after recovery flush";
+    }
+    // And reads are sane again: a merge a fault aborted may legitimately
+    // have lost acknowledged data (the tier's documented contract), but an
+    // ok Get must return the exact key-tagged value -- never garbage, and
+    // never a non-explicit error now that the plan is clear.
+    size_t survivors = 0;
+    for (Key k = 0; k < 300; k += 7) {
+      Result<Value> r = method->Get(k);
+      if (r.ok()) {
+        EXPECT_EQ(r.value(), ValueFor(k)) << name << " key " << k;
+        ++survivors;
+      } else {
+        EXPECT_EQ(r.code(), Code::kNotFound)
+            << name << " key " << k << ": " << r.status().ToString();
+      }
+    }
+    EXPECT_GT(survivors, 0u) << name;
+  }
+}
+
+// Crash() drops the cache mid-life; the recovered tree must answer exactly
+// and keep compacting correctly -- post-crash inserts drive fresh cascades
+// (including lazy normalization and hybrid's tiered-to-leveled handoff)
+// over the recovered runs.
+TEST(ChaosTest, NewPoliciesCompactCorrectlyAcrossCrash) {
+  for (std::string_view name : kNewPolicyNames) {
+    ChaosStack stack;
+    Options options = SmallOptions();
+    auto method = MakeAccessMethod(name, options, &stack.cache);
+    ASSERT_NE(method, nullptr) << name;
+    auto* tree = dynamic_cast<LsmTree*>(method.get());
+    ASSERT_NE(tree, nullptr) << name;
+    ReferenceModel reference;
+    ASSERT_TRUE(LoadClean(method.get(), &reference, 400)) << name;
+    ASSERT_TRUE(stack.cache.FlushAll().ok()) << name;
+    uint64_t flushes_before = tree->flushes();
+
+    stack.cache.Crash();
+    EXPECT_EQ(stack.cache.cached_pages(), 0u) << name;
+
+    for (Key k = 0; k < 400; k += 5) {
+      EXPECT_TRUE(testing_util::GetMatchesReference(method.get(), reference,
+                                                    k))
+          << name << " after crash";
+    }
+    // Keep writing through several more flush cascades over the recovered
+    // structure, then verify the policy's invariants and the data.
+    for (Key k = 400; k < 700; ++k) {
+      ASSERT_TRUE(method->Insert(k, ValueFor(k)).ok()) << name;
+      reference.Insert(k, ValueFor(k));
+    }
+    ASSERT_TRUE(method->Flush().ok()) << name;
+    EXPECT_GT(tree->flushes(), flushes_before) << name;
+    const CompactionPolicy& policy = tree->policy();
+    for (size_t level = 0; level < tree->level_count(); ++level) {
+      EXPECT_LE(tree->runs_at(level), policy.MaxRunsAt(level, *tree))
+          << name << " level " << level << " post-crash compaction";
+    }
+    for (Key k = 0; k < 700; k += 5) {
+      EXPECT_TRUE(testing_util::GetMatchesReference(method.get(), reference,
+                                                    k))
+          << name << " post-crash compaction";
+    }
+  }
+}
+
+// Same seed, same policy, same plan: two runs inject identical faults and
+// end with byte-identical traffic -- the new policies' merge scheduling
+// must be as deterministic as everything else in the tier.
+TEST(ChaosTest, NewPoliciesReplayIdenticallyUnderFaults) {
+  for (std::string_view name : kNewPolicyNames) {
+    auto run_once = [&](ErrorTally* tally, CounterSnapshot* snap,
+                        uint64_t* flushes, uint64_t* compactions) {
+      ChaosStack stack;
+      auto method = MakeAccessMethod(name, SmallOptions(), &stack.cache);
+      ASSERT_NE(method, nullptr) << name;
+      auto* tree = dynamic_cast<LsmTree*>(method.get());
+      ASSERT_NE(tree, nullptr) << name;
+      stack.faulty.SetPlan(FaultPlan::Transient(kChaosSeed + 21, 0.0)
+                               .WithRate(FaultOp::kRead, 0.03)
+                               .WithRate(FaultOp::kWrite, 0.03)
+                               .WithRate(FaultOp::kAllocate, 0.03));
+      Result<RumProfile> r = WorkloadRunner::Run(
+          method.get(), ChaosSpec(ErrorMode::kSkipAndCount));
+      ASSERT_TRUE(r.ok()) << name << ": " << r.status().ToString();
+      *tally = r.value().errors();
+      *snap = stack.counters.snapshot();
+      *flushes = tree->flushes();
+      *compactions = tree->compactions();
+    };
+
+    ErrorTally t1, t2;
+    CounterSnapshot s1, s2;
+    uint64_t f1 = 0, f2 = 0, c1 = 0, c2 = 0;
+    run_once(&t1, &s1, &f1, &c1);
+    run_once(&t2, &s2, &f2, &c2);
+
+    EXPECT_EQ(t1.io_errors, t2.io_errors) << name;
+    EXPECT_EQ(t1.corruption, t2.corruption) << name;
+    EXPECT_EQ(f1, f2) << name;
+    EXPECT_EQ(c1, c2) << name;
+    EXPECT_GT(f1, 0u) << name;
+    EXPECT_EQ(s1.blocks_read, s2.blocks_read) << name;
+    EXPECT_EQ(s1.blocks_written, s2.blocks_written) << name;
+    EXPECT_EQ(s1.bytes_read_base, s2.bytes_read_base) << name;
+    EXPECT_EQ(s1.bytes_written_base, s2.bytes_written_base) << name;
+    EXPECT_EQ(s1.space_base, s2.space_base) << name;
+    EXPECT_EQ(s1.space_aux, s2.space_aux) << name;
+  }
 }
 
 // ------------------------------------------------------------- Concurrency

@@ -263,7 +263,7 @@ TEST(MergeStreamsTest, TombstonesDroppedOnlyWhenAsked) {
 
 TEST(LsmTreeTest, LeveledKeepsOneRunPerLevel) {
   Options options = SmallOptions();
-  options.lsm.policy = CompactionPolicy::kLeveled;
+  options.lsm.policy = LsmPolicy::kLeveled;
   LsmTree tree(options);
   for (Key k = 0; k < 5000; ++k) {
     ASSERT_TRUE(tree.Insert(k, k).ok());
@@ -275,7 +275,7 @@ TEST(LsmTreeTest, LeveledKeepsOneRunPerLevel) {
 
 TEST(LsmTreeTest, TieredAccumulatesRunsPerLevel) {
   Options options = SmallOptions();
-  options.lsm.policy = CompactionPolicy::kTiered;
+  options.lsm.policy = LsmPolicy::kTiered;
   LsmTree tree(options);
   for (Key k = 0; k < 5000; ++k) {
     ASSERT_TRUE(tree.Insert(k, k).ok());
@@ -289,9 +289,9 @@ TEST(LsmTreeTest, TieredAccumulatesRunsPerLevel) {
 
 TEST(LsmTreeTest, TieredWritesLessThanLeveled) {
   Options options = SmallOptions();
-  options.lsm.policy = CompactionPolicy::kLeveled;
+  options.lsm.policy = LsmPolicy::kLeveled;
   LsmTree leveled(options);
-  options.lsm.policy = CompactionPolicy::kTiered;
+  options.lsm.policy = LsmPolicy::kTiered;
   LsmTree tiered(options);
   Rng rng(21);
   for (int i = 0; i < 20000; ++i) {
@@ -306,9 +306,9 @@ TEST(LsmTreeTest, TieredWritesLessThanLeveled) {
 TEST(LsmTreeTest, LeveledReadsLessThanTieredWithoutFilters) {
   Options options = SmallOptions();
   options.lsm.bloom_bits_per_key = 0;  // Isolate run-count effect.
-  options.lsm.policy = CompactionPolicy::kLeveled;
+  options.lsm.policy = LsmPolicy::kLeveled;
   LsmTree leveled(options);
-  options.lsm.policy = CompactionPolicy::kTiered;
+  options.lsm.policy = LsmPolicy::kTiered;
   LsmTree tiered(options);
   Rng rng(22);
   for (int i = 0; i < 20000; ++i) {

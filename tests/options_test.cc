@@ -48,6 +48,12 @@ TEST(OptionsTest, RejectsDegenerateStructureSizes) {
   options = Options();
   options.skiplist.max_height = 0;
   EXPECT_FALSE(ValidateOptions(options).ok());
+  options = Options();
+  options.lsm.policy = LsmPolicy::kHybrid;
+  options.lsm.hybrid_tiered_levels = 0;  // That would just be leveled.
+  EXPECT_FALSE(ValidateOptions(options).ok());
+  options.lsm.hybrid_tiered_levels = 2;
+  EXPECT_TRUE(ValidateOptions(options).ok());
 }
 
 TEST(OptionsTest, RejectsNonDividingTrieSpan) {

@@ -63,7 +63,7 @@ std::vector<SweepConfig> MakeConfigs() {
     add("lsm_tinymem", "lsm-leveled", options);
     options = BaseOptions(512);
     options.lsm.size_ratio = 2;
-    options.lsm.policy = CompactionPolicy::kTiered;
+    options.lsm.policy = LsmPolicy::kTiered;
     add("lsm_tiered_t2", "lsm-tiered", options);
     options.lsm.size_ratio = 8;
     add("lsm_tiered_t8", "lsm-tiered", options);
@@ -79,7 +79,7 @@ std::vector<SweepConfig> MakeConfigs() {
     options = BaseOptions(512);
     options.lsm.fence_entries = 4096;
     options.lsm.bloom_bits_per_key = 0;
-    options.lsm.policy = CompactionPolicy::kTiered;
+    options.lsm.policy = LsmPolicy::kTiered;
     add("lsm_sparse_naked_tiered", "lsm-tiered", options);
   }
   {

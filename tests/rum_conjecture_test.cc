@@ -51,7 +51,7 @@ TEST_P(RumConjectureTest, NoMethodIsOptimalOnAllThreeOverheads) {
 INSTANTIATE_TEST_SUITE_P(
     AllMethods, RumConjectureTest,
     ::testing::Values("btree", "hash", "zonemap", "lsm-leveled",
-                      "lsm-tiered", "lsm-compressed", "sorted-column", "unsorted-column",
+                      "lsm-tiered", "lsm-lazy", "lsm-hybrid", "lsm-compressed", "sorted-column", "unsorted-column",
                       "skiplist", "trie", "bitmap", "bitmap-delta",
                       "cracking", "stepped-merge", "bloom-zones", "imprints", "hot-cold", "pbt", "sparse-index", "absorbed-btree", "absorbed-bitmap",
                       "magic-array", "pure-log", "dense-array"),
