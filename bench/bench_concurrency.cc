@@ -154,6 +154,65 @@ void SweepMethod(const std::string& inner) {
       "partitions, so 'speedup' reflects per-shard locking, not oversubscription.\n");
 }
 
+// Scan-heavy "analytics" rows: half the operations are range scans
+// (WorkloadSpec::ScanHeavy), the workload the cross-run sorted view
+// targets. Scans fan out to every shard, so this sweep is deliberately
+// small -- it shows scan throughput under per-shard locking and the cost
+// of sharding a scan-bound workload, not a scaling curve.
+void SweepAnalytics(const std::string& inner) {
+  Banner(("analytics (scan-heavy) sweep: sharded-" + inner).c_str());
+  Table table({"threads", "shards", "wall ms", "Mops/s", "RO", "UO", "MO",
+               "ops", "scan p99 us"});
+  // Scans touch ~260 records each at the default selectivity; fewer ops
+  // keep the row's wall clock in line with the mixed sweeps.
+  const uint64_t ops = g_ops / 10;
+  for (size_t shards : {1, 4}) {
+    for (uint32_t threads : {1u, 4u}) {
+      auto method =
+          MakeAccessMethod("sharded-" + inner, BenchOptions(shards));
+      if (method == nullptr) {
+        std::printf("  (unknown method sharded-%s)\n", inner.c_str());
+        return;
+      }
+      WorkloadSpec spec = WorkloadSpec::ScanHeavy(ops, kRange);
+      spec.seed = 42;
+      spec.concurrency = threads;
+      auto start = std::chrono::steady_clock::now();
+      Result<RumProfile> profile =
+          WorkloadRunner::LoadAndRun(method.get(), g_preload, spec);
+      auto stop = std::chrono::steady_clock::now();
+      if (!profile.ok()) {
+        std::printf("  run failed: %s\n", profile.status().ToString().c_str());
+        return;
+      }
+      double ms =
+          std::chrono::duration<double, std::milli>(stop - start).count();
+      const CounterSnapshot& d = profile.value().delta;
+      const OpLatencies& latency = profile.value().latency;
+      JsonRows().push_back(JsonRow{
+          "analytics/sharded-" + inner, threads, shards, ms,
+          static_cast<double>(ops) / (ms * 1000.0),
+          d.read_amplification(), d.write_amplification(),
+          d.space_amplification(),
+          d.inserts + d.updates + d.deletes + d.point_queries +
+              d.range_queries,
+          latency.ToJson()});
+      table.AddRow(
+          {FmtU(threads), FmtU(shards), Fmt("%.1f", ms),
+           Fmt("%.2f", static_cast<double>(ops) / (ms * 1000.0)),
+           Fmt("%.2f", d.read_amplification()),
+           Fmt("%.2f", d.write_amplification()),
+           Fmt("%.2f", d.space_amplification()),
+           FmtU(d.inserts + d.updates + d.deletes + d.point_queries +
+                d.range_queries),
+           Fmt("%.1f",
+               static_cast<double>(latency.scan.Percentile(0.99)) /
+                   1000.0)});
+    }
+  }
+  table.Print();
+}
+
 }  // namespace
 }  // namespace rum
 
@@ -176,6 +235,7 @@ int main(int argc, char** argv) {
   rum::SweepMethod("btree");
   rum::SweepMethod("hash");
   rum::SweepMethod("lsm-leveled");
+  rum::SweepAnalytics("lsm-tiered");
   std::printf(
       "\nExpected shape: throughput climbs with threads until threads ==\n"
       "shards, then flattens; amplifications stay within noise of the\n"

@@ -100,6 +100,51 @@ if geomean > 1.03:
              f"regressed {100 * (geomean - 1):.1f}% vs baseline")
 print("bench guard OK")
 PYEOF
+    # Scan-path guard: the one-seek range scan (cross-run index + k-way
+    # merge) must not regress either -- same 3-pass floor estimator, same
+    # 3% geomean limit, over the Scan/ScanHot families on the structures
+    # the refactor touched plus the sorted ideal.
+    echo "=== release: Scan-path guard (<3%) ==="
+    (cd build-ci/bench &&
+      for pass in 1 2 3; do
+        ./bench_wallclock \
+          --benchmark_filter='^Scan(16|128|4K)/(btree|lsm-leveled|lsm-tiered|sorted-column)$|^ScanHot' \
+          --benchmark_min_time=0.25 \
+          --benchmark_out="BENCH_scan_guard${pass}.json" \
+          --benchmark_out_format=json >/dev/null
+      done)
+    python3 - BENCH_wallclock.json \
+        build-ci/bench/BENCH_scan_guard1.json \
+        build-ci/bench/BENCH_scan_guard2.json \
+        build-ci/bench/BENCH_scan_guard3.json <<'PYEOF'
+import json, math, sys
+baseline_path, fresh_paths = sys.argv[1], sys.argv[2:]
+def get_times(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {b["name"]: b["real_time"] for b in doc.get("benchmarks", [])
+            if b["name"].startswith("Scan") and b.get("real_time")}
+runs = [get_times(p) for p in fresh_paths]
+fresh = {name: min(r[name] for r in runs)
+         for name in set.intersection(*(set(r) for r in runs))}
+baseline = get_times(baseline_path)
+shared = sorted(set(fresh) & set(baseline))
+if not shared:
+    sys.exit("scan guard: no shared Scan benchmarks between fresh run "
+             "and committed baseline")
+log_sum = 0.0
+for name in shared:
+    ratio = fresh[name] / baseline[name]
+    log_sum += math.log(ratio)
+    print(f"  {name:<32} {ratio:6.3f}x")
+geomean = math.exp(log_sum / len(shared))
+print(f"  geomean over {len(shared)} Scan benchmarks: {geomean:.4f}x "
+      f"(limit 1.03)")
+if geomean > 1.03:
+    sys.exit("scan guard FAILED: Scan path regressed "
+             f"{100 * (geomean - 1):.1f}% vs baseline")
+print("scan guard OK")
+PYEOF
   fi
 fi
 
@@ -116,6 +161,12 @@ if [[ "${STAGE}" == "all" || "${STAGE}" == "asan" ]]; then
   # replay gate (same fault seed => byte-identical error and RUM tallies).
   echo "=== asan: chaos tier (explicit) ==="
   (cd build-asan && ctest --output-on-failure -R chaos_test)
+  # The scan differential tier is named explicitly: the cross-run index's
+  # byte-identical-to-fallback contract (every policy, every range shape,
+  # tombstones, compressed runs, post-crash) must hold with ASan watching
+  # the cursor/segment machinery.
+  echo "=== asan: scan differential tier (explicit) ==="
+  (cd build-asan && ctest --output-on-failure -R scan_differential_test)
   # The observability tier is named explicitly too: ring wraparound, drain,
   # and the event-counts-match-device-counters acceptance contract must hold
   # with ASan watching the ring and registry memory.
@@ -140,7 +191,10 @@ if [[ "${STAGE}" == "all" || "${STAGE}" == "tsan" ]]; then
   # compaction_policy_test rides in the TSan tier too: the chaos tier's
   # concurrent case exercises lsm-lazy/lsm-hybrid merges under sharding,
   # and the differential tier keeps the policy oracle checks in the sweep.
-  TSAN_FILTER="-R concurrency_test|differential_test|chaos_test|trace_test|compaction_policy_test"
+  # scan_differential_test is listed explicitly (the differential_test
+  # pattern would match it as a substring, but the dependence should not
+  # be load-bearing).
+  TSAN_FILTER="-R concurrency_test|differential_test|scan_differential_test|chaos_test|trace_test|compaction_policy_test"
   if [[ "${RUMLAB_CI_FULL_TSAN:-0}" == "1" ]]; then
     TSAN_FILTER=""
   fi

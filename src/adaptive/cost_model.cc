@@ -153,8 +153,9 @@ RumPoint LsmCostPrediction::AsRumPoint() const {
 std::string LsmCostPrediction::ToString() const {
   char buf[160];
   std::snprintf(buf, sizeof(buf),
-                "L=%.0f runs=%.0f RO=%.1f UO=%.2f MO=%.3f", levels, runs,
-                read_amp, update_amp, memory_amp);
+                "L=%.0f runs=%.0f RO=%.1f rangeRO=%.2f UO=%.2f MO=%.3f",
+                levels, runs, read_amp, range_read_amp, update_amp,
+                memory_amp);
   return buf;
 }
 
@@ -266,6 +267,49 @@ LsmCostPrediction PredictLsmCost(LsmPolicy policy, uint64_t entries,
   }
   out.read_amp = expected_read / kEntrySize;
 
+  // Range read amplification: a kRangeScanRecords-wide window at a uniform
+  // start key, every run overlapping (shuffled-insert worst case), empty
+  // memtable. Each overlapping run contributes its expected share of the
+  // window (w_r = W * n / resident records) and the cost of getting a
+  // cursor to the window start.
+  {
+    const double window = static_cast<double>(
+        std::min<uint64_t>(LsmCostPrediction::kRangeScanRecords, resident));
+    const double rpp = static_cast<double>(p.records_per_page);
+    double scan_read = 8.0;  // Empty-memtable window visit: one pointer.
+    if (lsm.cross_run_index) {
+      // One charged segment binary search, one offset-table consult, then
+      // per run: the stored offset's page plus the in-segment advance
+      // (half a segment's worth of the run's records) plus the window.
+      uint64_t segments = std::max<uint64_t>(
+          1, resident / std::max<size_t>(1, lsm.cross_run_segment_entries));
+      scan_read += 8.0 * static_cast<double>(Log2Probes(segments));
+      scan_read += 16.0 * out.runs;  // Offset entries consulted.
+      for (uint64_t n : run_sizes) {
+        double share = static_cast<double>(n) / static_cast<double>(resident);
+        double w_r = window * share;
+        double advance =
+            static_cast<double>(lsm.cross_run_segment_entries) * share / 2.0;
+        scan_read += (1.0 + (advance + w_r) / rpp) * block;
+      }
+    } else {
+      // Per run: fence binary search, then the walk starts at the fence
+      // group's first page -- (g-1)/2 slack pages before lo on average.
+      for (uint64_t n : run_sizes) {
+        size_t pages = CeilDiv(n, p.records_per_page);
+        size_t group = std::min(pages_per_fence, pages);
+        size_t fences = CeilDiv(pages, pages_per_fence);
+        double w_r =
+            window * static_cast<double>(n) / static_cast<double>(resident);
+        scan_read += 8.0 * static_cast<double>(Log2Probes(fences));
+        scan_read += ((static_cast<double>(group) - 1.0) / 2.0 + 1.0 +
+                      w_r / rpp) *
+                     block;
+      }
+    }
+    out.range_read_amp = scan_read / (window * kEntrySize);
+  }
+
   // Memory amplification: whole pages (wire inflation + block slack) plus
   // Bloom bytes and in-memory fences, over live entry bytes.
   double space = 0;
@@ -287,16 +331,19 @@ LsmCostPrediction PredictLsmCost(LsmPolicy policy, uint64_t entries,
 
 LsmPolicy PickLsmPolicy(uint64_t entries, const Options& options,
                         double read_weight, double write_weight,
-                        double space_weight) {
+                        double space_weight, double scan_weight) {
   constexpr LsmPolicy kAll[] = {LsmPolicy::kLeveled, LsmPolicy::kTiered,
                                 LsmPolicy::kLazyLeveled, LsmPolicy::kHybrid};
   LsmCostPrediction preds[4];
-  double best_ro = 0, best_uo = 0, best_mo = 0;
+  double best_ro = 0, best_uo = 0, best_mo = 0, best_so = 0;
   for (size_t i = 0; i < 4; ++i) {
     preds[i] = PredictLsmCost(kAll[i], entries, options);
     if (i == 0 || preds[i].read_amp < best_ro) best_ro = preds[i].read_amp;
     if (i == 0 || preds[i].update_amp < best_uo) best_uo = preds[i].update_amp;
     if (i == 0 || preds[i].memory_amp < best_mo) best_mo = preds[i].memory_amp;
+    if (i == 0 || preds[i].range_read_amp < best_so) {
+      best_so = preds[i].range_read_amp;
+    }
   }
   LsmPolicy best = LsmPolicy::kLeveled;
   double best_score = 0;
@@ -305,7 +352,9 @@ LsmPolicy PickLsmPolicy(uint64_t entries, const Options& options,
     // "one relative unit of pain" on every axis.
     double score = read_weight * preds[i].read_amp / std::max(1e-9, best_ro) +
                    write_weight * preds[i].update_amp / std::max(1e-9, best_uo) +
-                   space_weight * preds[i].memory_amp / std::max(1e-9, best_mo);
+                   space_weight * preds[i].memory_amp / std::max(1e-9, best_mo) +
+                   scan_weight * preds[i].range_read_amp /
+                       std::max(1e-9, best_so);
     if (i == 0 || score < best_score) {
       best_score = score;
       best = kAll[i];

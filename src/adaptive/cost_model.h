@@ -14,12 +14,23 @@ namespace rum {
 /// empty memtable). All three are the ratios CounterSnapshot measures, so
 /// cost_model_test can pin prediction against measurement directly.
 struct LsmCostPrediction {
+  /// Window of the canonical range scan the range-RO term models.
+  static constexpr uint64_t kRangeScanRecords = 128;
+
   LsmPolicy policy = LsmPolicy::kLeveled;
   double levels = 0;      ///< Populated levels after the load.
   double runs = 0;        ///< Total resident runs after the load.
   double read_amp = 1;    ///< RO: bytes read per uniform point hit / entry.
   double update_amp = 1;  ///< UO: bytes written per insert / entry.
   double memory_amp = 1;  ///< MO: resident bytes / live base bytes.
+  /// RO of a kRangeScanRecords-wide scan at a uniform start key, with every
+  /// run overlapping the window (the shuffled-insert worst case): bytes
+  /// read / bytes returned. Honors Options::lsm.cross_run_index -- with
+  /// the index on, a scan pays one charged segment search plus exact
+  /// cursor positioning per run; off, it pays a fence search plus
+  /// fence-group start slack per run. Steady state: segment (re)build
+  /// costs are amortized out.
+  double range_read_amp = 1;
 
   /// The prediction as a point in the paper's RUM space.
   RumPoint AsRumPoint() const;
@@ -62,9 +73,12 @@ LsmCostPrediction PredictLsmCost(LsmPolicy policy, uint64_t entries,
 /// amplifications (each axis normalized by the best policy's value so the
 /// weights compare like with like) and returns the cheapest. Weights are
 /// relative pain, e.g. the tuner's measured/target excess ratios.
+/// `scan_weight` prices range-scan pain via the range_read_amp term --
+/// scan-heavy workloads push toward policies with fewer runs (and benefit
+/// most from the cross-run index, which the term also honors).
 LsmPolicy PickLsmPolicy(uint64_t entries, const Options& options,
                         double read_weight, double write_weight,
-                        double space_weight);
+                        double space_weight, double scan_weight = 0.0);
 
 }  // namespace rum
 

@@ -36,6 +36,15 @@ Recommendation RumWizard::Predict(std::string_view method,
   double zone_blocks =
       std::max(1.0, static_cast<double>(options_.zonemap.zone_entries) / B);
   double cardinality = static_cast<double>(options_.bitmap.cardinality);
+  // Per-run positioning cost of an LSM range scan, in block I/Os. With the
+  // cross-run index a cursor opens directly at its stored (page, slot)
+  // offset -- one block per run; without it each run pays a fence search
+  // landing at a fence-group start, (g-1)/2 slack blocks before the range
+  // on average (g = pages per fence group).
+  double fence_group = std::max(
+      1.0, std::ceil(static_cast<double>(options_.lsm.fence_entries) / B));
+  double lsm_seek =
+      options_.lsm.cross_run_index ? 1.0 : 1.0 + (fence_group - 1.0) / 2.0;
 
   // Defaults; each branch fills read/scan/write cost in block I/Os and
   // space in blocks.
@@ -62,7 +71,7 @@ Recommendation RumWizard::Predict(std::string_view method,
   } else if (method == "lsm-leveled") {
     double fp = options_.lsm.bloom_bits_per_key > 0 ? 0.01 : 1.0;
     rec.read_cost = 1 + fp * levels;
-    rec.scan_cost = levels + m / B;
+    rec.scan_cost = lsm_seek * levels + m / B;
     rec.write_cost = (T * levels) / B;
     rec.space_blocks = blocks * 1.30;
     rec.rationale = "filtered runs: cheap reads, merge-amplified writes";
@@ -70,7 +79,7 @@ Recommendation RumWizard::Predict(std::string_view method,
     double fp = options_.lsm.bloom_bits_per_key > 0 ? 0.01 : 1.0;
     double runs = T * levels;
     rec.read_cost = 1 + fp * runs + 0.2 * runs;
-    rec.scan_cost = runs + m / B;
+    rec.scan_cost = lsm_seek * runs + m / B;
     rec.write_cost = levels / B;
     rec.space_blocks = blocks * 1.60;
     rec.rationale = "lazy merging: cheapest writes, more runs to read";
@@ -79,7 +88,7 @@ Recommendation RumWizard::Predict(std::string_view method,
     // Dostoevsky: up to T runs per upper level, a single run at the bottom.
     double upper = T * std::max(0.0, levels - 1);
     rec.read_cost = 1 + fp * (upper + 1) + 0.1 * upper;
-    rec.scan_cost = upper + 1 + m / B;
+    rec.scan_cost = lsm_seek * (upper + 1) + m / B;
     rec.write_cost = (std::max(0.0, levels - 1) + (T + 1) / 2) / B;
     rec.space_blocks = blocks * 1.40;
     rec.rationale = "tiered upper levels, one-run bottom: balanced RUM";
@@ -89,7 +98,7 @@ Recommendation RumWizard::Predict(std::string_view method,
         static_cast<double>(options_.lsm.hybrid_tiered_levels), levels);
     double runs = T * k + (levels - k);
     rec.read_cost = 1 + fp * runs + 0.1 * runs;
-    rec.scan_cost = runs + m / B;
+    rec.scan_cost = lsm_seek * runs + m / B;
     rec.write_cost = (k + (levels - k) * (T + 1) / 2) / B;
     rec.space_blocks = blocks * 1.45;
     rec.rationale = "tiered shallow levels, leveled deep: tunable midpoint";

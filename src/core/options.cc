@@ -46,6 +46,13 @@ Status ValidateOptions(const Options& options) {
         "lsm.hybrid_tiered_levels must be >= 1 under the hybrid policy "
         "(0 tiered levels is the leveled policy)");
   }
+  if (options.lsm.cross_run_index &&
+      options.lsm.cross_run_segment_entries < 16) {
+    return Status::InvalidArgument(
+        "lsm.cross_run_segment_entries must be >= 16 (fewer entries per "
+        "segment than a page holds buys no read savings, only anchor "
+        "space)");
+  }
   if (options.stepped.buffer_entries < 1) {
     return Status::InvalidArgument("stepped.buffer_entries must be >= 1");
   }

@@ -107,6 +107,19 @@ struct Options {
     /// "compression and computation" trade -- smaller runs (lower MO,
     /// fewer blocks per read) for encode/decode CPU.
     bool compress_runs = false;
+    /// Maintain a REMIX-style cross-run sorted view (see
+    /// methods/lsm/cross_run_index.h): segments of the key space store
+    /// per-run cursor offsets so a range scan does one segment lookup and
+    /// opens pre-positioned cursors instead of fence-searching every run.
+    /// Bought MO (charged as auxiliary space) for range RO. Segments build
+    /// lazily on first scan, so scan-free workloads pay nothing. Off, Scan
+    /// degrades to a k-way merge with per-run fence searches; results are
+    /// byte-identical either way (scan_differential_test enforces it).
+    bool cross_run_index = true;
+    /// Target records per cross-run-index segment: smaller segments mean
+    /// more anchors (more auxiliary space, more invalidation granularity)
+    /// and a shorter in-segment advance per scan.
+    size_t cross_run_segment_entries = 1024;
   } lsm;
 
   // ------------------------------------------------- Sorted-column fences

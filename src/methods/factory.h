@@ -23,7 +23,9 @@ class Device;
 /// (hash partitioning, per-shard locking, merged stats); nesting is
 /// rejected.
 /// Returns null for an unknown name. ("bitmap"/"bitmap-delta" and the LSM
-/// names override the corresponding Options fields.)
+/// names override the corresponding Options fields; every LSM variant
+/// honors `options.lsm.cross_run_index` / `cross_run_segment_entries` for
+/// the one-seek range-scan view.)
 std::unique_ptr<AccessMethod> MakeAccessMethod(std::string_view name,
                                                const Options& options);
 

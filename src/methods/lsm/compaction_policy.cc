@@ -82,8 +82,9 @@ std::vector<SortedRun*> LevelRunsNewestFirst(const Levels& levels,
   return runs;
 }
 
-Status DestroyLevel(Levels* levels, size_t level) {
+Status DestroyLevel(CompactionContext* ctx, Levels* levels, size_t level) {
   for (auto& run : (*levels)[level]) {
+    ctx->NoteRunRetiring(run.get());
     Status s = run->Destroy();
     if (!s.ok()) return s;
   }
@@ -134,7 +135,7 @@ class ComposedPolicy : public CompactionPolicy {
         SortedRun* resident = levels[0].back().get();
         ctx->NoteCompaction(1, resident->record_count());
         streams.push_back(GatherSortedRun(resident));
-        Status d = DestroyLevel(&levels, 0);
+        Status d = DestroyLevel(ctx, &levels, 0);
         if (!d.ok()) return d;
       }
       std::vector<LogRecord> merged =
@@ -160,10 +161,10 @@ class ComposedPolicy : public CompactionPolicy {
                            : ctx->IsLastPopulated(level);
         ctx->NoteCompaction(inputs.size(), TotalRecords(inputs));
         std::vector<LogRecord> merged = MergeSortedRuns(inputs, drop);
-        Status s = DestroyLevel(&levels, level);
+        Status s = DestroyLevel(ctx, &levels, level);
         if (!s.ok()) return s;
         if (absorb) {
-          s = DestroyLevel(&levels, level + 1);
+          s = DestroyLevel(ctx, &levels, level + 1);
           if (!s.ok()) return s;
         }
         s = ctx->BuildRun(level + 1, std::move(merged));
@@ -182,9 +183,9 @@ class ComposedPolicy : public CompactionPolicy {
         ctx->NoteCompaction(inputs.size(), TotalRecords(inputs));
         std::vector<LogRecord> merged =
             MergeSortedRuns(inputs, ctx->IsLastPopulated(level + 1));
-        Status s = DestroyLevel(&levels, level);
+        Status s = DestroyLevel(ctx, &levels, level);
         if (!s.ok()) return s;
-        s = DestroyLevel(&levels, level + 1);
+        s = DestroyLevel(ctx, &levels, level + 1);
         if (!s.ok()) return s;
         s = ctx->BuildRun(level + 1, std::move(merged));
         if (!s.ok()) return s;
@@ -254,10 +255,10 @@ class LazyLeveledPolicy : public CompactionPolicy {
                          : ctx->IsLastPopulated(level);
       ctx->NoteCompaction(inputs.size(), TotalRecords(inputs));
       std::vector<LogRecord> merged = MergeSortedRuns(inputs, drop);
-      s = DestroyLevel(&levels, level);
+      s = DestroyLevel(ctx, &levels, level);
       if (!s.ok()) return s;
       if (absorb) {
-        s = DestroyLevel(&levels, level + 1);
+        s = DestroyLevel(ctx, &levels, level + 1);
         if (!s.ok()) return s;
       }
       s = ctx->BuildRun(level + 1, std::move(merged));
@@ -274,7 +275,7 @@ class LazyLeveledPolicy : public CompactionPolicy {
       ctx->NoteCompaction(inputs.size(), TotalRecords(inputs));
       std::vector<LogRecord> merged =
           MergeSortedRuns(inputs, ctx->IsLastPopulated(last));
-      s = DestroyLevel(&levels, last);
+      s = DestroyLevel(ctx, &levels, last);
       if (!s.ok()) return s;
       s = ctx->BuildRun(last, std::move(merged));
       if (!s.ok()) return s;

@@ -43,6 +43,14 @@ class CompactionContext {
   /// covering `input_records` records just ran (flush-run builds are not
   /// compactions). Feeds the MetricsRegistry signals the tuner watches.
   virtual void NoteCompaction(size_t input_runs, uint64_t input_records) = 0;
+
+  /// Maintenance hook: `run` is about to be destroyed (compaction consumed
+  /// it). The tree uses this to invalidate the cross-run index segments
+  /// covering the run's key range; the default is a no-op so contexts
+  /// without an index need not care. Relocating a run between levels is
+  /// NOT a retirement (the run object, and so its stored cursor offsets,
+  /// survive the pointer move).
+  virtual void NoteRunRetiring(SortedRun* run) { (void)run; }
 };
 
 /// One merge discipline for an LSM-tree -- the strategy object behind

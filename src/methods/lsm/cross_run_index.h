@@ -1,0 +1,206 @@
+#ifndef RUMLAB_METHODS_LSM_CROSS_RUN_INDEX_H_
+#define RUMLAB_METHODS_LSM_CROSS_RUN_INDEX_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/counters.h"
+#include "core/status.h"
+#include "core/types.h"
+#include "methods/lsm/sorted_run.h"
+
+namespace rum {
+
+/// Merges positioned cursors (newest source first) into one ascending
+/// stream of records with key <= `hi`, newest-wins per key: when several
+/// sources hold the same key, only the lowest-index source's record is
+/// emitted and every source steps past the key. Tombstones ARE emitted
+/// (the newest version of a key may be a delete that must shadow older
+/// puts); the caller filters them. Shared by the cross-run-index scan path
+/// and the disabled-index k-way fallback, which is what makes the two
+/// paths differentially identical by construction. A template so the
+/// caller's visitor inlines -- this runs once per emitted record, the
+/// hottest loop on the scan path.
+template <typename Visit>
+Status MergeCursorSources(std::vector<SortedRun::Cursor>* sources, Key hi,
+                          Visit&& visit) {
+  std::vector<SortedRun::Cursor>& cur = *sources;
+  // Single source (one run, or a leveled tree): no merge state at all,
+  // just stream the cursor.
+  if (cur.size() == 1) {
+    SortedRun::Cursor& c = cur[0];
+    while (c.Valid() && c.record().key <= hi) {
+      visit(c.record());
+      Status s = c.Next();
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  }
+  // Heap of source indices, min by (key, source index): ties break toward
+  // the lower index, which the caller ordered newest-first.
+  auto greater = [&cur](size_t a, size_t b) {
+    Key ka = cur[a].record().key;
+    Key kb = cur[b].record().key;
+    if (ka != kb) return ka > kb;
+    return a > b;
+  };
+  std::vector<size_t> heap;
+  heap.reserve(cur.size());
+  for (size_t i = 0; i < cur.size(); ++i) {
+    if (cur[i].Valid() && cur[i].record().key <= hi) heap.push_back(i);
+  }
+  std::make_heap(heap.begin(), heap.end(), greater);
+
+  auto step = [&](size_t src) -> Status {
+    Status s = cur[src].Next();
+    if (!s.ok()) return s;
+    if (cur[src].Valid() && cur[src].record().key <= hi) {
+      heap.push_back(src);
+      std::push_heap(heap.begin(), heap.end(), greater);
+    }
+    return Status::OK();
+  };
+
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), greater);
+    size_t winner = heap.back();
+    heap.pop_back();
+    Key key = cur[winner].record().key;
+    visit(cur[winner].record());
+    Status s = step(winner);
+    if (!s.ok()) return s;
+    // Step every older source holding the same (shadowed) key.
+    while (!heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end(), greater);
+      size_t dup = heap.back();
+      if (cur[dup].record().key != key) {
+        std::push_heap(heap.begin(), heap.end(), greater);
+        break;
+      }
+      heap.pop_back();
+      s = step(dup);
+      if (!s.ok()) return s;
+    }
+  }
+  return Status::OK();
+}
+
+/// A REMIX-style cross-run sorted view: the space-for-read RUM trade that
+/// makes an LSM range scan one segment lookup plus a sequential walk
+/// instead of a per-run fence search.
+///
+/// The key space [global_min, global_max] is partitioned into fixed-width
+/// segments (~`segment_entries` records each at layout time). A *built*
+/// segment stores, for every run overlapping its span, the (page, slot)
+/// cursor offset of the first record >= the segment's anchor key. A scan
+/// (PositionCursors + the shared MergeCursorSources template) then
+/// locates lo's segment with one charged binary search, opens one
+/// cursor per run overlapping [lo, hi] (disjoint runs are skipped without
+/// any I/O), positions each cursor O(1) from the stored offset plus a
+/// short in-segment advance, and k-way merges forward -- no per-run fence
+/// search, no fence-group slack pages, no hash map, no re-sort.
+///
+/// Segments are built lazily on first touch and invalidated incrementally:
+/// when a compaction creates or retires a run, only the segments whose
+/// span overlaps that run's [min_key, max_key] are invalidated (the
+/// CompactionPolicy hooks OnRunCreated/OnRunRetiring), so a compaction
+/// confined to one key region leaves the rest of the view intact. The
+/// whole layout is recomputed only when the tree outgrows it (total
+/// records drift 2x from layout time, or the key domain escapes the
+/// anchor coverage).
+///
+/// Accounting: segment structs and stored offsets are charged as auxiliary
+/// space (bought MO, visible in stats()); segment binary-search probes and
+/// offset-table consults are charged as auxiliary reads, exactly like
+/// fence-pointer probes. Cursor positioning and page walks charge through
+/// SortedRun as usual.
+///
+/// Run recency is NOT stored in the index: the caller passes runs in
+/// recency order (levels top-down, newest-first within a level -- Get's
+/// probe order), and merge priority is the position in that vector. A
+/// lazy-leveled relocation that moves a run between levels therefore needs
+/// no invalidation: offsets are per-run and priority is derived per scan.
+class CrossRunIndex {
+ public:
+  /// `counters` receives the space/read charges; `segment_entries` sets
+  /// the target records per segment (the MO-for-RO dial).
+  CrossRunIndex(RumCounters* counters, size_t segment_entries);
+  /// Releases all charged auxiliary space.
+  ~CrossRunIndex();
+
+  CrossRunIndex(const CrossRunIndex&) = delete;
+  CrossRunIndex& operator=(const CrossRunIndex&) = delete;
+
+  /// Incremental maintenance: a run entered the level structure.
+  /// Invalidates the segments overlapping [run->min_key, run->max_key].
+  void OnRunCreated(const SortedRun* run);
+  /// A run is about to be destroyed; its stored offsets must go.
+  void OnRunRetiring(const SortedRun* run);
+
+  /// Positions one cursor per run overlapping [lo, hi] (recency order
+  /// preserved from `runs_newest_first`; see class comment), filling
+  /// `out` ready for MergeCursorSources. Lazily (re)builds the layout and
+  /// the one segment the scan starts in. The merge stays with the caller
+  /// so its visitor inlines.
+  Status PositionCursors(const std::vector<SortedRun*>& runs_newest_first,
+                         Key lo, Key hi,
+                         std::vector<SortedRun::Cursor>* out);
+
+  /// Segments in the current layout (0 before any scan).
+  size_t segment_count() const { return segments_.size(); }
+  /// Auxiliary bytes currently charged for the segment table.
+  uint64_t charged_bytes() const { return charged_bytes_; }
+  /// Layout rebuilds since construction (first build included).
+  uint64_t relayouts() const { return relayouts_; }
+
+ private:
+  struct Offset {
+    SortedRun* run;
+    uint32_t page;
+    uint32_t slot;
+  };
+  struct Segment {
+    bool built = false;
+    std::vector<Offset> offsets;
+  };
+
+  /// Accounting weight of one segment struct / one stored offset.
+  static constexpr uint64_t kSegmentBytes = sizeof(Segment);
+  static constexpr uint64_t kOffsetBytes = sizeof(Offset);
+
+  Key AnchorOf(size_t segment) const { return anchor_lo_ + step_ * segment; }
+  /// Inclusive end of a segment's span.
+  Key SpanEndOf(size_t segment) const {
+    return segment + 1 < segments_.size() ? AnchorOf(segment + 1) - 1
+                                          : kMaxKey;
+  }
+
+  /// Recomputes the segment layout when the run set has outgrown it;
+  /// drops every built segment.
+  void MaybeRelayout(uint64_t total_records, Key global_min, Key global_max);
+  /// Segment index covering `key` (charged binary-search probes).
+  size_t SegmentFor(Key key);
+  /// Builds `segment` if needed: one offset per run overlapping its span.
+  Status EnsureSegment(size_t segment,
+                       const std::vector<SortedRun*>& all_runs);
+  /// Marks segments overlapping [min_key, max_key] unbuilt.
+  void InvalidateRange(Key min_key, Key max_key);
+  /// Adjusts the charged auxiliary space to `bytes`.
+  void SetCharge(uint64_t bytes);
+
+  RumCounters* counters_;  // Not owned.
+  size_t segment_entries_;
+
+  // Layout state; segments_ is empty until the first scan lays out.
+  std::vector<Segment> segments_;
+  Key anchor_lo_ = 0;
+  Key step_ = 1;  // Key-space width per segment; always >= 1.
+  uint64_t layout_records_ = 0;
+  uint64_t charged_bytes_ = 0;
+  uint64_t relayouts_ = 0;
+};
+
+}  // namespace rum
+
+#endif  // RUMLAB_METHODS_LSM_CROSS_RUN_INDEX_H_

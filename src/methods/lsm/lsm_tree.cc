@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <unordered_map>
 
 #include "core/trace.h"
 
@@ -16,6 +15,10 @@ LsmTree::LsmTree(const Options& options)
       device_(owned_device_.get()),
       memtable_(
           std::make_unique<SkipListMap>(options.skiplist, &mem_counters_)) {
+  if (options_.lsm.cross_run_index) {
+    index_ = std::make_unique<CrossRunIndex>(
+        &counters(), options_.lsm.cross_run_segment_entries);
+  }
   InitMetrics();
 }
 
@@ -25,6 +28,10 @@ LsmTree::LsmTree(const Options& options, Device* device)
       device_(device),
       memtable_(
           std::make_unique<SkipListMap>(options.skiplist, &mem_counters_)) {
+  if (options_.lsm.cross_run_index) {
+    index_ = std::make_unique<CrossRunIndex>(
+        &counters(), options_.lsm.cross_run_segment_entries);
+  }
   InitMetrics();
 }
 
@@ -116,8 +123,13 @@ Status LsmTree::BuildRun(size_t level, std::vector<LogRecord> records) {
                               options_.lsm.compress_runs,
                               options_.storage.pinned_pages);
   if (!s.ok()) return s;
+  if (index_ != nullptr) index_->OnRunCreated(run.get());
   levels_[level].push_back(std::move(run));
   return Status::OK();
+}
+
+void LsmTree::NoteRunRetiring(SortedRun* run) {
+  if (index_ != nullptr) index_->OnRunRetiring(run);
 }
 
 void LsmTree::NoteCompaction(size_t input_runs, uint64_t input_records) {
@@ -156,6 +168,9 @@ Result<Value> LsmTree::Get(Key key) {
   }
   for (const auto& level : levels_) {
     for (size_t i = level.size(); i-- > 0;) {
+      // O(1) bounds skip: a run whose [min, max] misses the key costs
+      // nothing -- no Bloom probe, no fence search.
+      if (key < level[i]->min_key() || key > level[i]->max_key()) continue;
       Result<std::optional<LogRecord>> hit = level[i]->Get(key);
       if (!hit.ok()) return hit.status();
       if (hit.value().has_value()) {
@@ -168,31 +183,79 @@ Result<Value> LsmTree::Get(Key key) {
   return Status::NotFound();
 }
 
+std::vector<SortedRun*> LsmTree::RunsNewestFirst() {
+  std::vector<SortedRun*> runs;
+  runs.reserve(total_runs());
+  for (auto& level : levels_) {
+    for (size_t i = level.size(); i-- > 0;) {
+      runs.push_back(level[i].get());
+    }
+  }
+  return runs;
+}
+
+Status LsmTree::PositionRunsFallback(const std::vector<SortedRun*>& runs,
+                                     Key lo, Key hi,
+                                     std::vector<SortedRun::Cursor>* out) {
+  out->clear();
+  out->reserve(runs.size());
+  for (SortedRun* run : runs) {
+    // O(1) bounds skip, same rule as the index path.
+    if (run->max_key() < lo || run->min_key() > hi) continue;
+    SortedRun::Cursor cursor(run);
+    Status s = cursor.SeekFirstAtLeast(lo);
+    if (!s.ok()) return s;
+    out->push_back(std::move(cursor));
+  }
+  return Status::OK();
+}
+
 Status LsmTree::Scan(Key lo, Key hi, std::vector<Entry>* out) {
   if (lo > hi) return Status::InvalidArgument("lo > hi");
   counters().OnRangeQuery();
-  // Newest source wins per key: memtable, then levels top-down, runs
-  // newest-first within a level.
-  std::unordered_map<Key, std::pair<Value, bool>> newest;  // value, tombstone
+  // The memtable is the newest stream of all; gather its window (charged
+  // skiplist reads) and two-way merge it against the ordered run stream.
+  std::vector<SkipListMap::Record> mem;
   memtable_->VisitRange(lo, hi, [&](const SkipListMap::Record& r) {
-    newest.emplace(r.key, std::make_pair(r.value, r.tombstone));
+    mem.push_back(r);
   });
-  for (const auto& level : levels_) {
-    for (size_t i = level.size(); i-- > 0;) {
-      Status s = level[i]->VisitRange(lo, hi, [&](const LogRecord& r) {
-        newest.emplace(r.key,
-                       std::make_pair(r.value, r.op == LogOp::kDelete));
-      });
-      if (!s.ok()) return s;
+  size_t mem_pos = 0;
+  uint64_t hits = 0;
+  auto emit = [&](Key key, Value value, bool tombstone) {
+    if (tombstone) return;
+    out->push_back(Entry{key, value});
+    ++hits;
+  };
+  // The run stream arrives ascending with the newest version per key
+  // (tombstones included, so a delete shadows older puts). Memtable
+  // entries interleave by key and win ties.
+  auto on_run_record = [&](const LogRecord& r) {
+    while (mem_pos < mem.size() && mem[mem_pos].key <= r.key) {
+      const SkipListMap::Record& m = mem[mem_pos++];
+      bool shadows = m.key == r.key;
+      emit(m.key, m.value, m.tombstone);
+      if (shadows) return;
     }
+    emit(r.key, r.value, r.op == LogOp::kDelete);
+  };
+  // Positioning (index segment lookup or per-run fence search) stays
+  // behind a call; the per-record merge runs here so `on_run_record`
+  // inlines instead of paying a std::function dispatch per record.
+  std::vector<SortedRun*> runs = RunsNewestFirst();
+  std::vector<SortedRun::Cursor> cursors;
+  Status s = index_ != nullptr
+                 ? index_->PositionCursors(runs, lo, hi, &cursors)
+                 : PositionRunsFallback(runs, lo, hi, &cursors);
+  if (!s.ok()) return s;
+  if (!cursors.empty()) {
+    s = MergeCursorSources(&cursors, hi, on_run_record);
+    if (!s.ok()) return s;
   }
-  std::vector<Entry> hits;
-  for (const auto& [k, vt] : newest) {
-    if (!vt.second) hits.push_back(Entry{k, vt.first});
+  // Memtable entries beyond the last run record.
+  for (; mem_pos < mem.size(); ++mem_pos) {
+    emit(mem[mem_pos].key, mem[mem_pos].value, mem[mem_pos].tombstone);
   }
-  std::sort(hits.begin(), hits.end());
-  counters().OnLogicalRead(static_cast<uint64_t>(hits.size()) * kEntrySize);
-  out->insert(out->end(), hits.begin(), hits.end());
+  counters().OnLogicalRead(hits * kEntrySize);
   return Status::OK();
 }
 

@@ -9,6 +9,7 @@
 #include "core/metrics.h"
 #include "core/options.h"
 #include "methods/lsm/compaction_policy.h"
+#include "methods/lsm/cross_run_index.h"
 #include "methods/lsm/sorted_run.h"
 #include "methods/skiplist/skiplist.h"
 #include "storage/block_device.h"
@@ -100,6 +101,11 @@ class LsmTree : public AccessMethod, public CompactionContext {
   bool IsLastPopulated(size_t level) const override;
   Status BuildRun(size_t level, std::vector<LogRecord> records) override;
   void NoteCompaction(size_t input_runs, uint64_t input_records) override;
+  void NoteRunRetiring(SortedRun* run) override;
+
+  /// The cross-run sorted view, or nullptr when lsm.cross_run_index is
+  /// off (tests inspect segment counts and charged space through this).
+  const CrossRunIndex* cross_run_index() const { return index_.get(); }
 
   /// Merges sorted record streams (newest first) into one; drops shadowed
   /// versions, and tombstones too when `drop_tombstones`.
@@ -118,6 +124,17 @@ class LsmTree : public AccessMethod, public CompactionContext {
   Status FlushMemtable();
   /// Wires the MetricsRegistry counters and callback gauges.
   void InitMetrics();
+  /// All runs in recency order: levels top-down, newest-first within a
+  /// level -- exactly Get's probe order, which is what makes "lowest
+  /// priority index wins" the correct newest-wins rule for scans.
+  std::vector<SortedRun*> RunsNewestFirst();
+  /// Disabled-index cursor positioning: per-run fence search with the
+  /// same O(1) bounds skip; fills `out` for the shared MergeCursorSources
+  /// template, which is what keeps it differentially identical to
+  /// CrossRunIndex::PositionCursors.
+  Status PositionRunsFallback(const std::vector<SortedRun*>& runs, Key lo,
+                              Key hi,
+                              std::vector<SortedRun::Cursor>* out);
 
   Options options_;
   std::unique_ptr<CompactionPolicy> policy_;
@@ -126,6 +143,10 @@ class LsmTree : public AccessMethod, public CompactionContext {
 
   RumCounters mem_counters_;  // The memtable's separate accounting.
   std::unique_ptr<SkipListMap> memtable_;
+  // The REMIX-style cross-run sorted view (nullptr when disabled). Charges
+  // its segment space to counters() as auxiliary MO; maintained by the
+  // BuildRun/NoteRunRetiring hooks, consulted only by Scan.
+  std::unique_ptr<CrossRunIndex> index_;
   // levels_[i] = runs at level i, newest last. Level 0 is the flush target.
   std::vector<std::vector<std::unique_ptr<SortedRun>>> levels_;
 

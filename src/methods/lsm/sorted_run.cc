@@ -365,6 +365,73 @@ Result<std::optional<LogRecord>> SortedRun::Get(Key key) {
   return std::optional<LogRecord>();
 }
 
+Status SortedRun::Cursor::LoadCurrent() {
+  while (page_ < run_->pages_.size()) {
+    Status s = run_->LoadPage(page_, &records_);
+    if (!s.ok()) return s;
+    if (slot_ < records_.size()) return Status::OK();
+    // Empty page, or a stored slot past this page's record count (possible
+    // after crash recovery truncated page contents): clamp forward.
+    ++page_;
+    slot_ = 0;
+  }
+  records_.clear();
+  return Status::OK();
+}
+
+Status SortedRun::Cursor::SeekTo(size_t page, size_t slot) {
+  assert(run_ != nullptr);
+  page_ = page;
+  slot_ = slot;
+  return LoadCurrent();
+}
+
+Status SortedRun::Cursor::SeekFirstAtLeast(Key key) {
+  assert(run_ != nullptr);
+  if (key <= run_->min_key_) return SeekTo(0, 0);
+  if (key > run_->max_key_) {
+    page_ = run_->pages_.size();
+    slot_ = 0;
+    return Status::OK();
+  }
+  // FenceSearch lands on the last group whose fence is <= key; the first
+  // record >= key lives there or in a later group (when key exceeds the
+  // group's last record), so AdvanceToAtLeast's forward walk finishes it.
+  Status s = SeekTo(run_->FenceSearch(key) * run_->pages_per_fence_, 0);
+  if (!s.ok()) return s;
+  return AdvanceToAtLeast(key);
+}
+
+Status SortedRun::Cursor::AdvanceToAtLeast(Key key) {
+  assert(run_ != nullptr);
+  while (Valid()) {
+    if (records_.back().key >= key) {
+      auto it = std::lower_bound(records_.begin() + slot_, records_.end(),
+                                 key, [](const LogRecord& r, Key k) {
+                                   return r.key < k;
+                                 });
+      slot_ = static_cast<size_t>(it - records_.begin());
+      if (slot_ < records_.size()) return Status::OK();
+    }
+    ++page_;
+    slot_ = 0;
+    Status s = LoadCurrent();
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+Status SortedRun::Cursor::Next() {
+  assert(Valid());
+  ++slot_;
+  if (slot_ >= records_.size()) {
+    ++page_;
+    slot_ = 0;
+    return LoadCurrent();
+  }
+  return Status::OK();
+}
+
 Status SortedRun::VisitRange(Key lo, Key hi,
                              const std::function<void(const LogRecord&)>&
                                  visit) {

@@ -57,6 +57,47 @@ class SortedRun {
   /// non-null) is incremented by the data pages read.
   Result<std::optional<LogRecord>> Get(Key key);
 
+  /// A forward iterator over the run's records, positioned by (page, slot)
+  /// and advanced one record at a time. Page loads are charged exactly like
+  /// Get/VisitRange reads; fence searches (SeekFirstAtLeast) charge the
+  /// usual auxiliary probe bytes. Offsets are stable for the run's lifetime
+  /// (runs are immutable), which is what lets the cross-run index persist
+  /// them across scans. A cursor whose stored offset points past a page's
+  /// record count (possible only when crash recovery lost page contents)
+  /// clamps forward to the next readable record instead of failing.
+  class Cursor {
+   public:
+    Cursor() = default;
+    explicit Cursor(SortedRun* run) : run_(run) {}
+
+    /// Positions at (page, slot), clamping forward past short or empty
+    /// pages; past-the-end positions leave the cursor invalid.
+    Status SeekTo(size_t page, size_t slot);
+    /// Positions at the first record with key >= `key` (fence search plus
+    /// page reads, all charged); invalid when no such record exists.
+    Status SeekFirstAtLeast(Key key);
+    /// Advances forward to the first record with key >= `key` (no-op when
+    /// already there). Requires a prior successful Seek*.
+    Status AdvanceToAtLeast(Key key);
+    /// Steps to the next record; the cursor becomes invalid at the end.
+    Status Next();
+
+    bool Valid() const { return run_ != nullptr && page_ < run_->pages_.size(); }
+    const LogRecord& record() const { return records_[slot_]; }
+    size_t page_index() const { return page_; }
+    size_t slot_index() const { return slot_; }
+    const SortedRun* run() const { return run_; }
+
+   private:
+    /// Loads page `page_` into records_, skipping forward past empty pages.
+    Status LoadCurrent();
+
+    SortedRun* run_ = nullptr;
+    size_t page_ = 0;
+    size_t slot_ = 0;
+    std::vector<LogRecord> records_;  // Decoded records of page `page_`.
+  };
+
   /// Visits records with lo <= key <= hi in ascending order.
   Status VisitRange(Key lo, Key hi,
                     const std::function<void(const LogRecord&)>& visit);

@@ -833,5 +833,137 @@ TEST(ChaosTest, ConcurrentShardedChaosOverSharedStack) {
   }
 }
 
+// ------------------------------------------------------- Cross-run index
+
+// Index-on and index-off twins driven over separate-but-identical faulty
+// stacks with the SAME seed and Write/Allocate-only fault rates. The two
+// trees issue identical write traffic (the index changes only reads), so
+// the deterministic fault plans make every compaction fail -- or survive --
+// identically in both. After the plan clears, the index's incremental
+// invalidation must have tracked every partially-failed compaction: scans
+// from both twins must be byte-identical, and must agree with point Gets.
+TEST(ChaosTest, CrossRunIndexSurvivesCompactionFaults) {
+  auto options_for = [](bool cross_run_index) {
+    Options options = SmallOptions();
+    options.lsm.policy = LsmPolicy::kTiered;
+    options.lsm.cross_run_index = cross_run_index;
+    options.lsm.cross_run_segment_entries = 32;
+    return options;
+  };
+  ChaosStack on_stack, off_stack;
+  LsmTree indexed(options_for(true), &on_stack.cache);
+  LsmTree fallback(options_for(false), &off_stack.cache);
+
+  // No read faults: reads are the one place the twins' traffic differs,
+  // and a read fault would desynchronize the deterministic plans.
+  FaultPlan plan = FaultPlan::Transient(kChaosSeed + 11, 0.0)
+                       .WithRate(FaultOp::kWrite, 0.05)
+                       .WithRate(FaultOp::kAllocate, 0.05);
+  on_stack.faulty.SetPlan(plan);
+  off_stack.faulty.SetPlan(plan);
+
+  Rng rng(kChaosSeed + 11);
+  const Key kRange = 1u << 11;
+  for (int i = 0; i < 1500; ++i) {
+    Key key = rng.NextBelow(kRange);
+    uint64_t dice = rng.NextBelow(100);
+    Status s_on, s_off;
+    if (dice < 70) {
+      Value v = rng.Next();
+      s_on = indexed.Insert(key, v);
+      s_off = fallback.Insert(key, v);
+    } else {
+      s_on = indexed.Delete(key);
+      s_off = fallback.Delete(key);
+    }
+    ASSERT_EQ(s_on.code(), s_off.code())
+        << "op " << i << ": twins diverged (on=" << s_on.ToString()
+        << ", off=" << s_off.ToString() << ")";
+    ASSERT_TRUE(s_on.ok() || IsExplicitFailure(s_on.code()))
+        << "op " << i << ": " << s_on.ToString();
+    // A couple of mid-faults scans: either both fail explicitly and
+    // identically, or both return the same bytes.
+    if (i % 500 == 250) {
+      std::vector<Entry> a, b;
+      Key lo = rng.NextBelow(kRange);
+      Status sa = indexed.Scan(lo, lo + 100, &a);
+      Status sb = fallback.Scan(lo, lo + 100, &b);
+      ASSERT_TRUE(sa.ok() || IsExplicitFailure(sa.code())) << sa.ToString();
+      if (sa.ok() && sb.ok()) {
+        ASSERT_EQ(a.size(), b.size()) << "op " << i;
+      }
+    }
+  }
+
+  on_stack.faulty.ClearFaults();
+  off_stack.faulty.ClearFaults();
+
+  // Steady state after the storm. A failed op may be partially applied
+  // (e.g. a Delete whose flush failed still holds its tombstone), so there
+  // is no exact external oracle -- the guarantees that DO hold are (1) the
+  // twins issued identical write traffic, so their states are identical and
+  // scans must be byte-identical, and (2) each tree's scans must agree with
+  // its own point Gets.
+  Rng probe(kChaosSeed + 12);
+  for (int i = 0; i < 40; ++i) {
+    Key lo = probe.NextBelow(kRange);
+    Key hi = lo + probe.NextBelow(256);
+    std::vector<Entry> a, b;
+    ASSERT_TRUE(indexed.Scan(lo, hi, &a).ok()) << i;
+    ASSERT_TRUE(fallback.Scan(lo, hi, &b).ok()) << i;
+    ASSERT_EQ(a.size(), b.size()) << "scan [" << lo << ", " << hi << "]";
+    for (size_t j = 0; j < a.size(); ++j) {
+      ASSERT_EQ(a[j].key, b[j].key) << j;
+      ASSERT_EQ(a[j].value, b[j].value) << j;
+    }
+    for (const Entry& e : a) {
+      Result<Value> got = indexed.Get(e.key);
+      ASSERT_TRUE(got.ok()) << "scan returned key " << e.key
+                            << " but Get says " << got.status().ToString();
+      ASSERT_EQ(got.value(), e.value) << e.key;
+    }
+  }
+}
+
+// Crash recovery: warm the index, crash the cache, and require that scans
+// over the recovered pages agree with per-key Gets on the same tree -- the
+// index must never serve offsets describing pages the crash rolled back.
+TEST(ChaosTest, CrossRunIndexAgreesWithGetsAfterCrash) {
+  ChaosStack stack;
+  Options options = SmallOptions();
+  options.lsm.policy = LsmPolicy::kLazyLeveled;
+  options.lsm.cross_run_index = true;
+  options.lsm.cross_run_segment_entries = 32;
+  LsmTree tree(options, &stack.cache);
+  ReferenceModel reference;
+  ASSERT_TRUE(LoadClean(&tree, &reference, 600));
+  // Warm: build segments against the pre-crash run set.
+  std::vector<Entry> warm;
+  ASSERT_TRUE(tree.Scan(0, 600, &warm).ok());
+  ASSERT_TRUE(stack.cache.FlushAll().ok());
+
+  stack.cache.Crash();
+
+  std::vector<Entry> scanned;
+  ASSERT_TRUE(tree.Scan(0, kMaxKey, &scanned).ok());
+  // Scan result == { k : Get(k) answers }: same keys, same values.
+  std::set<Key> scan_keys;
+  for (const Entry& e : scanned) {
+    Result<Value> got = tree.Get(e.key);
+    ASSERT_TRUE(got.ok()) << "scan returned key " << e.key
+                          << " but Get says " << got.status().ToString();
+    ASSERT_EQ(got.value(), e.value) << e.key;
+    scan_keys.insert(e.key);
+  }
+  for (Key k = 0; k < 600; ++k) {
+    Result<Value> got = tree.Get(k);
+    if (got.ok()) {
+      ASSERT_TRUE(scan_keys.count(k)) << "Get answers key " << k
+                                      << " but scan missed it";
+    }
+  }
+  ASSERT_TRUE(testing_util::ScanMatchesReference(&tree, reference, 0, 600));
+}
+
 }  // namespace
 }  // namespace rum
