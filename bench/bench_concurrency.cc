@@ -14,6 +14,7 @@
 #include "core/access_method.h"
 #include "core/metrics.h"
 #include "methods/factory.h"
+#include "service/open_loop.h"
 #include "workload/runner.h"
 
 namespace rum {
@@ -49,6 +50,28 @@ std::vector<JsonRow>& JsonRows() {
   return rows;
 }
 
+// One row of the "saturation" JSON section: open-loop offered load through
+// the request scheduler, with and without admission control (EXPERIMENTS.md
+// A9). Latencies and goodput are virtual-time quantities, so these rows are
+// exactly reproducible.
+struct SatRow {
+  std::string method;
+  double load_factor;
+  bool admission;
+  double offered_ops_per_sec;
+  double goodput_ops_per_sec;
+  uint64_t p99_total_us;
+  uint64_t completed;
+  uint64_t shed;
+  uint64_t deadline_missed;
+  uint64_t max_queue_depth;
+};
+
+std::vector<SatRow>& SatRows() {
+  static std::vector<SatRow> rows;
+  return rows;
+}
+
 void WriteJson(const char* path) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
@@ -68,6 +91,25 @@ void WriteJson(const char* path) {
         r.read_overhead, r.update_overhead, r.memory_overhead,
         static_cast<unsigned long long>(r.ops), r.latency_json.c_str(),
         i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"saturation\": [\n");
+  const std::vector<SatRow>& sat = SatRows();
+  for (size_t i = 0; i < sat.size(); ++i) {
+    const SatRow& r = sat[i];
+    std::fprintf(
+        f,
+        "    {\"method\": \"%s\", \"load_factor\": %.2f, \"admission\": %s, "
+        "\"offered_ops_per_sec\": %.0f, \"goodput_ops_per_sec\": %.0f, "
+        "\"p99_total_us\": %llu, \"completed\": %llu, \"shed\": %llu, "
+        "\"deadline_missed\": %llu, \"max_queue_depth\": %llu}%s\n",
+        r.method.c_str(), r.load_factor, r.admission ? "true" : "false",
+        r.offered_ops_per_sec, r.goodput_ops_per_sec,
+        static_cast<unsigned long long>(r.p99_total_us),
+        static_cast<unsigned long long>(r.completed),
+        static_cast<unsigned long long>(r.shed),
+        static_cast<unsigned long long>(r.deadline_missed),
+        static_cast<unsigned long long>(r.max_queue_depth),
+        i + 1 < sat.size() ? "," : "");
   }
   // The registry runs enabled for the whole sweep, so this carries the
   // cross-run owned counters (e.g. sharded_method.stats_merges -- a handful
@@ -213,6 +255,125 @@ void SweepAnalytics(const std::string& inner) {
   table.Print();
 }
 
+// ------------------------------------------------- Saturation sweep (A9)
+
+Options SatOptions() {
+  Options options;
+  options.block_size = 4096;
+  options.service.enabled = true;
+  options.service.dispatch_overhead_us = 8;
+  options.service.op_cost_us = 2;
+  options.service.scan_cost_us = 16;
+  options.service.slo_us = 20000;
+  return options;
+}
+
+WorkloadSpec SatSpec(uint64_t ops, double offered) {
+  WorkloadSpec spec;
+  spec.operations = ops;
+  spec.key_range = 1u << 12;
+  spec.distribution = KeyDistribution::kZipfian;
+  spec.insert_fraction = 0.1;
+  spec.seed = 42;
+  spec.error_mode = ErrorMode::kSkipAndCount;
+  spec.arrival = ArrivalProcess::kPoisson;
+  spec.offered_ops_per_sec = offered;
+  return spec;
+}
+
+std::unique_ptr<AccessMethod> SatMethod(const std::string& inner) {
+  // Built bare: RunOpenLoop constructs the scheduler under measurement.
+  Options options;
+  options.block_size = 4096;
+  auto method = MakeAccessMethod(inner, options);
+  if (method != nullptr) {
+    for (Key k = 0; k < (1u << 12); ++k) {
+      Status s = method->Insert(k, k * 2654435761u);
+      if (!s.ok()) {
+        std::printf("  prefill failed: %s\n", s.ToString().c_str());
+        return nullptr;
+      }
+    }
+  }
+  return method;
+}
+
+// Offered load {0.5, 1, 2, 4}x measured capacity, admission on and off.
+// The interesting quadrant is >= 2x with admission off: the queue grows
+// without bound (bufferbloat) and goodput collapses even though every
+// request eventually completes. Admission trades those completions for
+// sheds and keeps the served tail inside the SLO.
+void SweepSaturation(const std::string& inner) {
+  Banner(("saturation sweep (A9): open-loop " + inner +
+          " behind the request scheduler")
+             .c_str());
+  // Fixed op count even under --smoke: the sweep runs on the virtual
+  // clock, so 40k requests cost milliseconds of wall time, and the >= 2x
+  // rows need a long enough backlog for the bufferbloat tail to show.
+  const uint64_t ops = 40000;
+
+  // Measured capacity: overdrive an unbounded no-admission queue; the
+  // server never idles, so completions per virtual second = service rate.
+  double capacity = 0;
+  {
+    auto method = SatMethod(inner);
+    if (method == nullptr) return;
+    Options options = SatOptions();
+    options.service.admission = false;
+    options.service.queue_capacity = 1u << 20;
+    options.service.slo_us = 0;
+    Result<ServiceReport> r =
+        RunOpenLoop(method.get(), SatSpec(ops, 50e6), options);
+    if (!r.ok()) {
+      std::printf("  capacity run failed: %s\n",
+                  r.status().ToString().c_str());
+      return;
+    }
+    const ServiceStats& s = r.value().stats;
+    capacity = static_cast<double>(s.completed) * 1e6 /
+               static_cast<double>(s.end_us);
+  }
+  std::printf("  measured capacity: %.0f ops/s (virtual)\n\n", capacity);
+
+  Table table({"load", "admission", "offered/s", "goodput/s", "p99 us",
+               "completed", "shed", "ddl miss", "max depth"});
+  for (double factor : {0.5, 1.0, 2.0, 4.0}) {
+    for (bool admission : {true, false}) {
+      auto method = SatMethod(inner);
+      if (method == nullptr) return;
+      Options options = SatOptions();
+      options.service.admission = admission;
+      options.service.queue_capacity = admission ? 1024 : (1u << 20);
+      options.service.deadline_us = 100000;
+      Result<ServiceReport> r = RunOpenLoop(
+          method.get(), SatSpec(ops, factor * capacity), options);
+      if (!r.ok()) {
+        std::printf("  run failed: %s\n", r.status().ToString().c_str());
+        return;
+      }
+      const ServiceStats& s = r.value().stats;
+      SatRows().push_back(SatRow{
+          inner, factor, admission, factor * capacity,
+          s.goodput_ops_per_sec(), s.total_us.Percentile(0.99), s.completed,
+          s.shed, s.deadline_missed, s.max_queue_depth});
+      table.AddRow({Fmt("%.1fx", factor), admission ? "on" : "off",
+                    Fmt("%.0f", factor * capacity),
+                    Fmt("%.0f", s.goodput_ops_per_sec()),
+                    FmtU(s.total_us.Percentile(0.99)), FmtU(s.completed),
+                    FmtU(s.shed), FmtU(s.deadline_missed),
+                    FmtU(s.max_queue_depth)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nReading the table: below capacity the two admission rows match\n"
+      "(nothing sheds). At and above capacity, 'off' rows let queue delay\n"
+      "grow with the backlog -- p99 blows through the SLO and goodput\n"
+      "(completions inside the SLO per virtual second) collapses -- while\n"
+      "'on' rows shed the excess at the front door and keep the served\n"
+      "tail flat.\n");
+}
+
 }  // namespace
 }  // namespace rum
 
@@ -236,6 +397,7 @@ int main(int argc, char** argv) {
   rum::SweepMethod("hash");
   rum::SweepMethod("lsm-leveled");
   rum::SweepAnalytics("lsm-tiered");
+  rum::SweepSaturation("skiplist");
   std::printf(
       "\nExpected shape: throughput climbs with threads until threads ==\n"
       "shards, then flattens; amplifications stay within noise of the\n"

@@ -36,6 +36,13 @@ run_stage() {
 
 if [[ "${STAGE}" == "all" || "${STAGE}" == "release" ]]; then
   run_stage "release" "build-ci" "" "" "Release"
+  # The saturation tier is re-run with an explicit ctest timeout: these
+  # tests drive open-loop overload through the request scheduler, and a
+  # scheduler bug that stalls the virtual clock (a batch that never
+  # dispatches, a ledger that never closes) would otherwise hang ctest
+  # instead of failing it.
+  echo "=== release: saturation tier (explicit, with timeout) ==="
+  (cd build-ci && ctest --output-on-failure --timeout 120 -R saturation_test)
   echo "=== release: machine-readable bench smoke ==="
   # The two JSON-emitting benches must run and produce parseable output; no
   # thresholds are enforced here (wall-clock is not comparable across CI
@@ -47,17 +54,18 @@ if [[ "${STAGE}" == "all" || "${STAGE}" == "release" ]]; then
     python3 -m json.tool BENCH_wallclock.json >/dev/null &&
     python3 -m json.tool BENCH_concurrency.json >/dev/null &&
     echo "BENCH_wallclock.json + BENCH_concurrency.json parse OK")
-  # Observability overhead guard: with tracing and metrics off (the
-  # default), the Get path must stay within 3% (geomean) of the committed
-  # BENCH_wallclock.json baseline. This is what makes "tracing is cheap
-  # when disabled" an enforced contract rather than a comment. Wall-clock
+  # Disabled-layers overhead guard: with tracing, metrics, AND the service
+  # layer off (all defaults), the Get path must stay within 3% (geomean) of
+  # the committed BENCH_wallclock.json baseline. This is what makes
+  # "tracing is cheap when disabled" and "Options::service.enabled=false is
+  # a true no-op" enforced contracts rather than comments. Wall-clock
   # baselines are host-specific: set RUMLAB_SKIP_BENCH_GUARD=1 on hosts
   # that did not produce the committed baseline, and refresh the baseline
   # (run bench_wallclock, commit the JSON) when it moves for a good reason.
   if [[ "${RUMLAB_SKIP_BENCH_GUARD:-0}" == "1" ]]; then
     echo "=== release: bench guard skipped (RUMLAB_SKIP_BENCH_GUARD=1) ==="
   else
-    echo "=== release: disabled-observability Get-path guard (<3%) ==="
+    echo "=== release: disabled-Get-path guard (<3%: observability AND scheduler off) ==="
     # Three passes, per-benchmark minimum: wall clock on a shared host
     # swings +-8% with transient load, and the *floor* over a few runs is
     # the stable estimator. One slow pass must not fail the guard.
@@ -180,6 +188,12 @@ if [[ "${STAGE}" == "all" || "${STAGE}" == "asan" ]]; then
   echo "=== asan: compaction policy + cost model tiers (explicit) ==="
   (cd build-asan &&
     ctest --output-on-failure -R "compaction_policy_test|cost_model_test")
+  # The saturation tier is named explicitly: the scheduler's queue churn
+  # (deque pops, batch vectors, coalescing scratch) and the admission
+  # controllers must hold their exact ledgers with ASan watching, and the
+  # virtual clock keeps the queueing dynamics identical to the Release run.
+  echo "=== asan: saturation tier (explicit, with timeout) ==="
+  (cd build-asan && ctest --output-on-failure --timeout 300 -R saturation_test)
 fi
 
 if [[ "${STAGE}" == "all" || "${STAGE}" == "tsan" ]]; then
@@ -194,7 +208,10 @@ if [[ "${STAGE}" == "all" || "${STAGE}" == "tsan" ]]; then
   # scan_differential_test is listed explicitly (the differential_test
   # pattern would match it as a substring, but the dependence should not
   # be load-bearing).
-  TSAN_FILTER="-R concurrency_test|differential_test|scan_differential_test|chaos_test|trace_test|compaction_policy_test"
+  # saturation_test rides in the TSan tier for the closed-loop front door:
+  # ScheduledMethod's mutex-guarded bookkeeping around unlocked inner calls
+  # is exactly the shape TSan exists to check.
+  TSAN_FILTER="-R concurrency_test|differential_test|scan_differential_test|chaos_test|trace_test|compaction_policy_test|saturation_test"
   if [[ "${RUMLAB_CI_FULL_TSAN:-0}" == "1" ]]; then
     TSAN_FILTER=""
   fi

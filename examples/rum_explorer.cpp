@@ -14,6 +14,15 @@
 //   then prints the drained event stream's tail, per-kind event counts
 //   cross-checked against the device counters, per-op-class latency
 //   percentiles, and the metrics registry JSON.
+//
+// Or:    rum_explorer serve [method] [n] [ops] [offered_ops_per_sec]
+//                           [poisson|bursty]
+//   Replays an open-loop arrival process through the request scheduler
+//   (src/service/): requests arrive on the virtual clock at the offered
+//   rate regardless of completions, the admission controller sheds what
+//   the method cannot absorb, and the run ends with the service report
+//   JSON -- ledger, sheds, deadline misses, queue-delay and end-to-end
+//   latency summaries, goodput, and the RUM delta.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,6 +31,7 @@
 
 #include "core/trace.h"
 #include "methods/factory.h"
+#include "service/open_loop.h"
 #include "storage/block_device.h"
 #include "storage/caching_device.h"
 #include "storage/faulty_device.h"
@@ -157,12 +167,67 @@ int RunTrace(int argc, char** argv) {
   return 0;
 }
 
+int RunServe(int argc, char** argv) {
+  using namespace rum;
+  const char* name = argc > 2 ? argv[2] : "btree";
+  size_t n = argc > 3 ? static_cast<size_t>(std::atoll(argv[3])) : 20000;
+  uint64_t ops =
+      argc > 4 ? static_cast<uint64_t>(std::atoll(argv[4])) : 20000;
+  double offered = argc > 5 ? std::atof(argv[5]) : 200000.0;
+  bool bursty = argc > 6 && std::strcmp(argv[6], "bursty") == 0;
+
+  Options options;
+  options.block_size = 4096;
+  options.bitmap.key_domain = n;
+  options.extremes.magic_array_domain = 4 * n;
+
+  // The method is built bare; RunOpenLoop owns the scheduler under test.
+  std::unique_ptr<AccessMethod> method = MakeAccessMethod(name, options);
+  if (method == nullptr) {
+    std::fprintf(stderr, "unknown method: %s\n", name);
+    return 1;
+  }
+  std::vector<Entry> entries = MakeSortedEntries(n);
+  Status s = method->BulkLoad(entries);
+  if (s.ok()) s = method->Flush();
+  if (!s.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  method->ResetStats();
+
+  Options serve_options = options;
+  serve_options.service.enabled = true;
+  serve_options.service.slo_us = 20000;
+
+  WorkloadSpec spec = WorkloadSpec::Mixed(ops, n);
+  spec.error_mode = ErrorMode::kSkipAndCount;
+  spec.arrival = bursty ? ArrivalProcess::kBursty : ArrivalProcess::kPoisson;
+  spec.offered_ops_per_sec = offered;
+
+  Result<ServiceReport> report = RunOpenLoop(method.get(), spec, serve_options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "serve failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("workload: %s\n", spec.ToString().c_str());
+  std::printf("method: %s  offered: %.0f ops/s (%s)  slo: %lluus\n", name,
+              offered, bursty ? "bursty" : "poisson",
+              static_cast<unsigned long long>(serve_options.service.slo_us));
+  std::printf("%s\n", report.value().ToJson().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace rum;
   if (argc > 1 && std::strcmp(argv[1], "trace") == 0) {
     return RunTrace(argc, argv);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "serve") == 0) {
+    return RunServe(argc, argv);
   }
   const char* mix = argc > 1 ? argv[1] : "mixed";
   size_t n = argc > 2 ? static_cast<size_t>(std::atoll(argv[2])) : 20000;

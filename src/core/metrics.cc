@@ -38,12 +38,22 @@ uint64_t LatencyHistogram::Percentile(double q) const {
   return max_;
 }
 
+uint64_t LatencyHistogram::CountAtOrBelow(uint64_t value) const {
+  if (count_ == 0) return 0;
+  // Every bucket up to and including value's own bucket: a sample in that
+  // bucket has lower_bound <= value, so it is counted as meeting the bound.
+  size_t last = BucketIndex(value);
+  uint64_t seen = 0;
+  for (size_t i = 0; i <= last && i < kBucketCount; ++i) seen += buckets_[i];
+  return seen;
+}
+
 std::string LatencyHistogram::ToJson() const {
   std::ostringstream os;
   os << "{\"count\":" << count_ << ",\"mean\":" << mean()
      << ",\"min\":" << min() << ",\"p50\":" << Percentile(0.50)
      << ",\"p95\":" << Percentile(0.95) << ",\"p99\":" << Percentile(0.99)
-     << ",\"max\":" << max_ << "}";
+     << ",\"p999\":" << p999() << ",\"max\":" << max_ << "}";
   return os.str();
 }
 

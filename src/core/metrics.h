@@ -55,7 +55,19 @@ class LatencyHistogram {
   /// the q-th sample, so results are deterministic and never overstate.
   uint64_t Percentile(double q) const;
 
-  /// {"count":N,"mean":...,"min":...,"p50":...,"p95":...,"p99":...,"max":...}
+  /// The p999 tail (Percentile(0.999)): the quantile SLO guards watch.
+  /// p99 hides one-in-a-thousand stalls (a compaction, a retry storm); at
+  /// millions of requests those are every-second events.
+  uint64_t p999() const { return Percentile(0.999); }
+
+  /// Number of recorded samples whose bucket lower bound is <= `value` --
+  /// i.e. samples that met a `value`-shaped SLO, up to bucket granularity
+  /// (relative error bounded by 1/kSubBuckets, never undercounting a sample
+  /// whose true value met the SLO). Deterministic.
+  uint64_t CountAtOrBelow(uint64_t value) const;
+
+  /// {"count":N,"mean":...,"min":...,"p50":...,"p95":...,"p99":...,
+  ///  "p999":...,"max":...}
   std::string ToJson() const;
 
   /// Maps a value to its bucket (exposed for tests).

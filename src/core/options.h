@@ -55,12 +55,36 @@ struct Options {
     /// `retries`/`io_errors` counter pair; failed attempts move no bytes and
     /// are never charged as traffic.
     struct Retry {
-      /// Total attempts per operation (1 = fail fast, no retry).
+      /// Total attempts per operation (1 = fail fast, no retry). The
+      /// fallback for any op class without its own override below.
       size_t max_attempts = 1;
       /// Simulated backoff before retry k (1-based): backoff_base_us << (k-1).
       /// Deterministic -- no clock is consulted; the accumulated simulated
       /// wait is reported by the RetryingDevice, not slept.
       uint64_t backoff_base_us = 100;
+
+      /// Per-op-class override: 0 means "inherit the shared knob". Reads
+      /// are usually worth more attempts than allocations (a read retry
+      /// may heal a transient; a failed allocation usually means pressure
+      /// a retry will not relieve), and the service layer's deadline logic
+      /// wants cheap ops to fail fast while the scan path keeps trying.
+      struct OpPolicy {
+        size_t max_attempts = 0;
+        uint64_t backoff_base_us = 0;
+      };
+      OpPolicy read;      ///< Device::Read
+      OpPolicy write;     ///< Device::Write
+      OpPolicy pin;       ///< PinForRead / PinForWrite acquisition
+      OpPolicy allocate;  ///< Device::Allocate
+      OpPolicy flush;     ///< Device::FlushAll
+
+      /// When an op class's whole attempt budget (> 1 attempts) burns down
+      /// without the kIOError clearing, return kUnavailable (with the
+      /// total simulated backoff attached) instead of the last kIOError:
+      /// "still retrying" and "dead" become distinguishable codes, which
+      /// is what the request scheduler's deadline/degrade logic keys on.
+      /// Single-attempt (fail-fast) classes keep returning kIOError.
+      bool unavailable_when_exhausted = true;
     } retry;
   } storage;
 
@@ -246,6 +270,68 @@ struct Options {
     /// into the process-wide MetricsRegistry for JSON export.
     bool metrics = false;
   } observability;
+
+  // ------------------------------------------------------ Service front-end
+  /// The request-scheduler service layer (src/service/): a front-end between
+  /// workload drivers and access methods that absorbs overload instead of
+  /// letting a fault storm or an arrival spike stretch every caller's
+  /// latency without bound. Time inside the scheduler is *virtual*
+  /// (microsecond ticks advanced by a deterministic cost model), so queueing
+  /// dynamics, deadline misses, and admission decisions replay exactly under
+  /// a fixed seed -- on any host, under any sanitizer.
+  struct Service {
+    /// Master switch. Off (the default), MakeAccessMethod returns the bare
+    /// method and the layer does not exist: the direct-call path is
+    /// byte-identical in RUM accounting (saturation_test enforces it).
+    bool enabled = false;
+
+    /// Bounded per-shard request queue; an arrival finding it full is shed
+    /// immediately (kResourceExhausted, storage untouched).
+    size_t queue_capacity = 1024;
+
+    /// Group-commit window: up to this many adjacent same-kind requests
+    /// (a run of mutations, or a run of reads) dispatch as one batch,
+    /// paying one dispatch_overhead_us for the window.
+    size_t batch_max_ops = 16;
+
+    /// Coalesce duplicate-key Gets inside one read batch: one method call
+    /// serves every waiter (physical read charged once).
+    bool coalesce_reads = true;
+
+    /// Dispatch priority-0 (high) requests before priority-1 within a
+    /// shard; within a priority class the queue stays FIFO.
+    bool priority_queues = true;
+
+    /// Per-request deadline measured from arrival, in virtual microseconds;
+    /// a request popped after expiry completes kDeadlineExceeded without
+    /// touching the device. 0 disables deadlines.
+    uint64_t deadline_us = 0;
+
+    /// Admission control master switch (the CoDel + token-bucket pair).
+    bool admission = true;
+    /// CoDel queue-delay target: sustained sojourn above this for one
+    /// interval puts the shard in a dropping state that sheds heads on the
+    /// standard sqrt control-law schedule until delay recovers.
+    uint64_t codel_target_us = 2000;
+    uint64_t codel_interval_us = 20000;
+    /// Token-bucket rate gate at the front door, in requests per virtual
+    /// second; 0 disables the gate. Burst is the bucket depth.
+    double rate_ops_per_sec = 0;
+    double rate_burst_ops = 64;
+
+    /// Virtual service-cost model: a batch window costs
+    /// dispatch_overhead_us + ops_in_batch * op_cost_us (scans cost
+    /// scan_cost_us each) of server time on its shard. These set the
+    /// simulated capacity that open-loop arrivals saturate.
+    uint64_t dispatch_overhead_us = 8;
+    uint64_t op_cost_us = 2;
+    uint64_t scan_cost_us = 16;
+
+    /// Latency SLO for goodput accounting: completions within slo_us of
+    /// arrival count as goodput (ServiceStats::completed_within_slo).
+    /// 0 means every completion counts.
+    uint64_t slo_us = 0;
+  } service;
 
   // -------------------------------------------------------------- Morphing
   struct Morphing {

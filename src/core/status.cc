@@ -22,6 +22,10 @@ std::string_view CodeName(Code code) {
       return "ResourceExhausted";
     case Code::kIOError:
       return "IOError";
+    case Code::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case Code::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -20,6 +20,13 @@ enum class Code {
   kNotSupported,
   kResourceExhausted,
   kIOError,
+  /// A request missed its service-layer deadline: the scheduler completed it
+  /// without touching the storage stack (see src/service/).
+  kDeadlineExceeded,
+  /// A bounded retry budget was exhausted without the fault clearing: the
+  /// target is not merely erroring, it is (for now) dead. Distinguished from
+  /// kIOError so deadline/degrade logic can tell "retrying" from "gone".
+  kUnavailable,
 };
 
 /// Returns a short human-readable name for a code ("OK", "NotFound", ...).
@@ -68,6 +75,12 @@ class Status {
   }
   static Status IOError(std::string msg = "") {
     return Status(Code::kIOError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg = "") {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg = "") {
+    return Status(Code::kUnavailable, std::move(msg));
   }
 
   /// True iff the status is OK.

@@ -25,6 +25,9 @@ std::string_view TraceKindName(TraceKind kind) {
     case TraceKind::kRecovery: return "recovery";
     case TraceKind::kLsmFlush: return "lsm_flush";
     case TraceKind::kLsmCompaction: return "lsm_compaction";
+    case TraceKind::kSchedDispatch: return "sched_dispatch";
+    case TraceKind::kSchedShed: return "sched_shed";
+    case TraceKind::kSchedDeadlineMiss: return "sched_deadline_miss";
   }
   return "unknown";
 }

@@ -31,9 +31,13 @@ enum class TraceKind : uint8_t {
   kRecovery,
   kLsmFlush,
   kLsmCompaction,
+  // -- Request-scheduler service layer (src/service/).
+  kSchedDispatch,      ///< One batch window dispatched (detail = batch ops).
+  kSchedShed,          ///< A request shed by admission control or overflow.
+  kSchedDeadlineMiss,  ///< A request expired in queue; device untouched.
 };
 inline constexpr size_t kTraceKindCount =
-    static_cast<size_t>(TraceKind::kLsmCompaction) + 1;
+    static_cast<size_t>(TraceKind::kSchedDeadlineMiss) + 1;
 
 /// Which device operation class the event occurred under (mirrors FaultOp,
 /// plus kNone for events outside any single op and kFree for deallocation).

@@ -1,0 +1,98 @@
+#ifndef RUMLAB_SERVICE_SCHEDULED_METHOD_H_
+#define RUMLAB_SERVICE_SCHEDULED_METHOD_H_
+
+#include <memory>
+#include <mutex>
+#include <string_view>
+
+#include "core/access_method.h"
+#include "core/metrics.h"
+#include "core/options.h"
+#include "service/admission.h"
+#include "service/request.h"
+
+namespace rum {
+
+/// The closed-loop face of the service layer: an AccessMethod decorator
+/// MakeAccessMethod installs when Options::service.enabled, so every
+/// existing closed-loop driver (WorkloadRunner, tests, benches) goes through
+/// the front door without changing a call site.
+///
+/// Closed-loop callers issue the next operation only after the previous one
+/// returns, so the queue is empty at every arrival: batching and CoDel are
+/// structurally inert (group commit and head-drop need a standing queue,
+/// which only open-loop arrivals build -- see RunOpenLoop). What remains
+/// active is the front-door token bucket (a shed returns
+/// kResourceExhausted before storage is touched; the workload runner
+/// tallies it as ErrorTally::shed) and the full ledger/latency accounting
+/// on the virtual clock. Each call is accounted as a batch of one:
+/// dispatch_overhead_us + op_cost_us (scan_cost_us for scans).
+///
+/// Pass-through contract: with the rate gate off (the default), every call
+/// forwards to the inner method unchanged, so RUM accounting and returned
+/// contents are byte-identical to the undecorated method -- saturation_test
+/// pins this against a service-disabled run.
+///
+/// Threading: bookkeeping is mutex-guarded; the inner call happens OUTSIDE
+/// the lock, so partition-affine concurrent workers keep their parallelism
+/// and the inner method's determinism contract is untouched. The service
+/// ledger itself is exact under concurrency (mutex), but its latency
+/// histograms interleave arbitrarily; the determinism contract for
+/// scheduler statistics applies to single-threaded closed-loop runs and to
+/// RunOpenLoop.
+class ScheduledMethod : public AccessMethod, public KeyPartitioned {
+ public:
+  ScheduledMethod(std::unique_ptr<AccessMethod> inner,
+                  const Options& options);
+
+  /// Transparent: callers see the inner method's identity.
+  std::string_view name() const override { return inner_->name(); }
+
+  Status Insert(Key key, Value value) override;
+  Status Update(Key key, Value value) override;
+  Status Delete(Key key) override;
+  Result<Value> Get(Key key) override;
+  Status Scan(Key lo, Key hi, std::vector<Entry>* out) override;
+
+  /// Bulk creation and flush are setup traffic, not request traffic: they
+  /// bypass the front door entirely.
+  Status BulkLoad(std::span<const Entry> entries) override {
+    return inner_->BulkLoad(entries);
+  }
+  Status Flush() override { return inner_->Flush(); }
+
+  size_t size() const override { return inner_->size(); }
+  CounterSnapshot stats() const override { return inner_->stats(); }
+  void ResetStats() override { inner_->ResetStats(); }
+
+  // KeyPartitioned: forwarded so concurrent runs keep partition affinity.
+  size_t partitions() const override;
+  size_t PartitionOf(Key key) const override;
+
+  /// Snapshot of the service ledger (copy taken under the lock).
+  ServiceStats service_stats() const;
+
+  AccessMethod* inner() { return inner_.get(); }
+
+ private:
+  /// Front-door admission + clock advance for one request; returns false
+  /// when the request is shed. On true, `*cost_us` is the service time
+  /// charged.
+  bool Admit(bool is_scan, uint64_t* cost_us);
+  /// Post-call accounting for an admitted request.
+  void Account(uint64_t cost_us, bool failed);
+
+  std::unique_ptr<AccessMethod> inner_;
+  Options::Service opts_;
+
+  mutable std::mutex mu_;
+  TokenBucket bucket_;
+  uint64_t now_us_ = 0;
+  ServiceStats stats_;
+
+  MetricsGroup metrics_;  ///< Last member: unregisters before state dies.
+};
+
+}  // namespace rum
+
+#endif  // RUMLAB_SERVICE_SCHEDULED_METHOD_H_

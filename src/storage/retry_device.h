@@ -20,10 +20,13 @@ namespace rum {
 /// Options::Storage::Retry.
 ///
 /// Each fallible operation (Allocate/Read/Write/FlushAll and pin
-/// acquisitions) is attempted up to `max_attempts` times. Only kIOError is
-/// retried: a transient fault may clear on re-attempt, but kCorruption is a
-/// checksum mismatch on durable bytes and does not heal, and argument errors
-/// are the caller's bug. Every attempt that failed *with kIOError* charges
+/// acquisitions) is attempted up to `max_attempts` times; the per-op-class
+/// policies (retry.read/write/pin/allocate/flush) override the global
+/// attempts and backoff base for their class when non-zero (0 = inherit),
+/// so a stack can retry reads hard while failing writes fast. Only kIOError
+/// is retried: a transient fault may clear on re-attempt, but kCorruption
+/// is a checksum mismatch on durable bytes and does not heal, and argument
+/// errors are the caller's bug. Every attempt that failed *with kIOError* charges
 /// one `io_errors` tick and every re-attempt one `retries` tick on the
 /// counters supplied at construction (so `io_errors - retries` equals the
 /// number of operations that ultimately failed with kIOError, and wrapping
@@ -35,6 +38,13 @@ namespace rum {
 /// adds `backoff_base_us << (k-1)` to an accumulated virtual wait readable
 /// via simulated_backoff_us(). This keeps chaos runs fast and replays
 /// deterministic.
+///
+/// Exhausting a real retry budget (effective attempts > 1) without the
+/// fault clearing returns kUnavailable wrapping the last kIOError message,
+/// with the attempt count and total simulated backoff attached -- a
+/// terminal "kept trying and gave up" signal distinct from a fail-fast
+/// kIOError (policies with 1 attempt keep the raw code). Disable via
+/// retry.unavailable_when_exhausted = false.
 ///
 /// Pin guards are forwarded straight from the wrapped device: acquisition
 /// failures retry here, but a guard's dirty-release fault surfaces to the
@@ -70,6 +80,13 @@ class RetryingDevice : public Device {
   Status UnpinWrite(PageId, bool) override { return Status::OK(); }
 
  private:
+  /// The policy in force for one op class after per-class overrides.
+  struct Effective {
+    size_t attempts;
+    uint64_t backoff_base_us;
+  };
+  Effective PolicyFor(TraceOp op) const;
+
   /// Runs `op()` with the retry policy; `op` must be re-invocable.
   /// `traced_op`/`page` label the kRetryAttempt trace events.
   template <typename Op>

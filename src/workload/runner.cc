@@ -34,6 +34,11 @@ void ErrorTally::Count(const Status& s) {
     case Code::kCorruption:
       ++corruption;
       break;
+    case Code::kResourceExhausted:
+      // Service-layer admission control refused the request before storage
+      // was touched (ScheduledMethod / RequestScheduler shed).
+      ++shed;
+      break;
     default:
       ++other;
       break;
@@ -45,17 +50,20 @@ ErrorTally& ErrorTally::operator+=(const ErrorTally& o) {
   corruption += o.corruption;
   other += o.other;
   degraded_skips += o.degraded_skips;
+  shed += o.shed;
   return *this;
 }
 
 std::string ErrorTally::ToString() const {
-  char buf[128];
+  char buf[160];
   std::snprintf(buf, sizeof(buf),
-                "io=%llu corruption=%llu other=%llu degraded_skips=%llu",
+                "io=%llu corruption=%llu other=%llu degraded_skips=%llu "
+                "shed=%llu",
                 static_cast<unsigned long long>(io_errors),
                 static_cast<unsigned long long>(corruption),
                 static_cast<unsigned long long>(other),
-                static_cast<unsigned long long>(degraded_skips));
+                static_cast<unsigned long long>(degraded_skips),
+                static_cast<unsigned long long>(shed));
   return std::string(buf);
 }
 
@@ -209,7 +217,12 @@ Status ExecuteOnePolicied(AccessMethod* method, const WorkloadSpec& spec,
       ExecuteOne(method, spec, dice, key, scan_width, value_rng, scan_buffer);
   if (s.ok() || spec.error_mode == ErrorMode::kAbort) return s;
   tally->Count(s);
-  if (spec.error_mode == ErrorMode::kDegrade) *degraded = true;
+  // A service-layer shed (kResourceExhausted) is transient overload, not
+  // structural damage: it never flips degraded service.
+  if (spec.error_mode == ErrorMode::kDegrade &&
+      s.code() != Code::kResourceExhausted) {
+    *degraded = true;
+  }
   return Status::OK();
 }
 

@@ -24,6 +24,23 @@ enum class ErrorMode {
   kDegrade,
 };
 
+/// How requests arrive in time. Closed loop is the classic runner: the next
+/// operation issues the instant the previous one returns, so offered load
+/// always equals capacity. The open-loop processes issue requests on their
+/// own (virtual) clock regardless of completions -- the only shape under
+/// which offered load can *exceed* capacity, which is what the service
+/// layer's admission control exists to survive.
+enum class ArrivalProcess {
+  kClosedLoop,
+  /// Poisson arrivals: i.i.d. exponential inter-arrival gaps at
+  /// `offered_ops_per_sec` (virtual time, seeded, deterministic).
+  kPoisson,
+  /// On/off modulated Poisson: within each `burst_period_us` window the
+  /// first `burst_on_fraction` runs at `burst_factor` times the base rate
+  /// and the remainder runs slower, preserving the configured average.
+  kBursty,
+};
+
 /// Declarative description of a workload phase: an operation mix over a key
 /// space, plus scan selectivity. Fractions must sum to <= 1; the remainder
 /// is point queries.
@@ -62,6 +79,18 @@ struct WorkloadSpec {
 
   /// Response to operation errors (fault injection); see ErrorMode.
   ErrorMode error_mode = ErrorMode::kAbort;
+
+  /// Arrival process driving the phase (see ArrivalProcess). Open-loop
+  /// shapes are consumed by service::RunOpenLoop; the classic runner only
+  /// accepts kClosedLoop.
+  ArrivalProcess arrival = ArrivalProcess::kClosedLoop;
+  /// Open-loop offered load, in requests per virtual second. Must be > 0
+  /// for kPoisson/kBursty.
+  double offered_ops_per_sec = 0;
+  /// kBursty modulation: peak multiplier, on-fraction, and period.
+  double burst_factor = 8.0;
+  double burst_on_fraction = 0.25;
+  uint64_t burst_period_us = 100000;
 
   /// Canonical mixes used across the benches.
   static WorkloadSpec ReadOnly(uint64_t ops, Key key_range);

@@ -15,6 +15,7 @@
 
 #include "methods/factory.h"
 #include "methods/lsm/compaction_policy.h"
+#include "service/open_loop.h"
 #include "methods/lsm/lsm_tree.h"
 #include "storage/block_device.h"
 #include "storage/caching_device.h"
@@ -507,14 +508,16 @@ TEST(ChaosTest, RetryAccountingMatchesDeterministicReplay) {
     std::vector<uint8_t> out;
     *failed_ops = 0;
     for (PageId p : pages) {
+      // A real retry budget (3 attempts) that never heals surfaces as the
+      // terminal kUnavailable, not the per-attempt kIOError.
       Status w = device.Write(p, data);
       if (!w.ok()) {
-        EXPECT_EQ(w.code(), Code::kIOError) << w.ToString();
+        EXPECT_EQ(w.code(), Code::kUnavailable) << w.ToString();
         ++*failed_ops;
       }
       Status r = device.Read(p, &out);
       if (!r.ok()) {
-        EXPECT_EQ(r.code(), Code::kIOError) << r.ToString();
+        EXPECT_EQ(r.code(), Code::kUnavailable) << r.ToString();
         ++*failed_ops;
       }
     }
@@ -963,6 +966,102 @@ TEST(ChaosTest, CrossRunIndexAgreesWithGetsAfterCrash) {
     }
   }
   ASSERT_TRUE(testing_util::ScanMatchesReference(&tree, reference, 0, 600));
+}
+
+// ------------------------------------------- Fault storms through the
+// service layer
+
+/// Open-loop chaos run: the RunnerPlan fault storm underneath a scheduler
+/// driving Poisson arrivals. Returns the full report for ledger and replay
+/// assertions.
+ServiceReport ServeThroughStorm(ErrorMode mode) {
+  ChaosStack stack;
+  auto method = MakeAccessMethod("btree", SmallOptions(), &stack.cache);
+  EXPECT_NE(method, nullptr);
+  stack.faulty.SetPlan(RunnerPlan());
+  Options options = SmallOptions();
+  options.service.enabled = true;
+  options.service.queue_capacity = 64;
+  WorkloadSpec spec = ChaosSpec(mode);
+  spec.arrival = ArrivalProcess::kPoisson;
+  spec.offered_ops_per_sec = 100000;
+  Result<ServiceReport> r = RunOpenLoop(method.get(), spec, options);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? r.value() : ServiceReport{};
+}
+
+// A fault storm under open-loop arrivals keeps the two chaos guarantees:
+// every submitted request resolves to exactly one ledger bucket (no request
+// is lost to an error path), and every method failure the scheduler
+// absorbed is an explicit, tallied Status -- the same exact-or-explicit
+// contract the closed-loop tiers pin.
+TEST(ChaosTest, SchedulerFaultStormKeepsLedgerExactAndTalliesExplicitly) {
+  ServiceReport report = ServeThroughStorm(ErrorMode::kSkipAndCount);
+  const ServiceStats& s = report.stats;
+  EXPECT_EQ(s.submitted, 600u);
+  EXPECT_EQ(s.submitted, s.completed + s.deadline_missed + s.shed);
+  EXPECT_TRUE(s.LedgerHolds());
+  // The storm landed: failures were absorbed, counted, and match between
+  // the scheduler's books and the workload tally.
+  EXPECT_GT(s.failed, 0u);
+  EXPECT_EQ(s.failed, report.errors.failed());
+  EXPECT_EQ(s.degraded_skips, 0u);
+}
+
+// Degraded service inside the scheduler: after the first non-benign
+// failure, mutations complete as degraded skips without touching storage,
+// and the skips appear in both the ServiceStats ledger and the ErrorTally.
+TEST(ChaosTest, SchedulerDegradeModeWithholdsMutationsAfterFirstError) {
+  ServiceReport report = ServeThroughStorm(ErrorMode::kDegrade);
+  EXPECT_TRUE(report.stats.LedgerHolds());
+  EXPECT_GT(report.stats.failed, 0u);
+  EXPECT_GT(report.stats.degraded_skips, 0u);
+  EXPECT_EQ(report.stats.degraded_skips, report.errors.degraded_skips);
+}
+
+// Same seed, same storm, same arrivals: the whole report -- ledger,
+// latency summaries, error tally, RUM delta -- replays byte-for-byte.
+TEST(ChaosTest, SchedulerFaultStormReplaysByteIdentically) {
+  ServiceReport a = ServeThroughStorm(ErrorMode::kSkipAndCount);
+  ServiceReport b = ServeThroughStorm(ErrorMode::kSkipAndCount);
+  EXPECT_EQ(a.ToJson(), b.ToJson());
+}
+
+// Closed-loop differential under the same storm: the service front door
+// (Options::service.enabled through the factory) must not change what the
+// workload observes -- identical error tallies, identical injected-fault
+// counts, byte-identical physical traffic.
+TEST(ChaosTest, ServiceFrontDoorIsTransparentUnderFaultStorm) {
+  auto run_once = [](bool service_enabled, ErrorTally* tally,
+                     CounterSnapshot* snap) {
+    ChaosStack stack;
+    Options options = SmallOptions();
+    options.service.enabled = service_enabled;
+    auto method = MakeAccessMethod("btree", options, &stack.cache);
+    ASSERT_NE(method, nullptr);
+    stack.faulty.SetPlan(RunnerPlan());
+    Result<RumProfile> r = WorkloadRunner::Run(
+        method.get(), ChaosSpec(ErrorMode::kSkipAndCount));
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    *tally = r.value().errors();
+    *snap = stack.counters.snapshot();
+  };
+
+  ErrorTally direct, fronted;
+  CounterSnapshot sd, sf;
+  run_once(false, &direct, &sd);
+  run_once(true, &fronted, &sf);
+
+  EXPECT_GT(direct.failed(), 0u);
+  EXPECT_EQ(direct.io_errors, fronted.io_errors);
+  EXPECT_EQ(direct.corruption, fronted.corruption);
+  EXPECT_EQ(direct.other, fronted.other);
+  EXPECT_EQ(direct.shed, fronted.shed);
+  EXPECT_EQ(sd.blocks_read, sf.blocks_read);
+  EXPECT_EQ(sd.blocks_written, sf.blocks_written);
+  EXPECT_EQ(sd.bytes_read_base, sf.bytes_read_base);
+  EXPECT_EQ(sd.bytes_written_base, sf.bytes_written_base);
+  EXPECT_EQ(sd.io_errors, sf.io_errors);
 }
 
 }  // namespace

@@ -16,6 +16,7 @@
 #include "methods/sharded/sharded_method.h"
 #include "storage/block_device.h"
 #include "storage/caching_device.h"
+#include "storage/faulty_device.h"
 #include "tests/testing_util.h"
 #include "workload/distribution.h"
 #include "workload/runner.h"
@@ -369,6 +370,75 @@ TEST(ConcurrencyRunnerTest, WorkerCountCapsAtPartitions) {
   Result<RumProfile> profile = WorkloadRunner::Run(method.get(), spec);
   ASSERT_TRUE(profile.ok()) << profile.status().ToString();
   EXPECT_EQ(profile.value().delta.inserts, spec.operations);
+}
+
+// Degraded service under concurrency: four workers over four independently
+// faulted shards, ErrorMode::kDegrade. Each worker keeps its own tally
+// (including the mutations it withheld after its shard's first failure),
+// and for a fixed seed the per-worker tallies and their merge replay
+// exactly -- degraded_skips is an accounting quantity, not a race artifact.
+TEST(ConcurrencyRunnerTest, DegradedSkipsMergeDeterministicallyAcrossWorkers) {
+  constexpr size_t kShards = 4;
+  auto run_once = [&](std::vector<ErrorTally>* workers, ErrorTally* merged) {
+    struct FaultedWiring {
+      RumCounters counters;
+      BlockDevice bottom;
+      FaultyDevice faulty;
+      FaultedWiring() : bottom(512, &counters), faulty(&bottom) {}
+    };
+    std::vector<std::unique_ptr<FaultedWiring>> wiring;
+    std::vector<std::unique_ptr<AccessMethod>> shards;
+    Options options = SmallOptions();
+    for (size_t s = 0; s < kShards; ++s) {
+      wiring.push_back(std::make_unique<FaultedWiring>());
+      wiring.back()->faulty.SetPlan(FaultPlan::Transient(0xDE6 + s, 0.0)
+                                        .WithRate(FaultOp::kWrite, 0.02)
+                                        .WithRate(FaultOp::kAllocate, 0.02));
+      shards.push_back(
+          std::make_unique<BTree>(options, &wiring.back()->faulty));
+    }
+    // Declared after `wiring`, so the method dies before its devices.
+    ShardedMethod method("sharded-btree-faulted", std::move(shards));
+
+    WorkloadSpec spec;
+    spec.operations = 4000;
+    spec.key_range = 1u << 12;
+    spec.insert_fraction = 0.5;
+    spec.update_fraction = 0.1;
+    spec.delete_fraction = 0.1;
+    spec.scan_fraction = 0;  // Scans cross partitions; see runner.h.
+    spec.seed = 0xD16E5;
+    spec.concurrency = kShards;
+    spec.error_mode = ErrorMode::kDegrade;
+    Result<RumProfile> r = WorkloadRunner::Run(&method, spec);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    *workers = r.value().worker_errors;
+    *merged = r.value().errors();
+  };
+
+  std::vector<ErrorTally> w1, w2;
+  ErrorTally m1, m2;
+  run_once(&w1, &m1);
+  run_once(&w2, &m2);
+
+  ASSERT_EQ(w1.size(), kShards);
+  ASSERT_EQ(w2.size(), kShards);
+  uint64_t summed_skips = 0;
+  for (size_t i = 0; i < kShards; ++i) {
+    EXPECT_EQ(w1[i].io_errors, w2[i].io_errors) << "worker " << i;
+    EXPECT_EQ(w1[i].corruption, w2[i].corruption) << "worker " << i;
+    EXPECT_EQ(w1[i].other, w2[i].other) << "worker " << i;
+    EXPECT_EQ(w1[i].degraded_skips, w2[i].degraded_skips) << "worker " << i;
+    EXPECT_EQ(w1[i].shed, w2[i].shed) << "worker " << i;
+    summed_skips += w1[i].degraded_skips;
+  }
+  // The storm degraded at least one worker, and the merge is the exact
+  // field-wise sum of what the workers saw.
+  EXPECT_GT(m1.failed(), 0u);
+  EXPECT_GT(m1.degraded_skips, 0u);
+  EXPECT_EQ(m1.degraded_skips, summed_skips);
+  EXPECT_EQ(m1.degraded_skips, m2.degraded_skips);
+  EXPECT_EQ(m1.io_errors, m2.io_errors);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -12,6 +12,7 @@
 #include "storage/caching_device.h"
 #include "storage/faulty_device.h"
 #include "storage/heap_file.h"
+#include "storage/retry_device.h"
 #include "tests/testing_util.h"
 #include "workload/distribution.h"
 
@@ -275,6 +276,65 @@ TEST(FaultTest, AllFactoryMethodsSurviveReadFaults) {
   }
   // Sanity: the outage was real -- the device-backed methods did fault.
   EXPECT_GT(total_faulted, 0u);
+}
+
+// ---------------------------------------------- Per-op-class retry policy
+
+// Per-class retry overrides apply independently: reads retry to their own
+// budget while writes keep the global fail-fast policy, and an exhausted
+// real budget surfaces the terminal kUnavailable carrying the attempt count
+// and total simulated backoff.
+TEST(FaultTest, PerOpClassRetryPoliciesApplyIndependently) {
+  RumCounters counters;
+  BlockDevice base(512, &counters);
+  FaultyDevice faulty(&base);
+  Options options;
+  options.storage.retry.max_attempts = 1;    // Global: fail fast.
+  options.storage.retry.read.max_attempts = 4;
+  options.storage.retry.read.backoff_base_us = 5;
+  RetryingDevice device(&faulty, options, &counters);
+
+  PageId p = testing_util::MustAllocate(device, DataClass::kBase);
+  std::vector<uint8_t> data(512, 0x5a);
+  ASSERT_TRUE(device.Write(p, data).ok());
+
+  // Permanent read outage: the read budget (4 attempts) is consumed and the
+  // failure surfaces as kUnavailable with the budget attached.
+  faulty.SetPlan(FaultPlan::Transient(1234, 0.0).WithRate(FaultOp::kRead, 1.0));
+  std::vector<uint8_t> out;
+  Status r = device.Read(p, &out);
+  EXPECT_EQ(r.code(), Code::kUnavailable) << r.ToString();
+  EXPECT_NE(r.message().find("4 attempts"), std::string::npos) << r.ToString();
+  // Backoff 5us doubling across 3 re-attempts: 5 + 10 + 20.
+  EXPECT_EQ(device.simulated_backoff_us(), 35u);
+  CounterSnapshot snap = counters.snapshot();
+  EXPECT_EQ(snap.io_errors, 4u);
+  EXPECT_EQ(snap.retries, 3u);
+
+  // Writes inherit the fail-fast global policy: one attempt, raw kIOError
+  // (a 1-attempt policy never upgrades to kUnavailable), no new retries.
+  faulty.SetPlan(FaultPlan::Transient(1234, 0.0).WithRate(FaultOp::kWrite, 1.0));
+  Status w = device.Write(p, data);
+  EXPECT_EQ(w.code(), Code::kIOError) << w.ToString();
+  EXPECT_EQ(counters.snapshot().retries, 3u);
+  EXPECT_EQ(device.simulated_backoff_us(), 35u);
+}
+
+// unavailable_when_exhausted = false keeps the raw kIOError even for real
+// budgets, for callers that want the legacy code.
+TEST(FaultTest, RetryExhaustionKeepsIoErrorWhenUpgradeDisabled) {
+  RumCounters counters;
+  BlockDevice base(512, &counters);
+  FaultyDevice faulty(&base);
+  Options options;
+  options.storage.retry.max_attempts = 3;
+  options.storage.retry.unavailable_when_exhausted = false;
+  RetryingDevice device(&faulty, options, &counters);
+
+  PageId p = testing_util::MustAllocate(device, DataClass::kBase);
+  faulty.SetPlan(FaultPlan::Transient(77, 0.0).WithRate(FaultOp::kRead, 1.0));
+  std::vector<uint8_t> out;
+  EXPECT_EQ(device.Read(p, &out).code(), Code::kIOError);
 }
 
 }  // namespace

@@ -172,6 +172,28 @@ TEST(LatencyHistogramTest, MergeMatchesCombinedRecording) {
   }
 }
 
+// The p999 accessor and cumulative counts back the saturation tier's SLO
+// arithmetic: completions at-or-under a latency bound must be exact for
+// small values (where buckets are 1-wide), and p999 must land between p99
+// and max and appear in the JSON export.
+TEST(LatencyHistogramTest, TailAccessorsAndCumulativeCounts) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.p999(), 0u);  // Empty histogram: all tails zero.
+  EXPECT_EQ(h.CountAtOrBelow(100), 0u);
+  for (uint64_t v = 1; v <= 60; ++v) h.Record(v);
+  h.Record(5000);
+  // Values <= 64 sit in exact 1-wide buckets.
+  EXPECT_EQ(h.CountAtOrBelow(0), 0u);
+  EXPECT_EQ(h.CountAtOrBelow(30), 30u);
+  EXPECT_EQ(h.CountAtOrBelow(60), 60u);
+  EXPECT_EQ(h.CountAtOrBelow(2500), 60u);  // Bound below the outlier's bucket.
+  EXPECT_EQ(h.CountAtOrBelow(5000), 61u);
+  EXPECT_GE(h.p999(), h.Percentile(0.99));
+  EXPECT_LE(h.p999(), h.max());
+  std::string json = h.ToJson();
+  EXPECT_NE(json.find("\"p999\":"), std::string::npos);
+}
+
 // -------------------------------------------------------- MetricsRegistry
 
 TEST(MetricsRegistryTest, OwnedCountersWorkRegardlessOfEnabled) {
