@@ -10,11 +10,16 @@
 #include <string>
 #include <vector>
 
+#include "adaptive/memory_arbiter.h"
 #include "bench/bench_util.h"
 #include "core/access_method.h"
+#include "core/memory_budget.h"
 #include "core/metrics.h"
 #include "methods/factory.h"
+#include "methods/lsm/lsm_tree.h"
 #include "service/open_loop.h"
+#include "storage/block_device.h"
+#include "storage/caching_device.h"
 #include "workload/runner.h"
 
 namespace rum {
@@ -72,6 +77,26 @@ std::vector<SatRow>& SatRows() {
   return rows;
 }
 
+// One row of the "memory_pressure" JSON section: a static or arbitrated
+// split of one global byte budget driven through the phase-shifting
+// hot-read / write-burst workload (EXPERIMENTS.md A10). The score is bytes
+// that reached the base device -- the traffic memory failed to absorb.
+struct MemRow {
+  std::string config;
+  bool arbitrated;
+  uint64_t budget_bytes;
+  uint64_t base_traffic_bytes;
+  uint64_t cache_bytes;
+  uint64_t memtable_bytes;
+  uint64_t filter_bytes;
+  uint64_t replans;
+};
+
+std::vector<MemRow>& MemRows() {
+  static std::vector<MemRow> rows;
+  return rows;
+}
+
 void WriteJson(const char* path) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
@@ -91,6 +116,25 @@ void WriteJson(const char* path) {
         r.read_overhead, r.update_overhead, r.memory_overhead,
         static_cast<unsigned long long>(r.ops), r.latency_json.c_str(),
         i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"memory_pressure\": [\n");
+  const std::vector<MemRow>& mem = MemRows();
+  for (size_t i = 0; i < mem.size(); ++i) {
+    const MemRow& r = mem[i];
+    std::fprintf(
+        f,
+        "    {\"config\": \"%s\", \"arbitrated\": %s, "
+        "\"budget_bytes\": %llu, \"base_traffic_bytes\": %llu, "
+        "\"cache_bytes\": %llu, \"memtable_bytes\": %llu, "
+        "\"filter_bytes\": %llu, \"replans\": %llu}%s\n",
+        r.config.c_str(), r.arbitrated ? "true" : "false",
+        static_cast<unsigned long long>(r.budget_bytes),
+        static_cast<unsigned long long>(r.base_traffic_bytes),
+        static_cast<unsigned long long>(r.cache_bytes),
+        static_cast<unsigned long long>(r.memtable_bytes),
+        static_cast<unsigned long long>(r.filter_bytes),
+        static_cast<unsigned long long>(r.replans),
+        i + 1 < mem.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n  \"saturation\": [\n");
   const std::vector<SatRow>& sat = SatRows();
@@ -374,6 +418,90 @@ void SweepSaturation(const std::string& inner) {
       "tail flat.\n");
 }
 
+// ---------------------------------------------- Memory-pressure sweep (A10)
+
+// The memory_arbiter_test acceptance case at bench scale: one global byte
+// budget, three static splits vs the adaptive arbiter, scored on bytes of
+// base-device traffic under a phase-shifting hot-read / write-burst
+// workload. Serial and fully seeded: the rows are exactly reproducible.
+void SweepMemoryPressure() {
+  Banner(
+      "memory-pressure sweep (A10): static splits vs the adaptive arbiter");
+  constexpr size_t kBlock = 512;
+  constexpr Key kLoad = 4000;
+  constexpr Key kHot = 1500;
+  constexpr int kReadsPerPhase = 8000;
+  constexpr Key kWritesPerPhase = 4000;
+  // Every configuration spends the same total: cache pages + memtable
+  // entries (32 bytes each) + bloom seed (1 byte/entry at 8 bits/key).
+  const uint64_t budget = 48 * kBlock + 768 * 32 + 8 * 768 / 8;
+
+  struct Config {
+    const char* name;
+    size_t cache_pages;
+    size_t memtable_entries;
+    bool arbitrated;
+  };
+  const Config configs[] = {
+      {"static/read-tilted", 80, 271, false},
+      {"static/balanced", 48, 768, false},
+      {"static/write-tilted", 16, 1264, false},
+      {"arbitrated", 48, 768, true},
+  };
+
+  Table table({"config", "base traffic KiB", "cache B", "memtable B",
+               "filter B", "replans"});
+  for (const Config& c : configs) {
+    MemoryArbiter arbiter({.budget_bytes = budget, .epoch_ops = 512});
+    Options options;
+    options.block_size = kBlock;
+    options.lsm.memtable_entries = c.memtable_entries;
+    options.lsm.size_ratio = 3;
+    options.lsm.bloom_bits_per_key = 8;
+    options.memory.enabled = c.arbitrated;
+    options.memory.arbiter = c.arbitrated ? &arbiter : nullptr;
+
+    RumCounters base_counters;
+    BlockDevice base(kBlock, &base_counters);
+    CachingDevice cache(&base, c.cache_pages,
+                        c.arbitrated ? &arbiter : nullptr);
+    LsmTree tree(options, &cache);
+
+    Key next_key = kLoad;
+    for (Key k = 0; k < kLoad; ++k) {
+      (void)tree.Insert(k, k * 2654435761u);
+    }
+    for (int cycle = 0; cycle < 2; ++cycle) {
+      for (int i = 0; i < kReadsPerPhase; ++i) {
+        (void)tree.Get(static_cast<Key>(i) % kHot);
+      }
+      for (Key w = 0; w < kWritesPerPhase; ++w) {
+        Key k = next_key++;
+        (void)tree.Insert(k, k * 2654435761u);
+      }
+    }
+
+    CounterSnapshot s = base_counters.snapshot();
+    uint64_t traffic = s.bytes_read_base + s.bytes_read_aux +
+                       s.bytes_written_base + s.bytes_written_aux;
+    MemorySplit split = c.arbitrated ? arbiter.split() : MemorySplit{};
+    MemRows().push_back(MemRow{c.name, c.arbitrated, budget, traffic,
+                               split.cache_bytes, split.memtable_bytes,
+                               split.filter_bytes, split.replans});
+    table.AddRow({c.name, Fmt("%.1f", static_cast<double>(traffic) / 1024.0),
+                  FmtU(split.cache_bytes), FmtU(split.memtable_bytes),
+                  FmtU(split.filter_bytes), FmtU(split.replans)});
+  }
+  table.Print();
+  std::printf(
+      "\nReading the table: every row spends the same %llu-byte budget. The\n"
+      "static splits each win one phase and lose the other; the arbitrated\n"
+      "row re-splits at epoch boundaries (cache bytes up in read phases,\n"
+      "memtable bytes up in write bursts) and posts the lowest base-device\n"
+      "traffic overall.\n",
+      static_cast<unsigned long long>(budget));
+}
+
 }  // namespace
 }  // namespace rum
 
@@ -398,6 +526,7 @@ int main(int argc, char** argv) {
   rum::SweepMethod("lsm-leveled");
   rum::SweepAnalytics("lsm-tiered");
   rum::SweepSaturation("skiplist");
+  rum::SweepMemoryPressure();
   std::printf(
       "\nExpected shape: throughput climbs with threads until threads ==\n"
       "shards, then flattens; amplifications stay within noise of the\n"

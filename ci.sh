@@ -43,6 +43,14 @@ if [[ "${STAGE}" == "all" || "${STAGE}" == "release" ]]; then
   # instead of failing it.
   echo "=== release: saturation tier (explicit, with timeout) ==="
   (cd build-ci && ctest --output-on-failure --timeout 120 -R saturation_test)
+  # The memory-arbiter tier is re-run explicitly: its differential cases
+  # (enabled=false byte-identical to static; a never-replanning arbiter
+  # byte-identical to the unarbitrated twin) and the A10 acceptance case
+  # (arbitrated budget beats every static split, shares migrating with the
+  # phases) are the PR's contract, and a filtered config must never drop
+  # them silently.
+  echo "=== release: memory-arbiter tier (explicit) ==="
+  (cd build-ci && ctest --output-on-failure -R memory_arbiter_test)
   echo "=== release: machine-readable bench smoke ==="
   # The two JSON-emitting benches must run and produce parseable output; no
   # thresholds are enforced here (wall-clock is not comparable across CI
@@ -194,6 +202,11 @@ if [[ "${STAGE}" == "all" || "${STAGE}" == "asan" ]]; then
   # virtual clock keeps the queueing dynamics identical to the Release run.
   echo "=== asan: saturation tier (explicit, with timeout) ==="
   (cd build-asan && ctest --output-on-failure --timeout 300 -R saturation_test)
+  # The memory-arbiter tier runs under ASan with the live-resize machinery
+  # watched: SetCapacity trims evict real pages, filter rebuilds swap real
+  # bloom blocks, and the ledger tests walk every footprint term.
+  echo "=== asan: memory-arbiter tier (explicit) ==="
+  (cd build-asan && ctest --output-on-failure -R memory_arbiter_test)
 fi
 
 if [[ "${STAGE}" == "all" || "${STAGE}" == "tsan" ]]; then
@@ -211,7 +224,10 @@ if [[ "${STAGE}" == "all" || "${STAGE}" == "tsan" ]]; then
   # saturation_test rides in the TSan tier for the closed-loop front door:
   # ScheduledMethod's mutex-guarded bookkeeping around unlocked inner calls
   # is exactly the shape TSan exists to check.
-  TSAN_FILTER="-R concurrency_test|differential_test|scan_differential_test|chaos_test|trace_test|compaction_policy_test|saturation_test"
+  # memory_arbiter_test rides along for the arbiter's lock discipline: the
+  # lock-free epoch clock, the replan's arbiter-mutex -> component-atomics
+  # ordering, and the pool registration/unregistration paths.
+  TSAN_FILTER="-R concurrency_test|differential_test|scan_differential_test|chaos_test|trace_test|compaction_policy_test|saturation_test|memory_arbiter_test"
   if [[ "${RUMLAB_CI_FULL_TSAN:-0}" == "1" ]]; then
     TSAN_FILTER=""
   fi

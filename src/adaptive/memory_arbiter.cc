@@ -1,0 +1,249 @@
+#include "adaptive/memory_arbiter.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rum {
+namespace {
+
+constexpr size_t kKindCount = 3;
+
+size_t KindIndex(MemoryPoolKind kind) { return static_cast<size_t>(kind); }
+
+/// budget * part / total without uint64 overflow (both can be large).
+uint64_t ScaleShare(uint64_t budget, uint64_t part, uint64_t total) {
+  if (total == 0) return 0;
+  return static_cast<uint64_t>(
+      (static_cast<unsigned __int128>(budget) * part) / total);
+}
+
+}  // namespace
+
+MemoryArbiter::MemoryArbiter(const Config& config)
+    : config_(Config{
+          config.budget_bytes,
+          std::max<uint64_t>(1, config.epoch_ops),
+          std::clamp(config.min_share, 0.0, 1.0 / kKindCount),
+          std::clamp(config.step_fraction, 1e-6, 1.0),
+      }) {}
+
+MemoryArbiter::~MemoryArbiter() = default;
+
+void MemoryArbiter::RegisterPool(MemoryPool* pool) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PoolState state;
+  state.pool = pool;
+  state.assigned = 0;
+  // Snapshot the pool's *configured* size before this arbiter ever touches
+  // it: seeding must be proportional to the static shape, not to whatever
+  // an earlier seed already assigned (registration order must not skew).
+  state.configured = pool->pool_bytes();
+  state.last_signal = pool->BenefitSignal();
+  pools_.push_back(state);
+  SeedSplitLocked();
+}
+
+void MemoryArbiter::UnregisterPool(MemoryPool* pool) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < pools_.size(); ++i) {
+    if (pools_[i].pool == pool) {
+      pools_.erase(pools_.begin() + static_cast<ptrdiff_t>(i));
+      break;
+    }
+  }
+  // Survivors inherit the freed bytes (mid-teardown this resizes only
+  // still-registered pools, which are by contract still alive).
+  if (!pools_.empty()) SeedSplitLocked();
+}
+
+void MemoryArbiter::NotePoolOps(uint64_t ops) {
+  if (ops == 0) return;
+  // Lock-free epoch clock: the thread whose add crosses an epoch_ops
+  // multiple runs the replan. No per-op mutex, no missed epochs.
+  uint64_t before = ops_.fetch_add(ops, std::memory_order_relaxed);
+  if (before / config_.epoch_ops != (before + ops) / config_.epoch_ops) {
+    Replan();
+  }
+}
+
+void MemoryArbiter::Replan() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ReplanLocked();
+}
+
+size_t MemoryArbiter::pool_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pools_.size();
+}
+
+uint64_t MemoryArbiter::replans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return replans_;
+}
+
+MemorySplit MemoryArbiter::split() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MemorySplit s;
+  s.budget_bytes = config_.budget_bytes;
+  s.replans = replans_;
+  for (const PoolState& p : pools_) {
+    switch (p.pool->pool_kind()) {
+      case MemoryPoolKind::kCache:
+        s.cache_bytes += p.assigned;
+        break;
+      case MemoryPoolKind::kMemtable:
+        s.memtable_bytes += p.assigned;
+        break;
+      case MemoryPoolKind::kFilter:
+        s.filter_bytes += p.assigned;
+        break;
+    }
+  }
+  return s;
+}
+
+void MemoryArbiter::SeedSplitLocked() {
+  if (pools_.empty()) return;
+  // Proportional to each pool's registration-time configured size: the
+  // seeded split is the static configuration's *shape* rescaled to the
+  // global budget. In particular, budget == sum(configured) seeds every
+  // pool at exactly its static size (the disabled-differential identity).
+  uint64_t total = 0;
+  for (const PoolState& p : pools_) total += p.configured;
+  uint64_t handed_out = 0;
+  for (PoolState& p : pools_) {
+    p.assigned = total == 0
+                     ? config_.budget_bytes / pools_.size()
+                     : ScaleShare(config_.budget_bytes, p.configured, total);
+    handed_out += p.assigned;
+  }
+  // Exact-integer conservation: leftover floor-division bytes go to the
+  // earliest-registered pools, one each.
+  uint64_t remainder = config_.budget_bytes - handed_out;
+  for (size_t i = 0; remainder > 0 && i < pools_.size(); ++i, --remainder) {
+    ++pools_[i].assigned;
+  }
+  for (PoolState& p : pools_) p.pool->SetPoolBytes(p.assigned);
+}
+
+void MemoryArbiter::ReplanLocked() {
+  if (pools_.empty()) return;
+
+  // Per-kind signal deltas and currently-assigned bytes.
+  uint64_t delta[kKindCount] = {0, 0, 0};
+  uint64_t assigned[kKindCount] = {0, 0, 0};
+  size_t pool_count[kKindCount] = {0, 0, 0};
+  for (PoolState& p : pools_) {
+    size_t k = KindIndex(p.pool->pool_kind());
+    uint64_t signal = p.pool->BenefitSignal();
+    // Signals are contractually monotone; a pool that resets anyway (e.g.
+    // across a crash simulation) contributes zero rather than wrapping.
+    if (signal > p.last_signal) delta[k] += signal - p.last_signal;
+    p.last_signal = signal;
+    assigned[k] += p.assigned;
+    ++pool_count[k];
+  }
+
+  // A dead-quiet epoch is evidence of nothing: keep the current split.
+  if (delta[0] + delta[1] + delta[2] == 0) return;
+
+  // Marginal utility: avoidable downstream traffic per byte already
+  // spent. Dividing by the assignment is what makes a small pool with a
+  // modest delta outrank a huge pool with a slightly larger one.
+  size_t present = 0;
+  double utility[kKindCount] = {0.0, 0.0, 0.0};
+  double utility_sum = 0.0;
+  for (size_t k = 0; k < kKindCount; ++k) {
+    if (pool_count[k] == 0) continue;
+    ++present;
+    utility[k] = static_cast<double>(delta[k]) /
+                 static_cast<double>(std::max<uint64_t>(1, assigned[k]));
+    utility_sum += utility[k];
+  }
+  if (utility_sum <= 0.0) return;
+
+  // Target shares: every present kind keeps min_share (a starved pool
+  // stops generating the very signal that would rescue it); the rest of
+  // the budget follows the utilities.
+  const double budget = static_cast<double>(config_.budget_bytes);
+  const double floor_share = config_.min_share;
+  const double free_mass =
+      1.0 - static_cast<double>(present) * floor_share;
+  double desired[kKindCount] = {0.0, 0.0, 0.0};
+  for (size_t k = 0; k < kKindCount; ++k) {
+    if (pool_count[k] == 0) continue;
+    desired[k] =
+        (floor_share + free_mass * (utility[k] / utility_sum)) * budget;
+  }
+
+  // Clamp total movement to step_fraction * budget per replan: adaptation
+  // is a sequence of bounded steps, not a slam to the epoch's winner.
+  double grow_total = 0.0;
+  for (size_t k = 0; k < kKindCount; ++k) {
+    double diff = desired[k] - static_cast<double>(assigned[k]);
+    if (diff > 0.0) grow_total += diff;
+  }
+  const double max_move = config_.step_fraction * budget;
+  const double scale = grow_total > max_move ? max_move / grow_total : 1.0;
+
+  uint64_t kind_bytes[kKindCount] = {0, 0, 0};
+  for (size_t k = 0; k < kKindCount; ++k) {
+    if (pool_count[k] == 0) continue;
+    double moved = static_cast<double>(assigned[k]) +
+                   (desired[k] - static_cast<double>(assigned[k])) * scale;
+    kind_bytes[k] = static_cast<uint64_t>(std::max(0.0, moved));
+  }
+
+  ApplyKindTargetsLocked(kind_bytes);
+  ++replans_;
+}
+
+void MemoryArbiter::ApplyKindTargetsLocked(const uint64_t kind_bytes[3]) {
+  // Exact-integer renormalization: floating-point targets drift a few
+  // bytes off the budget; hand the difference to present kinds in fixed
+  // kind order so the assigned total is always exactly the budget.
+  uint64_t target[kKindCount];
+  size_t pool_count[kKindCount] = {0, 0, 0};
+  for (const PoolState& p : pools_) {
+    ++pool_count[KindIndex(p.pool->pool_kind())];
+  }
+  uint64_t total = 0;
+  for (size_t k = 0; k < kKindCount; ++k) {
+    target[k] = pool_count[k] == 0 ? 0 : kind_bytes[k];
+    total += target[k];
+  }
+  if (total > config_.budget_bytes) {
+    uint64_t excess = total - config_.budget_bytes;
+    for (size_t k = 0; k < kKindCount && excess > 0; ++k) {
+      uint64_t cut = std::min(excess, target[k]);
+      target[k] -= cut;
+      excess -= cut;
+    }
+  } else {
+    uint64_t shortfall = config_.budget_bytes - total;
+    for (size_t k = 0; k < kKindCount && shortfall > 0; ++k) {
+      if (pool_count[k] == 0) continue;
+      target[k] += shortfall;
+      shortfall = 0;
+    }
+  }
+
+  // Within a kind: equal division in registration order, remainder bytes
+  // one each to the earliest pools (sharded symmetry + determinism).
+  size_t seen[kKindCount] = {0, 0, 0};
+  for (PoolState& p : pools_) {
+    size_t k = KindIndex(p.pool->pool_kind());
+    uint64_t per = target[k] / pool_count[k];
+    uint64_t rem = target[k] % pool_count[k];
+    uint64_t bytes = per + (seen[k] < rem ? 1 : 0);
+    ++seen[k];
+    if (bytes != p.assigned) {
+      p.assigned = bytes;
+      p.pool->SetPoolBytes(bytes);
+    } else {
+      p.assigned = bytes;
+    }
+  }
+}
+
+}  // namespace rum

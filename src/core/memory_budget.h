@@ -1,0 +1,116 @@
+#ifndef RUMLAB_CORE_MEMORY_BUDGET_H_
+#define RUMLAB_CORE_MEMORY_BUDGET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace rum {
+
+/// The three memory consumers the global arbiter splits one byte budget
+/// across -- Figure 2's hierarchy levels made explicit. Each kind buys down
+/// a different overhead at the level below it:
+///  - kCache:    cache capacity buys physical read traffic (RO at level n);
+///  - kMemtable: write-buffer size buys flush/merge volume (UO below);
+///  - kFilter:   bloom/sketch bits buy false-positive page reads (RO below).
+enum class MemoryPoolKind {
+  kCache = 0,
+  kMemtable = 1,
+  kFilter = 2,
+};
+
+inline std::string_view MemoryPoolKindName(MemoryPoolKind kind) {
+  switch (kind) {
+    case MemoryPoolKind::kCache:
+      return "cache";
+    case MemoryPoolKind::kMemtable:
+      return "memtable";
+    case MemoryPoolKind::kFilter:
+      return "filter";
+  }
+  return "unknown";
+}
+
+/// One resizable memory consumer registered with a MemoryRegistrar.
+///
+/// Contract:
+///  - pool_bytes() is the budget currently assigned to this pool, in bytes.
+///    It must be the value of the last SetPoolBytes call (or the
+///    construction-time configuration before any call) -- NOT instantaneous
+///    residency, which may transiently overshoot (pinned cache pages) or
+///    undershoot (a just-flushed memtable).
+///  - SetPoolBytes(bytes) retargets the pool. Resizing is asynchronous by
+///    design: a cache trims overshoot as pins release, a memtable applies
+///    the new threshold at the next flush boundary, a filter re-budgets at
+///    the next (re)build. The pool must converge toward the target without
+///    wedging on transient pins or in-flight operations.
+///  - BenefitSignal() is a monotone counter estimating the *bytes of
+///    avoidable downstream traffic* attributable to this pool's scarcity
+///    (cache: miss bytes; memtable: flush+merge bytes; filter:
+///    false-positive page bytes). The arbiter differences it per epoch, so
+///    only deltas matter; units must be bytes so kinds are comparable.
+///
+/// Thread safety: pool_bytes/BenefitSignal/SetPoolBytes may be called from
+/// whatever thread trips the arbiter's epoch, concurrently with the owner's
+/// operations. Implementations use their own lock or relaxed atomics. A pool
+/// must never call back into its registrar from inside these methods.
+class MemoryPool {
+ public:
+  virtual ~MemoryPool() = default;
+
+  virtual std::string_view pool_name() const = 0;
+  virtual MemoryPoolKind pool_kind() const = 0;
+  virtual uint64_t pool_bytes() const = 0;
+  virtual void SetPoolBytes(uint64_t bytes) = 0;
+  virtual uint64_t BenefitSignal() const = 0;
+};
+
+/// A snapshot of how the global budget is currently split across kinds.
+struct MemorySplit {
+  uint64_t budget_bytes = 0;
+  uint64_t cache_bytes = 0;
+  uint64_t memtable_bytes = 0;
+  uint64_t filter_bytes = 0;
+  /// Replans executed since construction (0 = still the seeded split).
+  uint64_t replans = 0;
+
+  uint64_t assigned_total() const {
+    return cache_bytes + memtable_bytes + filter_bytes;
+  }
+  std::string ToString() const {
+    std::string s = "split{cache=" + std::to_string(cache_bytes) +
+                    " memtable=" + std::to_string(memtable_bytes) +
+                    " filter=" + std::to_string(filter_bytes) +
+                    " budget=" + std::to_string(budget_bytes) +
+                    " replans=" + std::to_string(replans) + "}";
+    return s;
+  }
+};
+
+/// The registration surface components see (the arbiter implements it in
+/// src/adaptive/; this interface lives in core/ so storage and method
+/// layers can hold a pointer without a link-time dependency on adaptive/).
+///
+/// Lifetime: the registrar must outlive every registered pool's
+/// registration window -- pools unregister in their destructors, so in
+/// practice the arbiter is declared before (destroyed after) the stack it
+/// arbitrates. Options::memory carries a non-owning pointer to one.
+class MemoryRegistrar {
+ public:
+  virtual ~MemoryRegistrar() = default;
+
+  virtual void RegisterPool(MemoryPool* pool) = 0;
+  virtual void UnregisterPool(MemoryPool* pool) = 0;
+
+  /// Advances the epoch clock by `ops` logical operations. Components call
+  /// this OUTSIDE their own locks (a replan triggered here calls back into
+  /// SetPoolBytes, which takes component locks).
+  virtual void NotePoolOps(uint64_t ops) = 0;
+
+  /// The current split (per-kind totals over registered pools).
+  virtual MemorySplit split() const = 0;
+};
+
+}  // namespace rum
+
+#endif  // RUMLAB_CORE_MEMORY_BUDGET_H_

@@ -16,14 +16,20 @@ void LatencyHistogram::Merge(const LatencyHistogram& other) {
 }
 
 uint64_t LatencyHistogram::Percentile(double q) const {
+  // Empty (or merged-from-empties) histograms have no order statistics;
+  // answer 0 instead of walking buckets toward max_ (which is 0 anyway) --
+  // and never let the cast below see garbage.
   if (count_ == 0) return 0;
-  if (q < 0.0) q = 0.0;
+  // Clamp written so NaN fails into q = 0 rather than passing both range
+  // checks and reaching the uint64_t cast (UB on NaN).
+  if (!(q >= 0.0)) q = 0.0;
   if (q > 1.0) q = 1.0;
   // Rank of the q-th sample, 1-based, matching CostPercentiles::From's
   // ceil(q * n) order statistic.
   uint64_t rank = static_cast<uint64_t>(
       std::ceil(q * static_cast<double>(count_)));
   if (rank == 0) rank = 1;
+  if (rank > count_) rank = count_;
   uint64_t seen = 0;
   for (size_t i = 0; i < kBucketCount; ++i) {
     seen += buckets_[i];
@@ -39,12 +45,16 @@ uint64_t LatencyHistogram::Percentile(double q) const {
 }
 
 uint64_t LatencyHistogram::CountAtOrBelow(uint64_t value) const {
+  // Empty and merged-empty histograms hold no samples at any bound.
   if (count_ == 0) return 0;
   // Every bucket up to and including value's own bucket: a sample in that
   // bucket has lower_bound <= value, so it is counted as meeting the bound.
+  // The index is re-clamped to the array even if BucketIndex ever returned
+  // an out-of-range slot for a hostile value.
   size_t last = BucketIndex(value);
+  if (last >= kBucketCount) last = kBucketCount - 1;
   uint64_t seen = 0;
-  for (size_t i = 0; i <= last && i < kBucketCount; ++i) seen += buckets_[i];
+  for (size_t i = 0; i <= last; ++i) seen += buckets_[i];
   return seen;
 }
 

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "core/memory_budget.h"
 #include "core/status.h"
 #include "core/types.h"
 
@@ -332,6 +333,36 @@ struct Options {
     /// 0 means every completion counts.
     uint64_t slo_us = 0;
   } service;
+
+  // ------------------------------------------------------- Memory arbitration
+  /// Global adaptive memory arbitration (src/adaptive/memory_arbiter.h):
+  /// one byte budget dynamically split across CachingDevice capacity, LSM
+  /// memtable thresholds, and bloom/sketch filter memory, re-planned every
+  /// `epoch_ops` logical operations from marginal-benefit estimates (cache
+  /// miss bytes, flush/merge bytes, filter false-positive bytes).
+  ///
+  /// Off (the default), no pool registers and every component keeps its
+  /// statically configured size -- the byte-identical static path that
+  /// memory_arbiter_test's differential case enforces. On, components
+  /// constructed with these options register their pools with `arbiter`
+  /// (the factory passes one Options to every shard, so a sharded stack
+  /// registers every shard's pools with the same arbiter).
+  struct Memory {
+    /// Master switch; requires `arbiter` to be set.
+    bool enabled = false;
+    /// Logical operations between replans (the epoch tick).
+    uint64_t epoch_ops = 8192;
+    /// Floor share of the budget each pool *kind* keeps, so a cold
+    /// component is never starved to zero and can show fresh pressure.
+    double min_share = 0.05;
+    /// Fraction of the budget a kind's assignment may move per replan
+    /// (hysteresis: bounds thrash when signals alternate).
+    double step_fraction = 0.25;
+    /// The registrar components register with. Borrowed: the arbiter must
+    /// outlive every method constructed with these options. The budget
+    /// itself lives in the arbiter (MemoryArbiter::Config::budget_bytes).
+    MemoryRegistrar* arbiter = nullptr;
+  } memory;
 
   // -------------------------------------------------------------- Morphing
   struct Morphing {

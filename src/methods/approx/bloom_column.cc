@@ -10,34 +10,69 @@ BloomZoneColumn::BloomZoneColumn(const Options& options)
           std::make_unique<BlockDevice>(options.block_size, &counters())),
       device_(owned_device_.get()),
       heap_(std::make_unique<HeapFile>(device_, DataClass::kBase, &counters(),
-                                       options.storage.pinned_pages)) {}
+                                       options.storage.pinned_pages)) {
+  MaybeRegisterPool();
+}
 
 BloomZoneColumn::BloomZoneColumn(const Options& options, Device* device)
     : options_(options),
       device_(device),
       heap_(std::make_unique<HeapFile>(device_, DataClass::kBase, &counters(),
-                                       options.storage.pinned_pages)) {}
+                                       options.storage.pinned_pages)) {
+  MaybeRegisterPool();
+}
 
-BloomZoneColumn::~BloomZoneColumn() = default;
+BloomZoneColumn::~BloomZoneColumn() {
+  if (registrar_ != nullptr) registrar_->UnregisterPool(this);
+}
+
+void BloomZoneColumn::MaybeRegisterPool() {
+  bits_per_key_.store(options_.approx.bits_per_key,
+                      std::memory_order_relaxed);
+  filter_budget_bytes_.store(
+      static_cast<uint64_t>(options_.approx.bits_per_key) *
+          std::max<uint64_t>(1, options_.approx.zone_entries) / 8,
+      std::memory_order_relaxed);
+  if (!options_.memory.enabled || options_.memory.arbiter == nullptr) return;
+  registrar_ = options_.memory.arbiter;
+  registrar_->RegisterPool(this);
+}
+
+void BloomZoneColumn::SetPoolBytes(uint64_t bytes) {
+  filter_budget_bytes_.store(bytes, std::memory_order_relaxed);
+  // Convert the budget into bits-per-key against the published row count
+  // (one zone's worth stands in before any row lands). Takes effect for
+  // zones created from now on; Rebuild re-filters the existing ones.
+  uint64_t rows = approx_rows_.load(std::memory_order_relaxed);
+  if (rows == 0) rows = std::max<uint64_t>(1, options_.approx.zone_entries);
+  uint64_t bits = bytes * 8 / rows;
+  if (bits > 64) bits = 64;  // Past ~20 bits/key the FP-rate gain is nil.
+  SetBitsPerKey(static_cast<size_t>(bits));
+}
 
 void BloomZoneColumn::IndexAppendedRow(Key key, RowId row) {
   if (zones_.empty() || zones_.back().rows >= options_.approx.zone_entries) {
     Zone zone;
+    // The *live* bits-per-key knob, not the configured value: this zone
+    // boundary is exactly where an arbiter re-budget lands.
     zone.filter = std::make_unique<BloomFilter>(
-        options_.approx.zone_entries, options_.approx.bits_per_key,
-        &counters());
+        options_.approx.zone_entries, bits_per_key(), &counters());
     zone.first_row = row;
     zone.rows = 0;
     zones_.push_back(std::move(zone));
   }
   zones_.back().filter->Add(key);
   ++zones_.back().rows;
+  approx_rows_.store(heap_->row_count(), std::memory_order_relaxed);
 }
 
 Result<RowId> BloomZoneColumn::FindRow(Key key) {
   RowId found = kInvalidRowId;
   for (const Zone& zone : zones_) {
-    if (!zone.filter->MayContain(key)) continue;
+    if (!zone.filter->MayContain(key)) {
+      filter_stats_.negatives.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
     // Candidate zone: scan its rows.
     std::vector<RowId> rows;
     rows.reserve(zone.rows);
@@ -51,7 +86,13 @@ Result<RowId> BloomZoneColumn::FindRow(Key key) {
       return Status::OK();
     });
     if (!s.ok()) return s;
-    if (found != kInvalidRowId) return found;
+    if (found != kInvalidRowId) {
+      filter_stats_.true_positives.fetch_add(1, std::memory_order_relaxed);
+      return found;
+    }
+    // The filter said "maybe", the scan said no: a false positive -- the
+    // arbiter's evidence that this column's filters are under-provisioned.
+    filter_stats_.false_positives.fetch_add(1, std::memory_order_relaxed);
   }
   return found;
 }
@@ -82,6 +123,7 @@ Status BloomZoneColumn::Rebuild() {
 }
 
 Status BloomZoneColumn::Insert(Key key, Value value) {
+  TickRegistrar();
   counters().OnInsert();
   counters().OnLogicalWrite(kEntrySize);
   Result<RowId> existing = FindRow(key);
@@ -97,6 +139,7 @@ Status BloomZoneColumn::Insert(Key key, Value value) {
 }
 
 Status BloomZoneColumn::Delete(Key key) {
+  TickRegistrar();
   counters().OnDelete();
   counters().OnLogicalWrite(kEntrySize);
   Result<RowId> existing = FindRow(key);
@@ -115,6 +158,7 @@ Status BloomZoneColumn::Delete(Key key) {
 }
 
 Result<Value> BloomZoneColumn::Get(Key key) {
+  TickRegistrar();
   counters().OnPointQuery();
   Result<RowId> row = FindRow(key);
   if (!row.ok()) return row.status();
@@ -127,6 +171,7 @@ Result<Value> BloomZoneColumn::Get(Key key) {
 
 Status BloomZoneColumn::Scan(Key lo, Key hi, std::vector<Entry>* out) {
   if (lo > hi) return Status::InvalidArgument("lo > hi");
+  TickRegistrar();
   counters().OnRangeQuery();
   // Filters are orderless: the whole column is scanned.
   std::vector<Entry> hits;

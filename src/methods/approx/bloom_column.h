@@ -1,11 +1,13 @@
 #ifndef RUMLAB_METHODS_APPROX_BLOOM_COLUMN_H_
 #define RUMLAB_METHODS_APPROX_BLOOM_COLUMN_H_
 
+#include <atomic>
 #include <memory>
 #include <unordered_set>
 #include <vector>
 
 #include "core/access_method.h"
+#include "core/memory_budget.h"
 #include "core/options.h"
 #include "methods/sketch/bloom_filter.h"
 #include "storage/block_device.h"
@@ -29,7 +31,12 @@ namespace rum {
 /// Deletes tombstone rows in a side set; filters keep the stale keys (their
 /// false-positive rate degrades honestly) until a rebuild, triggered when
 /// `approx.rebuild_deleted_fraction` of rows are dead.
-class BloomZoneColumn : public AccessMethod {
+///
+/// As a MemoryPool (kind kFilter) the column's zone-filter memory is
+/// arbitrable: an assigned byte budget converts to bits-per-key against
+/// the published row count, effective for zones created after the call
+/// (existing zones re-filter at the next Rebuild).
+class BloomZoneColumn : public AccessMethod, public MemoryPool {
  public:
   explicit BloomZoneColumn(const Options& options);
   BloomZoneColumn(const Options& options, Device* device);
@@ -49,6 +56,31 @@ class BloomZoneColumn : public AccessMethod {
   size_t zone_count() const { return zones_.size(); }
   uint64_t deleted_count() const { return deleted_rows_.size(); }
 
+  /// The live bits-per-key knob for zones built from now on.
+  void SetBitsPerKey(size_t bits) {
+    bits_per_key_.store(bits, std::memory_order_relaxed);
+  }
+  size_t bits_per_key() const {
+    return bits_per_key_.load(std::memory_order_relaxed);
+  }
+  /// Filter-probe outcome tally (a FindRow candidate zone that scans to
+  /// nothing is one false positive; a skipped zone is one negative).
+  const FilterStats& filter_stats() const { return filter_stats_; }
+
+  // MemoryPool (see class comment):
+  std::string_view pool_name() const override { return "bloom_zones"; }
+  MemoryPoolKind pool_kind() const override {
+    return MemoryPoolKind::kFilter;
+  }
+  uint64_t pool_bytes() const override {
+    return filter_budget_bytes_.load(std::memory_order_relaxed);
+  }
+  void SetPoolBytes(uint64_t bytes) override;
+  uint64_t BenefitSignal() const override {
+    return filter_stats_.false_positives.load(std::memory_order_relaxed) *
+           options_.block_size;
+  }
+
  private:
   struct Zone {
     std::unique_ptr<BloomFilter> filter;
@@ -63,6 +95,12 @@ class BloomZoneColumn : public AccessMethod {
   void IndexAppendedRow(Key key, RowId row);
   /// Rewrites the heap without dead rows and rebuilds all zone filters.
   Status Rebuild();
+  /// Registers with Options::memory.arbiter when enabled.
+  void MaybeRegisterPool();
+  /// Ticks the arbiter's epoch clock (no-op when arbitration is off).
+  void TickRegistrar() {
+    if (registrar_ != nullptr) registrar_->NotePoolOps(1);
+  }
 
   Options options_;
   std::unique_ptr<BlockDevice> owned_device_;
@@ -71,6 +109,14 @@ class BloomZoneColumn : public AccessMethod {
   std::vector<Zone> zones_;
   std::unordered_set<RowId> deleted_rows_;
   size_t live_ = 0;
+
+  // Memory-arbitration state (relaxed atomics: replans may fire from
+  // another component's thread; see core/memory_budget.h).
+  std::atomic<size_t> bits_per_key_{0};
+  std::atomic<uint64_t> approx_rows_{0};  // Published heap row count.
+  std::atomic<uint64_t> filter_budget_bytes_{0};
+  FilterStats filter_stats_;
+  MemoryRegistrar* registrar_ = nullptr;  // Non-null once registered.
 };
 
 }  // namespace rum

@@ -42,6 +42,9 @@ std::unique_ptr<AccessMethod> MakeImpl(std::string_view name,
   // "sharded-<inner>" wraps options.sharded.shards instances of <inner> in
   // a ShardedMethod (hash partitioning + per-shard locking). All shards
   // share `device` when one is given; the stack below serializes itself.
+  // The one shared Options also carries options.memory.arbiter, so every
+  // shard's pools (and a shared CachingDevice's) register with the same
+  // global memory arbiter -- one budget across the whole sharded stack.
   constexpr std::string_view kShardedPrefix = "sharded-";
   if (name.substr(0, kShardedPrefix.size()) == kShardedPrefix) {
     std::string_view inner = name.substr(kShardedPrefix.size());

@@ -20,6 +20,7 @@ LsmTree::LsmTree(const Options& options)
         &counters(), options_.lsm.cross_run_segment_entries);
   }
   InitMetrics();
+  MaybeRegisterPools();
 }
 
 LsmTree::LsmTree(const Options& options, Device* device)
@@ -33,9 +34,51 @@ LsmTree::LsmTree(const Options& options, Device* device)
         &counters(), options_.lsm.cross_run_segment_entries);
   }
   InitMetrics();
+  MaybeRegisterPools();
 }
 
-LsmTree::~LsmTree() = default;
+LsmTree::~LsmTree() {
+  if (registrar_ != nullptr) {
+    registrar_->UnregisterPool(&memtable_pool_);
+    if (filter_pool_registered_) registrar_->UnregisterPool(&filter_pool_);
+  }
+}
+
+void LsmTree::MaybeRegisterPools() {
+  // Seed the live knobs from the static configuration; without an arbiter
+  // they never change, which is what makes memory.enabled=false byte-
+  // identical to the pre-arbiter behavior.
+  memtable_limit_.store(std::max<size_t>(1, options_.lsm.memtable_entries),
+                        std::memory_order_relaxed);
+  bloom_bits_.store(options_.lsm.bloom_bits_per_key,
+                    std::memory_order_relaxed);
+  filter_budget_bytes_.store(
+      static_cast<uint64_t>(options_.lsm.bloom_bits_per_key) *
+          std::max<uint64_t>(1, options_.lsm.memtable_entries) / 8,
+      std::memory_order_relaxed);
+  if (!options_.memory.enabled || options_.memory.arbiter == nullptr) return;
+  registrar_ = options_.memory.arbiter;
+  registrar_->RegisterPool(&memtable_pool_);
+  // Filter memory is only arbitrable when the configuration asked for
+  // filters at all: 0 bits/key keeps the paper's filterless baseline.
+  if (options_.lsm.bloom_bits_per_key > 0) {
+    registrar_->RegisterPool(&filter_pool_);
+    filter_pool_registered_ = true;
+  }
+}
+
+void LsmTree::FilterPool::SetPoolBytes(uint64_t bytes) {
+  tree_->filter_budget_bytes_.store(bytes, std::memory_order_relaxed);
+  // Convert the byte budget into bits-per-key against the published live
+  // key count (the static memtable size stands in before any key lands).
+  uint64_t keys = tree_->approx_keys_.load(std::memory_order_relaxed);
+  if (keys == 0) {
+    keys = std::max<uint64_t>(1, tree_->options_.lsm.memtable_entries);
+  }
+  uint64_t bits = bytes * 8 / keys;
+  if (bits > 64) bits = 64;  // Past ~20 bits/key the FP-rate gain is nil.
+  tree_->SetBloomBitsPerKey(static_cast<size_t>(bits));
+}
 
 void LsmTree::InitMetrics() {
   MetricsRegistry& registry = MetricsRegistry::Global();
@@ -81,18 +124,23 @@ Status LsmTree::Put(Key key, Value value, bool tombstone) {
   } else {
     live_keys_.insert(key);
   }
-  if (memtable_->record_count() >= options_.lsm.memtable_entries) {
+  approx_keys_.store(live_keys_.size(), std::memory_order_relaxed);
+  // The *live* limit, not the configured one: a replan shrink flushes on
+  // the very next write, a growth lets the memtable keep filling.
+  if (memtable_->record_count() >= memtable_entry_limit()) {
     return FlushMemtable();
   }
   return Status::OK();
 }
 
 Status LsmTree::Insert(Key key, Value value) {
+  TickRegistrar();
   counters().OnInsert();
   return Put(key, value, /*tombstone=*/false);
 }
 
 Status LsmTree::Delete(Key key) {
+  TickRegistrar();
   counters().OnDelete();
   return Put(key, 0, /*tombstone=*/true);
 }
@@ -117,12 +165,15 @@ Status LsmTree::BuildRun(size_t level, std::vector<LogRecord> records) {
   Trace::Emit(TraceKind::kLsmCompaction, TraceOp::kWrite, kInvalidPageId,
               DataClass::kBase, level);
   std::unique_ptr<SortedRun> run;
+  // bloom_bits_per_key() (the live knob), not the configured value: the
+  // arbiter re-budgets filters at exactly this rebuild boundary.
   Status s = SortedRun::Build(device_, &counters(), records,
-                              options_.lsm.bloom_bits_per_key, &run,
+                              bloom_bits_per_key(), &run,
                               options_.lsm.fence_entries,
                               options_.lsm.compress_runs,
                               options_.storage.pinned_pages);
   if (!s.ok()) return s;
+  run->set_filter_stats(&filter_stats_);
   if (index_ != nullptr) index_->OnRunCreated(run.get());
   levels_[level].push_back(std::move(run));
   return Status::OK();
@@ -138,6 +189,8 @@ void LsmTree::NoteCompaction(size_t input_runs, uint64_t input_records) {
   compaction_input_records_ += input_records;
   compaction_counter_->Increment();
   compaction_records_counter_->Increment(input_records);
+  merge_bytes_.fetch_add(input_records * kEntrySize,
+                         std::memory_order_relaxed);
 }
 
 Status LsmTree::FlushMemtable() {
@@ -155,10 +208,15 @@ Status LsmTree::FlushMemtable() {
   if (levels_.empty()) levels_.resize(1);
   ++flushes_;
   flush_counter_->Increment();
+  // The memtable pool's benefit signal: bytes this flush pushes into the
+  // merge machinery (a bigger buffer would have absorbed more first).
+  merge_bytes_.fetch_add(records.size() * kEntrySize,
+                         std::memory_order_relaxed);
   return policy_->HandleFlush(this, std::move(records));
 }
 
 Result<Value> LsmTree::Get(Key key) {
+  TickRegistrar();
   counters().OnPointQuery();
   SkipListMap::Record mem_record;
   if (memtable_->Find(key, &mem_record)) {
@@ -212,6 +270,7 @@ Status LsmTree::PositionRunsFallback(const std::vector<SortedRun*>& runs,
 
 Status LsmTree::Scan(Key lo, Key hi, std::vector<Entry>* out) {
   if (lo > hi) return Status::InvalidArgument("lo > hi");
+  TickRegistrar();
   counters().OnRangeQuery();
   // The memtable is the newest stream of all; gather its window (charged
   // skiplist reads) and two-way merge it against the ordered run stream.
@@ -269,6 +328,7 @@ Status LsmTree::BulkLoad(std::span<const Entry> entries) {
     records.push_back(LogRecord{e.key, e.value, LogOp::kPut});
     live_keys_.insert(e.key);
   }
+  approx_keys_.store(live_keys_.size(), std::memory_order_relaxed);
   // Place the run at the shallowest level whose target accommodates it.
   size_t level = 0;
   while (LevelTarget(level) < records.size()) ++level;
@@ -282,6 +342,21 @@ Status LsmTree::Flush() { return FlushMemtable(); }
 void LsmTree::ResetStats() {
   AccessMethod::ResetStats();
   mem_counters_.ResetTraffic();
+}
+
+LsmMemoryFootprint LsmTree::MemoryFootprint() const {
+  LsmMemoryFootprint fp;
+  fp.memtable_bytes = mem_counters_.snapshot().total_space();
+  for (const auto& level : levels_) {
+    for (const auto& run : level) {
+      fp.run_page_bytes +=
+          static_cast<uint64_t>(run->page_count()) * options_.block_size;
+      fp.fence_bytes += run->fence_bytes();
+      fp.filter_bytes += run->filter_bytes();
+    }
+  }
+  if (index_ != nullptr) fp.index_bytes = index_->charged_bytes();
+  return fp;
 }
 
 CounterSnapshot LsmTree::stats() const {

@@ -1,11 +1,13 @@
 #ifndef RUMLAB_METHODS_LSM_LSM_TREE_H_
 #define RUMLAB_METHODS_LSM_LSM_TREE_H_
 
+#include <atomic>
 #include <memory>
 #include <unordered_set>
 #include <vector>
 
 #include "core/access_method.h"
+#include "core/memory_budget.h"
 #include "core/metrics.h"
 #include "core/options.h"
 #include "methods/lsm/compaction_policy.h"
@@ -15,6 +17,30 @@
 #include "storage/block_device.h"
 
 namespace rum {
+
+/// The LSM tree's in-memory footprint decomposed into its auxiliary-MO
+/// ledger terms. The conservation identity (pinned by lsm_test and the
+/// chaos tier): with an owned device, stats().total_space() ==
+/// total() exactly -- every resident byte is one of these five terms, and
+/// stays so after Crash() recovery, mid-compaction invalidation, and
+/// fault-aborted run builds.
+struct LsmMemoryFootprint {
+  /// Memtable bytes (skiplist entries + towers), from the mem counters.
+  uint64_t memtable_bytes = 0;
+  /// Device pages held by live runs (page_count * block_size summed).
+  uint64_t run_page_bytes = 0;
+  /// In-memory fence-pointer bytes across live runs.
+  uint64_t fence_bytes = 0;
+  /// Bloom-filter bytes across live runs.
+  uint64_t filter_bytes = 0;
+  /// CrossRunIndex segment/offset bytes (0 when the index is off).
+  uint64_t index_bytes = 0;
+
+  uint64_t total() const {
+    return memtable_bytes + run_page_bytes + fence_bytes + filter_bytes +
+           index_bytes;
+  }
+};
 
 /// A log-structured merge tree -- the write-optimized corner of the paper's
 /// Figure 1 and the "Levelled LSM" row of Table 1.
@@ -107,6 +133,39 @@ class LsmTree : public AccessMethod, public CompactionContext {
   /// off (tests inspect segment counts and charged space through this).
   const CrossRunIndex* cross_run_index() const { return index_.get(); }
 
+  // ------------------------------------------------- Live memory resizing
+  // The global memory arbiter's control surface (core/memory_budget.h).
+  // Both knobs are relaxed atomics: a replan may fire from another shard's
+  // thread while this shard operates.
+
+  /// Retargets the memtable flush threshold, effective at the next flush
+  /// boundary: Put checks the live limit, so a shrink flushes on the next
+  /// write and a growth simply lets the current memtable keep filling.
+  void SetMemtableEntryLimit(size_t entries) {
+    memtable_limit_.store(entries == 0 ? 1 : entries,
+                          std::memory_order_relaxed);
+  }
+  size_t memtable_entry_limit() const {
+    return memtable_limit_.load(std::memory_order_relaxed);
+  }
+
+  /// Retargets filter memory, effective on rebuild: runs built after this
+  /// call size their bloom filters at the new bits-per-key; existing runs
+  /// keep their filters until compaction retires them. 0 disables filters
+  /// on future builds.
+  void SetBloomBitsPerKey(size_t bits) {
+    bloom_bits_.store(bits, std::memory_order_relaxed);
+  }
+  size_t bloom_bits_per_key() const {
+    return bloom_bits_.load(std::memory_order_relaxed);
+  }
+
+  /// Bloom-probe outcome tally across all (live and retired) runs.
+  const FilterStats& filter_stats() const { return filter_stats_; }
+
+  /// The auxiliary-MO ledger decomposition (see LsmMemoryFootprint).
+  LsmMemoryFootprint MemoryFootprint() const;
+
   /// Merges sorted record streams (newest first) into one; drops shadowed
   /// versions, and tombstones too when `drop_tombstones`.
   static std::vector<LogRecord> MergeStreams(
@@ -118,6 +177,73 @@ class LsmTree : public AccessMethod, public CompactionContext {
   static std::vector<LogRecord> GatherRun(SortedRun* run);
 
  private:
+  /// Approximate resident bytes per memtable entry (17-byte record plus
+  /// average tower overhead), the unit converting an arbitrated byte
+  /// budget into an entry limit. A modeling constant, not an accounting
+  /// one: the ledger uses the memtable's exact charged bytes.
+  static constexpr uint64_t kMemtableEntryFootprint = 32;
+
+  /// The memtable as a resizable pool: assigned bytes map to the entry
+  /// limit; the benefit signal is flush+merge bytes (VAT's buffer-size vs
+  /// merge-cost trade -- more buffer, fewer and larger cascades).
+  class MemtablePool : public MemoryPool {
+   public:
+    explicit MemtablePool(LsmTree* tree) : tree_(tree) {}
+    std::string_view pool_name() const override { return "lsm_memtable"; }
+    MemoryPoolKind pool_kind() const override {
+      return MemoryPoolKind::kMemtable;
+    }
+    uint64_t pool_bytes() const override {
+      return static_cast<uint64_t>(tree_->memtable_entry_limit()) *
+             kMemtableEntryFootprint;
+    }
+    void SetPoolBytes(uint64_t bytes) override {
+      tree_->SetMemtableEntryLimit(
+          static_cast<size_t>(bytes / kMemtableEntryFootprint));
+    }
+    uint64_t BenefitSignal() const override {
+      return tree_->merge_bytes_.load(std::memory_order_relaxed);
+    }
+
+   private:
+    LsmTree* tree_;
+  };
+
+  /// Filter memory as a resizable pool: the assigned budget converts to
+  /// bits-per-key against the (approximate, atomically published) live key
+  /// count, applied to future run builds; the benefit signal is
+  /// false-positive page bytes.
+  class FilterPool : public MemoryPool {
+   public:
+    explicit FilterPool(LsmTree* tree) : tree_(tree) {}
+    std::string_view pool_name() const override { return "lsm_filters"; }
+    MemoryPoolKind pool_kind() const override {
+      return MemoryPoolKind::kFilter;
+    }
+    uint64_t pool_bytes() const override {
+      return tree_->filter_budget_bytes_.load(std::memory_order_relaxed);
+    }
+    void SetPoolBytes(uint64_t bytes) override;
+    uint64_t BenefitSignal() const override {
+      return tree_->filter_stats_.false_positives.load(
+                 std::memory_order_relaxed) *
+             tree_->options_.block_size;
+    }
+
+   private:
+    LsmTree* tree_;
+  };
+
+  /// Ticks the arbiter's epoch clock (no-op when arbitration is off).
+  /// Called at the end of each logical op, never while the tree holds a
+  /// lock (it holds none) -- a replan fired here calls straight back into
+  /// the Set* knobs above.
+  void TickRegistrar() {
+    if (registrar_ != nullptr) registrar_->NotePoolOps(1);
+  }
+  /// Registers the pools with Options::memory.arbiter when enabled.
+  void MaybeRegisterPools();
+
   /// One write-buffered record enters the tree.
   Status Put(Key key, Value value, bool tombstone);
   /// Seals the memtable and hands it to the policy.
@@ -153,6 +279,24 @@ class LsmTree : public AccessMethod, public CompactionContext {
   // Simulator-side bookkeeping (unaccounted): exact live-key set for size()
   // and the stats() base/aux space split.
   std::unordered_set<Key> live_keys_;
+
+  // ------------------------------------------------ Memory arbitration
+  // Live knobs and signals (all relaxed atomics: replans fire from
+  // whatever thread trips an arbiter epoch, possibly another shard's).
+  std::atomic<size_t> memtable_limit_{1};  // Live flush threshold (entries).
+  std::atomic<size_t> bloom_bits_{0};      // Live bits/key, future builds.
+  /// Live-key count published for FilterPool's budget->bits conversion
+  /// (live_keys_.size() itself is not safe to read cross-thread).
+  std::atomic<uint64_t> approx_keys_{0};
+  /// Flush + compaction record bytes: the memtable pool's benefit signal.
+  std::atomic<uint64_t> merge_bytes_{0};
+  /// Last filter budget the arbiter assigned (what pool_bytes() reports).
+  std::atomic<uint64_t> filter_budget_bytes_{0};
+  FilterStats filter_stats_;
+  MemtablePool memtable_pool_{this};
+  FilterPool filter_pool_{this};
+  MemoryRegistrar* registrar_ = nullptr;  // Non-null once pools registered.
+  bool filter_pool_registered_ = false;
 
   // Flush/compaction tallies, mirrored into registry-owned counters (always
   // available) and exported as gauges when the registry is enabled.

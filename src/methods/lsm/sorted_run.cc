@@ -156,15 +156,24 @@ Status SortedRun::Build(Device* device, RumCounters* counters,
         // Encode directly into the pinned page; no staging copy.
         PageWriteGuard guard;
         Status s = device->PinForWrite(page, &guard);
-        if (!s.ok()) return s;
+        if (!s.ok()) {
+          (void)device->Free(page);  // Un-tracked page must not leak space.
+          return s;
+        }
         PackLogRecordsInto(records, i, end, guard.bytes());
         guard.MarkDirty();
         s = guard.Release();
-        if (!s.ok()) return s;
+        if (!s.ok()) {
+          (void)device->Free(page);
+          return s;
+        }
       } else {
         PackLogRecords(records, i, end, device->block_size(), &block);
         Status s = device->Write(page, block);
-        if (!s.ok()) return s;
+        if (!s.ok()) {
+          (void)device->Free(page);
+          return s;
+        }
       }
       if (run->pages_.size() % run->pages_per_fence_ == 0) {
         run->fences_.push_back(records[i].key);
@@ -187,21 +196,30 @@ Status SortedRun::Build(Device* device, RumCounters* counters,
       if (pinned_pages) {
         PageWriteGuard guard;
         Status s = device->PinForWrite(page, &guard);
-        if (!s.ok()) return s;
+        if (!s.ok()) {
+          (void)device->Free(page);  // Un-tracked page must not leak space.
+          return s;
+        }
         std::memset(guard.bytes().data(), 0, guard.bytes().size());
         EncodeU64(page_count, guard.bytes().data());
         std::copy(payload.begin(), payload.end(),
                   guard.bytes().begin() + kRunHeaderSize);
         guard.MarkDirty();
         s = guard.Release();
-        if (!s.ok()) return s;
+        if (!s.ok()) {
+          (void)device->Free(page);
+          return s;
+        }
       } else {
         std::vector<uint8_t> block(block_size, 0);
         EncodeU64(page_count, block.data());
         std::copy(payload.begin(), payload.end(),
                   block.begin() + kRunHeaderSize);
         Status s = device->Write(page, block);
-        if (!s.ok()) return s;
+        if (!s.ok()) {
+          (void)device->Free(page);
+          return s;
+        }
       }
       if (run->pages_.size() % run->pages_per_fence_ == 0) {
         run->fences_.push_back(first_key);
@@ -229,10 +247,13 @@ Status SortedRun::Build(Device* device, RumCounters* counters,
       if (!s.ok()) return s;
     }
   }
-  // Fence pointers are auxiliary structure held in memory.
+  // Fence pointers are auxiliary structure held in memory. Charged exactly
+  // once, here, and released exactly once (Destroy checks the flag): a run
+  // abandoned before this point never held the charge.
   counters->AdjustSpace(
       DataClass::kAux,
       static_cast<int64_t>(run->fences_.size() * sizeof(Key)));
+  run->fences_charged_ = true;
   *out = std::move(run);
   return Status::OK();
 }
@@ -245,16 +266,26 @@ SortedRun::~SortedRun() {
 Status SortedRun::Destroy() {
   if (destroyed_) return Status::OK();
   destroyed_ = true;
+  // Free every page even when one Free fails (e.g. a page pinned in a cache
+  // level above). Returning on the first failure used to leak the remaining
+  // page frees AND skip the fence-space release below -- destroyed_ was
+  // already set, so the destructor's retry no-oped and the auxiliary-MO
+  // ledger drifted permanently. One stuck page must not wedge the rest of
+  // the teardown; the first failure is still reported.
+  Status first_failure = Status::OK();
   for (PageId page : pages_) {
     Status s = device_->Free(page);
-    if (!s.ok()) return s;
+    if (!s.ok() && first_failure.ok()) first_failure = s;
   }
   pages_.clear();
-  counters_->AdjustSpace(
-      DataClass::kAux, -static_cast<int64_t>(fences_.size() * sizeof(Key)));
+  if (fences_charged_) {
+    counters_->AdjustSpace(
+        DataClass::kAux, -static_cast<int64_t>(fences_.size() * sizeof(Key)));
+    fences_charged_ = false;
+  }
   fences_.clear();
   bloom_.reset();  // Releases its own space.
-  return Status::OK();
+  return first_failure;
 }
 
 Status SortedRun::LoadPage(size_t page_index, std::vector<LogRecord>* out) {
@@ -298,6 +329,9 @@ Result<std::optional<LogRecord>> SortedRun::Get(Key key) {
     return std::optional<LogRecord>();
   }
   if (bloom_ != nullptr && !bloom_->MayContain(key)) {
+    if (filter_stats_ != nullptr) {
+      filter_stats_->negatives.fetch_add(1, std::memory_order_relaxed);
+    }
     return std::optional<LogRecord>();
   }
   size_t group = FenceSearch(key);
@@ -335,6 +369,7 @@ Result<std::optional<LogRecord>> SortedRun::Get(Key key) {
         }
       }
       if (lo >= n || key_at(lo) != key) {
+        NoteFilterOutcome(/*found=*/false);
         return std::optional<LogRecord>();
       }
       const uint8_t* rec =
@@ -343,8 +378,10 @@ Result<std::optional<LogRecord>> SortedRun::Get(Key key) {
       r.key = DecodeU64(rec);
       r.value = DecodeU64(rec + 8);
       r.op = static_cast<LogOp>(rec[16]);
+      NoteFilterOutcome(/*found=*/true);
       return std::optional<LogRecord>(r);
     }
+    NoteFilterOutcome(/*found=*/false);
     return std::optional<LogRecord>();
   }
   std::vector<LogRecord> records;
@@ -358,10 +395,13 @@ Result<std::optional<LogRecord>> SortedRun::Get(Key key) {
                                  return r.key < k;
                                });
     if (it == records.end() || it->key != key) {
+      NoteFilterOutcome(/*found=*/false);
       return std::optional<LogRecord>();
     }
+    NoteFilterOutcome(/*found=*/true);
     return std::optional<LogRecord>(*it);
   }
+  NoteFilterOutcome(/*found=*/false);
   return std::optional<LogRecord>();
 }
 

@@ -1,6 +1,7 @@
 #ifndef RUMLAB_METHODS_LSM_SORTED_RUN_H_
 #define RUMLAB_METHODS_LSM_SORTED_RUN_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -117,6 +118,22 @@ class SortedRun {
   const BloomFilter* bloom() const { return bloom_.get(); }
   bool compressed() const { return compressed_; }
 
+  /// In-memory fence-pointer bytes currently charged as auxiliary space
+  /// (0 before the Build-time charge lands and after Destroy) -- one term
+  /// of the owner's memory-footprint ledger.
+  uint64_t fence_bytes() const {
+    return fences_charged_ ? fences_.size() * sizeof(Key) : 0;
+  }
+  /// Bloom-filter bytes currently charged (0 without a filter or after
+  /// Destroy).
+  uint64_t filter_bytes() const {
+    return bloom_ == nullptr ? 0 : bloom_->space_bytes();
+  }
+
+  /// Attaches a shared bloom-outcome tally; Get records every filter
+  /// verdict into it (may be null to detach).
+  void set_filter_stats(FilterStats* stats) { filter_stats_ = stats; }
+
  private:
   SortedRun(Device* device, RumCounters* counters);
 
@@ -125,6 +142,12 @@ class SortedRun {
   /// index of the *page group* the key may live in (first page =
   /// group * pages_per_fence_).
   size_t FenceSearch(Key key) const;
+  /// Records a post-bloom lookup verdict into the attached tally.
+  void NoteFilterOutcome(bool found) {
+    if (bloom_ == nullptr || filter_stats_ == nullptr) return;
+    (found ? filter_stats_->true_positives : filter_stats_->false_positives)
+        .fetch_add(1, std::memory_order_relaxed);
+  }
 
   Device* device_;         // Not owned.
   RumCounters* counters_;  // Not owned.
@@ -133,11 +156,15 @@ class SortedRun {
   std::vector<Key> fences_;  // First key of each fence group.
   size_t pages_per_fence_ = 1;
   std::unique_ptr<BloomFilter> bloom_;
+  FilterStats* filter_stats_ = nullptr;  // Not owned; may be null.
   size_t records_per_page_ = 0;
   bool compressed_ = false;
   uint64_t record_count_ = 0;
   Key min_key_ = 0;
   Key max_key_ = 0;
+  /// Build charges the fence bytes only once every page landed; a run
+  /// abandoned mid-Build must not *release* a charge that never happened.
+  bool fences_charged_ = false;
   bool destroyed_ = false;
 };
 

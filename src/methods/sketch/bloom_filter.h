@@ -1,6 +1,7 @@
 #ifndef RUMLAB_METHODS_SKETCH_BLOOM_FILTER_H_
 #define RUMLAB_METHODS_SKETCH_BLOOM_FILTER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -8,6 +9,22 @@
 #include "core/types.h"
 
 namespace rum {
+
+/// Filter-probe outcome tally shared across a method's filters (filters
+/// come and go with compaction/rebuild; the tally must survive them).
+/// `false_positives` is the marginal-benefit signal filter memory is
+/// arbitrated on: each one is a page-read's worth of traffic more filter
+/// bits would likely have avoided. Relaxed atomics: written on the owner's
+/// operation thread, read by the memory arbiter from whatever thread trips
+/// an epoch.
+struct FilterStats {
+  /// Probes the filter answered "definitely absent" (pages saved).
+  std::atomic<uint64_t> negatives{0};
+  /// Probes answered "maybe" where the key was present.
+  std::atomic<uint64_t> true_positives{0};
+  /// Probes answered "maybe" where the key was absent (pages wasted).
+  std::atomic<uint64_t> false_positives{0};
+};
 
 /// A classic Bloom filter (Bloom, CACM 1970): the paper's canonical
 /// space-optimized, lossy auxiliary structure (Figure 1, right corner).

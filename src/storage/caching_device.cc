@@ -19,9 +19,11 @@ uint64_t NowNs() {
 }
 }  // namespace
 
-CachingDevice::CachingDevice(Device* base, size_t capacity_pages)
-    : base_(base), capacity_pages_(capacity_pages) {
+CachingDevice::CachingDevice(Device* base, size_t capacity_pages,
+                             MemoryRegistrar* registrar)
+    : base_(base), registrar_(registrar), capacity_pages_(capacity_pages) {
   assert(base_ != nullptr);
+  if (registrar_ != nullptr) registrar_->RegisterPool(this);
   metrics_.Init("caching_device");
   metrics_.Gauge("hits", [this] { return hits(); });
   metrics_.Gauge("misses", [this] { return misses(); });
@@ -33,6 +35,43 @@ CachingDevice::CachingDevice(Device* base, size_t capacity_pages)
                  [this] { return static_cast<uint64_t>(cached_pages()); });
   metrics_.Gauge("pinned_pages",
                  [this] { return static_cast<uint64_t>(pinned_pages()); });
+}
+
+CachingDevice::~CachingDevice() {
+  if (registrar_ != nullptr) registrar_->UnregisterPool(this);
+}
+
+void CachingDevice::TickRegistrar() {
+  if (registrar_ != nullptr) registrar_->NotePoolOps(1);
+}
+
+Status CachingDevice::SetCapacity(size_t capacity_pages) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_pages_ = capacity_pages;
+  // Trim immediately with the pin-safe sweep: pinned entries and victims
+  // whose write-back fails are skipped, never sweep-ending, so a shrink
+  // below the pinned population cannot wedge -- residency converges to the
+  // new cap through the unpin-time EvictDownTo as pins release.
+  return EvictDownTo(capacity_pages_);
+}
+
+uint64_t CachingDevice::pool_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<uint64_t>(capacity_pages_) * block_size();
+}
+
+void CachingDevice::SetPoolBytes(uint64_t bytes) {
+  (void)SetCapacity(static_cast<size_t>(bytes / block_size()));
+}
+
+uint64_t CachingDevice::BenefitSignal() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_ * block_size();
+}
+
+size_t CachingDevice::capacity_pages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_pages_;
 }
 
 Status CachingDevice::Allocate(DataClass cls, PageId* out) {
@@ -197,111 +236,132 @@ CachingDevice::CacheEntry* CachingDevice::InsertPinnedEntry(
 }
 
 Status CachingDevice::Read(PageId page, std::vector<uint8_t>* out) {
-  std::lock_guard<std::mutex> lock(mu_);
-  NoteRecoveryLocked();
-  auto it = entries_.find(page);
-  if (it != entries_.end()) {
-    ++hits_;
-    Trace::Emit(TraceKind::kCacheHit, TraceOp::kRead, page, DataClass::kAux);
-    // Served at this level: charge the cache, not the device below.
-    counters_.OnRead(DataClass::kAux, block_size());
-    counters_.OnBlockRead();
-    Touch(page, &it->second);
-    *out = it->second.bytes;
-    return Status::OK();
-  }
-  ++misses_;
-  Trace::Emit(TraceKind::kCacheMiss, TraceOp::kRead, page, DataClass::kAux);
-  Status s = base_->Read(page, out);
-  if (!s.ok()) return s;
-  return InsertEntry(page, *out, /*dirty=*/false);
+  Status result = [&] {
+    std::lock_guard<std::mutex> lock(mu_);
+    NoteRecoveryLocked();
+    auto it = entries_.find(page);
+    if (it != entries_.end()) {
+      ++hits_;
+      Trace::Emit(TraceKind::kCacheHit, TraceOp::kRead, page, DataClass::kAux);
+      // Served at this level: charge the cache, not the device below.
+      counters_.OnRead(DataClass::kAux, block_size());
+      counters_.OnBlockRead();
+      Touch(page, &it->second);
+      *out = it->second.bytes;
+      return Status::OK();
+    }
+    ++misses_;
+    Trace::Emit(TraceKind::kCacheMiss, TraceOp::kRead, page, DataClass::kAux);
+    Status s = base_->Read(page, out);
+    if (!s.ok()) return s;
+    return InsertEntry(page, *out, /*dirty=*/false);
+  }();
+  TickRegistrar();  // Outside mu_: a replan here re-enters SetCapacity.
+  return result;
 }
 
 Status CachingDevice::Write(PageId page, const std::vector<uint8_t>& data) {
-  std::lock_guard<std::mutex> lock(mu_);
-  NoteRecoveryLocked();
-  if (data.size() != block_size()) {
-    return Status::InvalidArgument("write size must equal block size");
-  }
-  counters_.OnWrite(DataClass::kAux, block_size());
-  counters_.OnBlockWrite();
-  auto it = entries_.find(page);
-  if (it != entries_.end()) {
-    Trace::Emit(TraceKind::kCacheHit, TraceOp::kWrite, page, DataClass::kAux);
-    it->second.bytes = data;
-    it->second.dirty = true;
-    Touch(page, &it->second);
-    return Status::OK();
-  }
-  Trace::Emit(TraceKind::kCacheMiss, TraceOp::kWrite, page, DataClass::kAux);
-  return InsertEntry(page, data, /*dirty=*/true);
+  Status result = [&] {
+    std::lock_guard<std::mutex> lock(mu_);
+    NoteRecoveryLocked();
+    if (data.size() != block_size()) {
+      return Status::InvalidArgument("write size must equal block size");
+    }
+    counters_.OnWrite(DataClass::kAux, block_size());
+    counters_.OnBlockWrite();
+    auto it = entries_.find(page);
+    if (it != entries_.end()) {
+      Trace::Emit(TraceKind::kCacheHit, TraceOp::kWrite, page,
+                  DataClass::kAux);
+      it->second.bytes = data;
+      it->second.dirty = true;
+      Touch(page, &it->second);
+      return Status::OK();
+    }
+    Trace::Emit(TraceKind::kCacheMiss, TraceOp::kWrite, page, DataClass::kAux);
+    return InsertEntry(page, data, /*dirty=*/true);
+  }();
+  TickRegistrar();
+  return result;
 }
 
 Status CachingDevice::PinForRead(PageId page, PageReadGuard* out) {
-  std::lock_guard<std::mutex> lock(mu_);
-  NoteRecoveryLocked();
-  auto it = entries_.find(page);
-  if (it != entries_.end()) {
-    ++hits_;
-    Trace::Emit(TraceKind::kCacheHit, TraceOp::kPin, page, DataClass::kAux);
-    // Served at this level: charge the cache, not the device below.
-    counters_.OnRead(DataClass::kAux, block_size());
-    counters_.OnBlockRead();
-    Touch(page, &it->second);
-    ++it->second.pins;
-    ++pins_outstanding_;
+  Status result = [&] {
+    std::lock_guard<std::mutex> lock(mu_);
+    NoteRecoveryLocked();
+    auto it = entries_.find(page);
+    if (it != entries_.end()) {
+      ++hits_;
+      Trace::Emit(TraceKind::kCacheHit, TraceOp::kPin, page, DataClass::kAux);
+      // Served at this level: charge the cache, not the device below.
+      counters_.OnRead(DataClass::kAux, block_size());
+      counters_.OnBlockRead();
+      Touch(page, &it->second);
+      ++it->second.pins;
+      ++pins_outstanding_;
+      if (Trace::enabled()) {
+        if (it->second.pins == 1) it->second.pinned_at_ns = NowNs();
+        Trace::Emit(TraceKind::kPinAcquire, TraceOp::kPin, page,
+                    DataClass::kAux);
+      }
+      *out = MakeReadGuard(this, page, it->second.bytes.data(), block_size());
+      return Status::OK();
+    }
+    ++misses_;
+    Trace::Emit(TraceKind::kCacheMiss, TraceOp::kPin, page, DataClass::kAux);
+    std::vector<uint8_t> bytes;
+    Status s = base_->Read(page, &bytes);
+    if (!s.ok()) return s;
+    CacheEntry* entry =
+        InsertPinnedEntry(page, std::move(bytes), /*speculative=*/false, &s);
+    if (entry == nullptr) return s;
     if (Trace::enabled()) {
-      if (it->second.pins == 1) it->second.pinned_at_ns = NowNs();
+      entry->pinned_at_ns = NowNs();
       Trace::Emit(TraceKind::kPinAcquire, TraceOp::kPin, page,
                   DataClass::kAux);
     }
-    *out = MakeReadGuard(this, page, it->second.bytes.data(), block_size());
+    *out = MakeReadGuard(this, page, entry->bytes.data(), block_size());
     return Status::OK();
-  }
-  ++misses_;
-  Trace::Emit(TraceKind::kCacheMiss, TraceOp::kPin, page, DataClass::kAux);
-  std::vector<uint8_t> bytes;
-  Status s = base_->Read(page, &bytes);
-  if (!s.ok()) return s;
-  CacheEntry* entry =
-      InsertPinnedEntry(page, std::move(bytes), /*speculative=*/false, &s);
-  if (entry == nullptr) return s;
-  if (Trace::enabled()) {
-    entry->pinned_at_ns = NowNs();
-    Trace::Emit(TraceKind::kPinAcquire, TraceOp::kPin, page, DataClass::kAux);
-  }
-  *out = MakeReadGuard(this, page, entry->bytes.data(), block_size());
-  return Status::OK();
+  }();
+  // Outside mu_. The just-pinned entry is eviction-exempt, so a replan
+  // fired by this tick cannot invalidate the guard handed out above.
+  TickRegistrar();
+  return result;
 }
 
 Status CachingDevice::PinForWrite(PageId page, PageWriteGuard* out) {
-  std::lock_guard<std::mutex> lock(mu_);
-  NoteRecoveryLocked();
-  auto it = entries_.find(page);
-  if (it != entries_.end()) {
-    Touch(page, &it->second);
-    ++it->second.pins;
-    ++pins_outstanding_;
+  Status result = [&] {
+    std::lock_guard<std::mutex> lock(mu_);
+    NoteRecoveryLocked();
+    auto it = entries_.find(page);
+    if (it != entries_.end()) {
+      Touch(page, &it->second);
+      ++it->second.pins;
+      ++pins_outstanding_;
+      if (Trace::enabled()) {
+        if (it->second.pins == 1) it->second.pinned_at_ns = NowNs();
+        Trace::Emit(TraceKind::kPinAcquire, TraceOp::kPin, page,
+                    DataClass::kAux);
+      }
+      *out = MakeWriteGuard(this, page, it->second.bytes.data(), block_size());
+      return Status::OK();
+    }
+    // Blind write pin: hand out a zeroed block without faulting the page in,
+    // mirroring the copy path's Write-on-miss (no base read is charged).
+    Status s;
+    CacheEntry* entry = InsertPinnedEntry(
+        page, std::vector<uint8_t>(block_size(), 0), /*speculative=*/true, &s);
+    if (entry == nullptr) return s;
     if (Trace::enabled()) {
-      if (it->second.pins == 1) it->second.pinned_at_ns = NowNs();
+      entry->pinned_at_ns = NowNs();
       Trace::Emit(TraceKind::kPinAcquire, TraceOp::kPin, page,
                   DataClass::kAux);
     }
-    *out = MakeWriteGuard(this, page, it->second.bytes.data(), block_size());
+    *out = MakeWriteGuard(this, page, entry->bytes.data(), block_size());
     return Status::OK();
-  }
-  // Blind write pin: hand out a zeroed block without faulting the page in,
-  // mirroring the copy path's Write-on-miss (no base read is charged).
-  Status s;
-  CacheEntry* entry = InsertPinnedEntry(page, std::vector<uint8_t>(block_size(), 0),
-                                        /*speculative=*/true, &s);
-  if (entry == nullptr) return s;
-  if (Trace::enabled()) {
-    entry->pinned_at_ns = NowNs();
-    Trace::Emit(TraceKind::kPinAcquire, TraceOp::kPin, page, DataClass::kAux);
-  }
-  *out = MakeWriteGuard(this, page, entry->bytes.data(), block_size());
-  return Status::OK();
+  }();
+  TickRegistrar();
+  return result;
 }
 
 void CachingDevice::UnpinRead(PageId page) {

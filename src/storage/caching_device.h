@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/counters.h"
+#include "core/memory_budget.h"
 #include "core/metrics.h"
 #include "core/status.h"
 #include "core/types.h"
@@ -35,11 +36,19 @@ namespace rum {
 /// Pinned entries are excluded from eviction, so a burst of pins can push
 /// residency transiently above `capacity_pages`; the overshoot is trimmed
 /// back as pins release.
-class CachingDevice : public Device {
+class CachingDevice : public Device, public MemoryPool {
  public:
   /// Wraps `base` (borrowed, must outlive this) with an LRU cache holding at
-  /// most `capacity_pages` page copies.
-  CachingDevice(Device* base, size_t capacity_pages);
+  /// most `capacity_pages` page copies. With a non-null `registrar` the
+  /// cache registers itself as a resizable kCache memory pool (global
+  /// memory arbitration; see core/memory_budget.h) and ticks the
+  /// registrar's epoch clock once per cache operation -- always after
+  /// releasing the internal lock, because a replan triggered by the tick
+  /// calls back into SetCapacity.
+  CachingDevice(Device* base, size_t capacity_pages,
+                MemoryRegistrar* registrar = nullptr);
+
+  ~CachingDevice() override;
 
   Status Allocate(DataClass cls, PageId* out) override;
   Status Free(PageId page) override;
@@ -73,7 +82,26 @@ class CachingDevice : public Device {
   CounterSnapshot level_stats() const { return counters_.snapshot(); }
   void ResetLevelStats() { counters_.ResetTraffic(); }
 
-  size_t capacity_pages() const { return capacity_pages_; }
+  /// Retargets the cache to hold at most `capacity_pages` entries, trimming
+  /// immediately with the pin-safe skip-and-continue eviction sweep. Pinned
+  /// entries are never touched: a shrink below the pinned population leaves
+  /// residency transiently above the new cap, and the standard
+  /// unpin-time trim (UnpinRead/UnpinWrite) converges it as pins release.
+  /// Returns non-OK (the first write-back failure) only when dirty-victim
+  /// write-back faults kept residency above the new cap; the capacity
+  /// itself is always updated.
+  Status SetCapacity(size_t capacity_pages);
+
+  // MemoryPool (the global arbiter's resize surface): assigned bytes are
+  // capacity * block_size; the benefit signal is miss bytes (every miss is
+  // base-device traffic more capacity might have absorbed).
+  std::string_view pool_name() const override { return "caching_device"; }
+  MemoryPoolKind pool_kind() const override { return MemoryPoolKind::kCache; }
+  uint64_t pool_bytes() const override;
+  void SetPoolBytes(uint64_t bytes) override;
+  uint64_t BenefitSignal() const override;
+
+  size_t capacity_pages() const;
   size_t cached_pages() const;
   uint64_t hits() const;
   uint64_t misses() const;
@@ -129,8 +157,12 @@ class CachingDevice : public Device {
   /// Emits the one-shot kRecovery event on the first operation after a
   /// Crash(). Call with mu_ held.
   void NoteRecoveryLocked();
+  /// Ticks the registrar's epoch clock. MUST be called with mu_ released:
+  /// a replan fired by the tick re-enters SetCapacity, which locks mu_.
+  void TickRegistrar();
 
   Device* base_;  // Not owned.
+  MemoryRegistrar* registrar_;  // Not owned; may be null.
   size_t capacity_pages_;
   RumCounters counters_;
   mutable std::mutex mu_;  // Guards everything below (and base_ calls).

@@ -434,6 +434,16 @@ Result<RumProfile> WorkloadRunner::Run(AccessMethod* method,
   return RunSerial(method, spec);
 }
 
+Result<RumProfile> WorkloadRunner::Run(AccessMethod* method,
+                                       const WorkloadSpec& spec,
+                                       MemoryRegistrar* registrar) {
+  Result<RumProfile> profile = Run(method, spec);
+  if (profile.ok() && registrar != nullptr) {
+    profile.value().memory_split = registrar->split();
+  }
+  return profile;
+}
+
 Result<RumProfile> WorkloadRunner::LoadAndRun(AccessMethod* method, size_t n,
                                               const WorkloadSpec& spec) {
   std::vector<Entry> entries = MakeSortedEntries(n);

@@ -5,6 +5,7 @@
 
 #include "core/access_method.h"
 #include "core/counters.h"
+#include "core/memory_budget.h"
 #include "core/metrics.h"
 #include "core/rum_point.h"
 #include "core/status.h"
@@ -82,6 +83,12 @@ struct RumProfile {
   /// One tally per worker (one entry for serial phases). Empty unless the
   /// spec ran with kSkipAndCount or kDegrade.
   std::vector<ErrorTally> worker_errors;
+  /// End-of-phase global memory split (all zeros unless the phase ran via
+  /// the registrar-sampling Run overload): how the arbiter had the byte
+  /// budget divided when the phase finished, with `replans` counting its
+  /// adaptations so far. Phase-by-phase deltas of this are the experiment
+  /// evidence that memory overhead migrates between hierarchy levels.
+  MemorySplit memory_split{};
 
   /// All workers' tallies merged.
   ErrorTally errors() const;
@@ -112,6 +119,12 @@ class WorkloadRunner {
   /// the method's partition count.
   static Result<RumProfile> Run(AccessMethod* method,
                                 const WorkloadSpec& spec);
+
+  /// As Run, but samples `registrar->split()` into the profile's
+  /// memory_split when the phase ends (null registrar = plain Run), so
+  /// arbitrated experiments report where the budget sat per phase.
+  static Result<RumProfile> Run(AccessMethod* method, const WorkloadSpec& spec,
+                                MemoryRegistrar* registrar);
 
   /// Convenience: bulk-loads `n` dense entries, then runs `spec`.
   static Result<RumProfile> LoadAndRun(AccessMethod* method, size_t n,

@@ -326,6 +326,73 @@ TEST(ChaosTest, CrashDropsUnflushedDirtyState) {
   EXPECT_EQ(out, v1);  // The durable pre-image, exactly.
 }
 
+// ------------------------------------------------- Auxiliary-MO ledger
+
+// The LSM's memory ledger under chaos: at all times, (1) the base device's
+// charged space is exactly the pages held by live runs -- a fault-aborted
+// run build or an early-failed Destroy must leak or double-free nothing --
+// and (2) the tree's own charged space is exactly its in-memory terms
+// (memtable + fences + filters + index segments). Pre-fix, an aborted
+// Build leaked its just-allocated page and an early-failed Destroy leaked
+// remaining pages plus the fence charge forever.
+TEST(ChaosTest, LsmLedgerConservesAcrossFaultsAndCrash) {
+  ChaosStack stack;
+  Options options = SmallOptions();
+  options.lsm.cross_run_index = true;
+  LsmTree tree(options, &stack.cache);
+  auto check = [&](const char* when) {
+    // Flush cached state so the base device's space charges are current
+    // (allocations pass through; only data bytes are deferred).
+    LsmMemoryFootprint fp = tree.MemoryFootprint();
+    EXPECT_EQ(stack.counters.snapshot().total_space(), fp.run_page_bytes)
+        << when;
+    EXPECT_EQ(tree.stats().total_space(),
+              fp.memtable_bytes + fp.fence_bytes + fp.filter_bytes +
+                  fp.index_bytes)
+        << when;
+  };
+  for (Key k = 0; k < 600; ++k) {
+    ASSERT_TRUE(tree.Insert(k, ValueFor(k)).ok());
+  }
+  std::vector<Entry> scanned;
+  ASSERT_TRUE(tree.Scan(0, 600, &scanned).ok());  // Charges index segments.
+  check("clean load");
+
+  // Fault storm: allocation and write faults abort run builds and
+  // invalidate compactions mid-merge; every failure must be explicit and
+  // must leave the ledger exact.
+  stack.faulty.SetPlan(FaultPlan::Transient(kChaosSeed + 11, 0.0)
+                           .WithRate(FaultOp::kWrite, 0.2)
+                           .WithRate(FaultOp::kAllocate, 0.1));
+  uint64_t failed = 0;
+  for (Key k = 600; k < 1400; ++k) {
+    Status s = tree.Insert(k, ValueFor(k));
+    if (!s.ok()) {
+      EXPECT_TRUE(IsExplicitFailure(s.code())) << s.ToString();
+      ++failed;
+      check("mid-storm failure");
+    }
+  }
+  EXPECT_GT(failed, 0u) << "storm never bit; the regression went untested";
+  stack.faulty.ClearFaults();
+  check("after storm");
+
+  // Crash the cache: runs' pages live at the base and stay charged; the
+  // tree's in-memory terms (fences/filters/index) survive untouched.
+  stack.cache.Crash();
+  check("after crash");
+
+  // Post-crash operation: compactions may read lost pages and fail
+  // explicitly, but the ledger stays conserved either way.
+  for (Key k = 1400; k < 1700; ++k) {
+    Status s = tree.Insert(k, ValueFor(k));
+    if (!s.ok()) {
+      EXPECT_TRUE(IsExplicitFailure(s.code())) << s.ToString();
+    }
+  }
+  check("post-crash writes");
+}
+
 // ------------------------------------------------------- Eviction faults
 
 // The cache must stay bounded under repeated write-back faults: once every

@@ -610,5 +610,41 @@ TEST(CrossRunIndexTest, DisabledTreeHasNoIndex) {
   EXPECT_EQ(tree.cross_run_index(), nullptr);
 }
 
+// --------------------------------------------------- Auxiliary-MO ledger
+
+// The conservation identity: with an owned device, every resident byte the
+// tree's stats() report is exactly one LsmMemoryFootprint term -- memtable,
+// run pages, fences, filters, index segments -- at every point in the
+// tree's life (mid-memtable, post-flush, post-compaction, post-delete).
+TEST(LsmTreeTest, MemoryFootprintLedgerConservesStatsSpace) {
+  Options options = SmallOptions();
+  options.lsm.cross_run_index = true;  // Exercise the index term too.
+  LsmTree tree(options);
+  auto check = [&](const char* when) {
+    LsmMemoryFootprint fp = tree.MemoryFootprint();
+    EXPECT_EQ(tree.stats().total_space(), fp.total()) << when;
+  };
+  check("empty");
+  for (Key k = 0; k < 1000; ++k) {
+    ASSERT_TRUE(tree.Insert(ScrambledKey(k), ValueFor(k)).ok());
+    if (k % 97 == 0) check("mid-insert");
+  }
+  check("after inserts");
+  std::vector<Entry> out;
+  ASSERT_TRUE(tree.Scan(0, ~Key{0}, &out).ok());  // Builds index segments.
+  check("after scan");
+  for (Key k = 0; k < 500; ++k) {
+    ASSERT_TRUE(tree.Delete(ScrambledKey(k)).ok());
+  }
+  check("after deletes");
+  ASSERT_TRUE(tree.Flush().ok());
+  check("after flush");
+  // All five terms are actually in play in this configuration.
+  LsmMemoryFootprint fp = tree.MemoryFootprint();
+  EXPECT_GT(fp.run_page_bytes, 0u);
+  EXPECT_GT(fp.fence_bytes, 0u);
+  EXPECT_GT(fp.filter_bytes, 0u);
+}
+
 }  // namespace
 }  // namespace rum

@@ -1,0 +1,421 @@
+// Memory-arbiter tier: the global adaptive memory arbiter's contracts --
+// exact budget conservation, marginal-benefit steering with min-share
+// floors and bounded per-replan movement, deterministic replay, the
+// disabled/static differential, and the A10 acceptance experiment: on a
+// phase-shifting workload the arbitrated budget beats every same-total
+// static split, with the byte shares visibly migrating between hierarchy
+// levels (the paper's Figure-2 trade, executed live).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "adaptive/memory_arbiter.h"
+#include "core/memory_budget.h"
+#include "methods/lsm/lsm_tree.h"
+#include "storage/block_device.h"
+#include "storage/caching_device.h"
+#include "tests/testing_util.h"
+#include "workload/distribution.h"
+#include "workload/runner.h"
+
+namespace rum {
+namespace {
+
+using testing_util::SmallOptions;
+
+// ------------------------------------------------------------ Fake pools
+
+/// A scripted MemoryPool: the test controls the benefit signal directly.
+class FakePool : public MemoryPool {
+ public:
+  FakePool(std::string name, MemoryPoolKind kind, uint64_t configured)
+      : name_(std::move(name)), kind_(kind), bytes_(configured) {}
+
+  std::string_view pool_name() const override { return name_; }
+  MemoryPoolKind pool_kind() const override { return kind_; }
+  uint64_t pool_bytes() const override { return bytes_; }
+  void SetPoolBytes(uint64_t bytes) override {
+    bytes_ = bytes;
+    ++resizes_;
+  }
+  uint64_t BenefitSignal() const override { return signal_; }
+
+  void AddSignal(uint64_t delta) { signal_ += delta; }
+  uint64_t bytes() const { return bytes_; }
+  uint64_t resizes() const { return resizes_; }
+
+ private:
+  std::string name_;
+  MemoryPoolKind kind_;
+  uint64_t bytes_;
+  uint64_t signal_ = 0;
+  uint64_t resizes_ = 0;
+};
+
+// ------------------------------------------------------- Seeding & floors
+
+TEST(MemoryArbiterTest, SeedSplitIsProportionalAndExact) {
+  MemoryArbiter arbiter({.budget_bytes = 1001});
+  FakePool cache("c", MemoryPoolKind::kCache, 300);
+  FakePool memtable("m", MemoryPoolKind::kMemtable, 100);
+  arbiter.RegisterPool(&cache);
+  arbiter.RegisterPool(&memtable);
+  // 3:1 configured shape rescaled to the budget, conserved to the byte
+  // (the flooring remainder lands on the earliest registration).
+  EXPECT_EQ(cache.bytes() + memtable.bytes(), 1001u);
+  EXPECT_EQ(cache.bytes(), 751u);  // floor(1001*3/4) = 750, +1 remainder.
+  EXPECT_EQ(memtable.bytes(), 250u);
+  MemorySplit split = arbiter.split();
+  EXPECT_EQ(split.assigned_total(), 1001u);
+  EXPECT_EQ(split.cache_bytes, 751u);
+  EXPECT_EQ(split.memtable_bytes, 250u);
+  EXPECT_EQ(split.replans, 0u);
+
+  arbiter.UnregisterPool(&memtable);
+  EXPECT_EQ(cache.bytes(), 1001u);  // Survivors inherit the freed bytes.
+}
+
+TEST(MemoryArbiterTest, ZeroConfiguredPoolsSeedEqually) {
+  MemoryArbiter arbiter({.budget_bytes = 1000});
+  FakePool a("a", MemoryPoolKind::kCache, 0);
+  FakePool b("b", MemoryPoolKind::kMemtable, 0);
+  FakePool c("c", MemoryPoolKind::kFilter, 0);
+  arbiter.RegisterPool(&a);
+  arbiter.RegisterPool(&b);
+  arbiter.RegisterPool(&c);
+  EXPECT_EQ(a.bytes() + b.bytes() + c.bytes(), 1000u);
+  EXPECT_EQ(a.bytes(), 334u);  // 333 + the remainder byte.
+  EXPECT_EQ(b.bytes(), 333u);
+  EXPECT_EQ(c.bytes(), 333u);
+}
+
+TEST(MemoryArbiterTest, QuietEpochKeepsTheSplit) {
+  MemoryArbiter arbiter({.budget_bytes = 1 << 20});
+  FakePool cache("c", MemoryPoolKind::kCache, 100);
+  FakePool memtable("m", MemoryPoolKind::kMemtable, 100);
+  arbiter.RegisterPool(&cache);
+  arbiter.RegisterPool(&memtable);
+  MemorySplit before = arbiter.split();
+  arbiter.Replan();  // No signal deltas: evidence of nothing.
+  MemorySplit after = arbiter.split();
+  EXPECT_EQ(after.cache_bytes, before.cache_bytes);
+  EXPECT_EQ(after.memtable_bytes, before.memtable_bytes);
+  EXPECT_EQ(after.replans, 0u);
+}
+
+TEST(MemoryArbiterTest, ReplanFollowsMarginalBenefitWithinBounds) {
+  constexpr uint64_t kBudget = 1'000'000;
+  MemoryArbiter arbiter({.budget_bytes = kBudget,
+                         .min_share = 0.05,
+                         .step_fraction = 0.25});
+  FakePool cache("c", MemoryPoolKind::kCache, 100);
+  FakePool memtable("m", MemoryPoolKind::kMemtable, 100);
+  FakePool filter("f", MemoryPoolKind::kFilter, 100);
+  arbiter.RegisterPool(&cache);
+  arbiter.RegisterPool(&memtable);
+  arbiter.RegisterPool(&filter);
+  uint64_t cache_before = cache.bytes();
+
+  // All the benefit evidence points at the cache.
+  cache.AddSignal(1 << 20);
+  arbiter.Replan();
+  MemorySplit split = arbiter.split();
+  EXPECT_EQ(split.assigned_total(), kBudget);  // Conserved to the byte.
+  EXPECT_GT(cache.bytes(), cache_before);
+  // One replan moves at most step_fraction of the budget.
+  EXPECT_LE(cache.bytes() - cache_before,
+            static_cast<uint64_t>(0.25 * kBudget) + 1);
+
+  // Keep the evidence one-sided: the split converges toward the cache but
+  // every kind keeps its min_share floor.
+  for (int i = 0; i < 20; ++i) {
+    cache.AddSignal(1 << 20);
+    arbiter.Replan();
+  }
+  split = arbiter.split();
+  EXPECT_EQ(split.assigned_total(), kBudget);
+  EXPECT_GE(split.memtable_bytes, static_cast<uint64_t>(0.05 * kBudget) - 1);
+  EXPECT_GE(split.filter_bytes, static_cast<uint64_t>(0.05 * kBudget) - 1);
+  EXPECT_GE(split.cache_bytes, static_cast<uint64_t>(0.85 * kBudget) - 2);
+
+  // Now the evidence flips to the memtable; bytes migrate back.
+  uint64_t memtable_starved = split.memtable_bytes;
+  for (int i = 0; i < 20; ++i) {
+    memtable.AddSignal(1 << 20);
+    arbiter.Replan();
+  }
+  split = arbiter.split();
+  EXPECT_EQ(split.assigned_total(), kBudget);
+  EXPECT_GT(split.memtable_bytes, memtable_starved);
+  EXPECT_GE(split.memtable_bytes, static_cast<uint64_t>(0.80 * kBudget));
+}
+
+TEST(MemoryArbiterTest, WithinKindBytesSplitEquallyAcrossShards) {
+  MemoryArbiter arbiter({.budget_bytes = 1003});
+  FakePool shard0("s0", MemoryPoolKind::kCache, 100);
+  FakePool shard1("s1", MemoryPoolKind::kCache, 100);
+  FakePool memtable("m", MemoryPoolKind::kMemtable, 200);
+  arbiter.RegisterPool(&shard0);
+  arbiter.RegisterPool(&shard1);
+  arbiter.RegisterPool(&memtable);
+  shard0.AddSignal(4096);  // One shard's evidence benefits the whole kind.
+  arbiter.Replan();
+  // Sharded symmetry: the cache kind's bytes divide equally (remainder to
+  // the earliest registration), regardless of which shard saw the misses.
+  EXPECT_TRUE(shard0.bytes() == shard1.bytes() ||
+              shard0.bytes() == shard1.bytes() + 1)
+      << shard0.bytes() << " vs " << shard1.bytes();
+  EXPECT_EQ(arbiter.split().assigned_total(), 1003u);
+}
+
+// --------------------------------------------------------- Determinism
+
+// Same seed metrics trajectory, same epoch boundaries => byte-identical
+// splits at every step. The replan must be pure arithmetic over the
+// deltas: no wall-clock, no address-dependent ordering.
+TEST(MemoryArbiterTest, IdenticalTrajectoriesReplayByteIdentically) {
+  MemoryArbiter::Config config{.budget_bytes = 123456,
+                               .epoch_ops = 64,
+                               .min_share = 0.05,
+                               .step_fraction = 0.25};
+  MemoryArbiter a(config), b(config);
+  FakePool ac("c", MemoryPoolKind::kCache, 300);
+  FakePool am("m", MemoryPoolKind::kMemtable, 200);
+  FakePool af("f", MemoryPoolKind::kFilter, 10);
+  FakePool bc("c", MemoryPoolKind::kCache, 300);
+  FakePool bm("m", MemoryPoolKind::kMemtable, 200);
+  FakePool bf("f", MemoryPoolKind::kFilter, 10);
+  a.RegisterPool(&ac);
+  a.RegisterPool(&am);
+  a.RegisterPool(&af);
+  b.RegisterPool(&bc);
+  b.RegisterPool(&bm);
+  b.RegisterPool(&bf);
+
+  uint64_t x = 0x9E3779B97F4A7C15ull;  // Deterministic signal "trajectory".
+  auto next = [&x] {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x % 10000;
+  };
+  for (int step = 0; step < 200; ++step) {
+    uint64_t dc = next(), dm = next(), df = next(), ops = 1 + next() % 40;
+    ac.AddSignal(dc);
+    bc.AddSignal(dc);
+    am.AddSignal(dm);
+    bm.AddSignal(dm);
+    af.AddSignal(df);
+    bf.AddSignal(df);
+    a.NotePoolOps(ops);
+    b.NotePoolOps(ops);
+    ASSERT_EQ(ac.bytes(), bc.bytes()) << "step " << step;
+    ASSERT_EQ(am.bytes(), bm.bytes()) << "step " << step;
+    ASSERT_EQ(af.bytes(), bf.bytes()) << "step " << step;
+    ASSERT_EQ(a.split().ToString(), b.split().ToString()) << "step " << step;
+  }
+  EXPECT_GT(a.replans(), 0u);
+  EXPECT_EQ(a.replans(), b.replans());
+}
+
+// ----------------------------------------------- Disabled differential
+
+/// One arbitrable stack: BlockDevice -> CachingDevice -> LsmTree, with the
+/// base device's counters captured separately so tests can score exactly
+/// the traffic that escaped the memory hierarchy.
+struct ArbiterStack {
+  RumCounters base_counters;
+  BlockDevice base;
+  CachingDevice cache;
+  LsmTree tree;
+
+  ArbiterStack(const Options& options, size_t cache_pages,
+               MemoryRegistrar* registrar)
+      : base(options.block_size, &base_counters),
+        cache(&base, cache_pages, registrar),
+        tree(options, &cache) {}
+
+  /// Bytes that reached the base device (the level below every MO pool).
+  uint64_t base_traffic() const {
+    CounterSnapshot s = base_counters.snapshot();
+    return s.bytes_read_base + s.bytes_read_aux + s.bytes_written_base +
+           s.bytes_written_aux;
+  }
+};
+
+/// Drives load + alternating hot-read / write-burst phases; returns base
+/// traffic. Everything is seeded and serial: byte-identical run-to-run.
+uint64_t RunPhaseShift(ArbiterStack* stack, MemoryArbiter* arbiter,
+                       MemorySplit* after_read, MemorySplit* after_write) {
+  constexpr Key kLoad = 4000;
+  constexpr Key kHot = 1500;
+  constexpr int kReadsPerPhase = 8000;
+  constexpr Key kWritesPerPhase = 4000;
+  Key next_key = kLoad;
+  for (Key k = 0; k < kLoad; ++k) {
+    EXPECT_TRUE(stack->tree.Insert(k, ValueFor(k)).ok());
+  }
+  for (int cycle = 0; cycle < 2; ++cycle) {
+    // Hot-read phase: cyclic sweep over the hot prefix -- fits in a grown
+    // cache, thrashes a small one.
+    for (int i = 0; i < kReadsPerPhase; ++i) {
+      Key k = static_cast<Key>(i) % kHot;
+      (void)stack->tree.Get(k);
+    }
+    if (arbiter != nullptr && after_read != nullptr && cycle == 1) {
+      *after_read = arbiter->split();
+    }
+    // Write-burst phase: fresh keys; a grown memtable absorbs more per
+    // flush cascade.
+    for (Key w = 0; w < kWritesPerPhase; ++w) {
+      Key k = next_key++;
+      EXPECT_TRUE(stack->tree.Insert(k, ValueFor(k)).ok());
+    }
+    if (arbiter != nullptr && after_write != nullptr && cycle == 1) {
+      *after_write = arbiter->split();
+    }
+  }
+  return stack->base_traffic();
+}
+
+Options PhaseShiftOptions(size_t memtable_entries, MemoryArbiter* arbiter) {
+  Options options = SmallOptions();
+  options.lsm.memtable_entries = memtable_entries;
+  options.lsm.bloom_bits_per_key = 8;
+  options.memory.enabled = arbiter != nullptr;
+  options.memory.arbiter = arbiter;
+  return options;
+}
+
+// memory.enabled=false must be byte-identical to the plain static
+// configuration: the live-knob indirection (atomic limits, tick hooks,
+// pool plumbing) must not perturb a single counter when arbitration is
+// off.
+TEST(MemoryArbiterTest, DisabledIsByteIdenticalToStatic) {
+  ArbiterStack plain(PhaseShiftOptions(768, nullptr), 48, nullptr);
+  Options disabled = PhaseShiftOptions(768, nullptr);
+  MemoryArbiter unused({.budget_bytes = 1 << 20});
+  disabled.memory.arbiter = &unused;  // Present but enabled=false: inert.
+  disabled.memory.enabled = false;
+  ArbiterStack off(disabled, 48, nullptr);
+
+  uint64_t traffic_plain = RunPhaseShift(&plain, nullptr, nullptr, nullptr);
+  uint64_t traffic_off = RunPhaseShift(&off, nullptr, nullptr, nullptr);
+  EXPECT_EQ(traffic_plain, traffic_off);
+  EXPECT_EQ(plain.tree.stats().total_space(), off.tree.stats().total_space());
+  EXPECT_EQ(unused.pool_count(), 0u);  // Nothing ever registered.
+}
+
+// An *enabled* arbiter whose budget equals the static configuration's
+// total, with epochs that never trip, seeds every pool at exactly its
+// static size -- so the whole run stays byte-identical to the static
+// stack. This pins the seeding arithmetic end to end through real pools.
+TEST(MemoryArbiterTest, NeverReplanningArbiterMatchesStaticByteForByte) {
+  constexpr size_t kCachePages = 48;
+  constexpr size_t kMemtableEntries = 768;
+  ArbiterStack plain(PhaseShiftOptions(kMemtableEntries, nullptr),
+                     kCachePages, nullptr);
+  // Budget = cache + memtable + filter configured bytes (the pools report
+  // 512-byte pages, 32-byte entries, bits_per_key*entries/8 filter seed).
+  const uint64_t budget = kCachePages * 512 + kMemtableEntries * 32 +
+                          8 * kMemtableEntries / 8;
+  MemoryArbiter arbiter(
+      {.budget_bytes = budget, .epoch_ops = ~uint64_t{0} >> 1});
+  ArbiterStack arbitrated(PhaseShiftOptions(kMemtableEntries, &arbiter),
+                          kCachePages, &arbiter);
+  EXPECT_EQ(arbiter.split().assigned_total(), budget);
+
+  uint64_t traffic_plain = RunPhaseShift(&plain, nullptr, nullptr, nullptr);
+  uint64_t traffic_arb =
+      RunPhaseShift(&arbitrated, nullptr, nullptr, nullptr);
+  EXPECT_EQ(traffic_plain, traffic_arb);
+  EXPECT_EQ(plain.tree.stats().total_space(),
+            arbitrated.tree.stats().total_space());
+  EXPECT_EQ(arbiter.replans(), 0u);
+}
+
+// ------------------------------------------------- A10 acceptance case
+
+// The EXPERIMENTS.md A10 experiment: a phase-shifting hot-read/write-burst
+// workload over one global budget. Every static split must lose to the
+// arbitrated run on base-device traffic, and the arbitrated byte shares
+// must visibly migrate between the cache and the memtable as phases flip
+// -- Figure 2's "move MO between levels" executed by the controller.
+TEST(MemoryArbiterTest, ArbiterBeatsEveryStaticSplitOnPhaseShift) {
+  // All configurations spend the same total budget:
+  //   cache_pages * 512 + memtable_entries * 32 + filter seed bytes.
+  const uint64_t budget = 48 * 512 + 768 * 32 + 8 * 768 / 8;
+
+  struct StaticConfig {
+    const char* name;
+    size_t cache_pages;
+    size_t memtable_entries;
+  };
+  // Equal-total static splits: read-tilted, balanced, write-tilted.
+  // Each memtable entry costs 32 bytes plus 1 byte of filter seed at
+  // 8 bits/key, so a cache page (512 bytes) trades against ~15.5 entries.
+  const StaticConfig statics[] = {
+      {"read-tilted", 80, 271},
+      {"balanced", 48, 768},
+      {"write-tilted", 16, 1264},
+  };
+  for (const StaticConfig& c : statics) {
+    uint64_t total = c.cache_pages * 512 + c.memtable_entries * 32 +
+                     8 * c.memtable_entries / 8;
+    ASSERT_LE(total, budget) << c.name;
+    ASSERT_GE(total, budget - 64) << c.name;  // Same total, byte-near.
+  }
+
+  MemoryArbiter arbiter({.budget_bytes = budget,
+                         .epoch_ops = 512,
+                         .min_share = 0.05,
+                         .step_fraction = 0.25});
+  ArbiterStack arbitrated(PhaseShiftOptions(768, &arbiter), 48, &arbiter);
+  MemorySplit after_read, after_write;
+  uint64_t arbitrated_traffic =
+      RunPhaseShift(&arbitrated, &arbiter, &after_read, &after_write);
+
+  for (const StaticConfig& c : statics) {
+    ArbiterStack stack(PhaseShiftOptions(c.memtable_entries, nullptr),
+                       c.cache_pages, nullptr);
+    uint64_t static_traffic =
+        RunPhaseShift(&stack, nullptr, nullptr, nullptr);
+    EXPECT_LT(arbitrated_traffic, static_traffic)
+        << "static split '" << c.name << "' (" << static_traffic
+        << " bytes) beat the arbiter (" << arbitrated_traffic << " bytes)";
+  }
+
+  // The shares moved with the phases: more cache bytes at the end of the
+  // hot-read phase, more memtable bytes at the end of the write burst.
+  EXPECT_GT(arbiter.replans(), 0u);
+  EXPECT_GT(after_read.cache_bytes, after_write.cache_bytes);
+  EXPECT_GT(after_write.memtable_bytes, after_read.memtable_bytes);
+  EXPECT_EQ(after_read.assigned_total(), budget);
+  EXPECT_EQ(after_write.assigned_total(), budget);
+}
+
+// The runner overload samples the end-of-phase split into the profile, so
+// experiment tables can report where the budget sat per phase.
+TEST(MemoryArbiterTest, RunnerSamplesMemorySplitIntoProfile) {
+  MemoryArbiter arbiter({.budget_bytes = 1 << 20, .epoch_ops = 256});
+  Options options = PhaseShiftOptions(256, &arbiter);
+  ArbiterStack stack(options, 32, &arbiter);
+  WorkloadSpec spec;
+  spec.operations = 2000;
+  spec.key_range = 2000;
+  spec.insert_fraction = 0.5;
+  Result<RumProfile> profile =
+      WorkloadRunner::Run(&stack.tree, spec, &arbiter);
+  ASSERT_TRUE(profile.ok());
+  EXPECT_EQ(profile.value().memory_split.budget_bytes,
+            uint64_t{1} << 20);
+  EXPECT_EQ(profile.value().memory_split.assigned_total(), uint64_t{1} << 20);
+  // And the no-registrar overload leaves it zeroed.
+  Result<RumProfile> plain = WorkloadRunner::Run(&stack.tree, spec);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain.value().memory_split.budget_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace rum

@@ -410,6 +410,69 @@ TEST(CachingDeviceTest, EvictionSkipsPinnedPages) {
   EXPECT_LE(cache.cached_pages(), 1u);
 }
 
+TEST(CachingDeviceTest, SetCapacityTrimsImmediately) {
+  RumCounters counters;
+  BlockDevice device(kBlock, &counters);
+  CachingDevice cache(&device, /*capacity_pages=*/8);
+  std::vector<PageId> pages;
+  std::vector<uint8_t> data(kBlock, 9);
+  for (int i = 0; i < 8; ++i) {
+    PageId p = testing_util::MustAllocate(cache, DataClass::kBase);
+    ASSERT_TRUE(cache.Write(p, data).ok());
+    pages.push_back(p);
+  }
+  ASSERT_EQ(cache.cached_pages(), 8u);
+  // Shrinking evicts (writing back dirty victims) down to the new cap now.
+  ASSERT_TRUE(cache.SetCapacity(3).ok());
+  EXPECT_EQ(cache.capacity_pages(), 3u);
+  EXPECT_EQ(cache.cached_pages(), 3u);
+  // Evicted dirty pages reached the base device.
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(device.Read(pages[0], &out).ok());
+  EXPECT_EQ(out[0], 9);
+  // Growing never faults anything in.
+  ASSERT_TRUE(cache.SetCapacity(16).ok());
+  EXPECT_EQ(cache.cached_pages(), 3u);
+}
+
+TEST(CachingDeviceTest, SetCapacityBelowPinnedResidencyDoesNotWedge) {
+  RumCounters counters;
+  BlockDevice device(kBlock, &counters);
+  CachingDevice cache(&device, /*capacity_pages=*/4);
+  std::vector<uint8_t> zeros(kBlock, 0);
+  std::vector<PageId> pages;
+  for (int i = 0; i < 4; ++i) {
+    PageId p = testing_util::MustAllocate(cache, DataClass::kBase);
+    ASSERT_TRUE(device.Write(p, zeros).ok());
+    pages.push_back(p);
+  }
+  // Pin three pages, then shrink to 1: the sweep must skip every pinned
+  // entry (their guards stay valid), evict nothing it cannot, and still
+  // return OK -- an all-pinned overshoot is not an error.
+  PageReadGuard g0, g1, g2;
+  ASSERT_TRUE(cache.PinForRead(pages[0], &g0).ok());
+  ASSERT_TRUE(cache.PinForRead(pages[1], &g1).ok());
+  ASSERT_TRUE(cache.PinForRead(pages[2], &g2).ok());
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(cache.Read(pages[3], &out).ok());  // Unpinned 4th resident.
+  ASSERT_EQ(cache.cached_pages(), 4u);
+  ASSERT_TRUE(cache.SetCapacity(1).ok());
+  EXPECT_EQ(cache.capacity_pages(), 1u);
+  // Only the unpinned page could go; residency overshoots at 3 (pinned).
+  EXPECT_EQ(cache.cached_pages(), 3u);
+  EXPECT_EQ(cache.pinned_pages(), 3u);
+  EXPECT_EQ(g0.bytes().data()[0], 0);  // Pinned views never invalidated.
+  EXPECT_EQ(g1.bytes().data()[0], 0);
+  EXPECT_EQ(g2.bytes().data()[0], 0);
+  // Residency converges to the cap as pins release -- held across the
+  // shrink, released after it.
+  g0.Release();
+  g1.Release();
+  EXPECT_LE(cache.cached_pages(), 2u);
+  g2.Release();
+  EXPECT_LE(cache.cached_pages(), 1u);
+}
+
 TEST(AppendLogTest, AppendsAmortizeToOneWritePerRecord) {
   RumCounters counters;
   BlockDevice device(kBlock, &counters);

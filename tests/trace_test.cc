@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <map>
 #include <set>
 #include <string>
@@ -192,6 +193,39 @@ TEST(LatencyHistogramTest, TailAccessorsAndCumulativeCounts) {
   EXPECT_LE(h.p999(), h.max());
   std::string json = h.ToJson();
   EXPECT_NE(json.find("\"p999\":"), std::string::npos);
+}
+
+// Empty and merged-empty histograms must answer every query with 0 -- the
+// dashboards and SLO guards hit this case on any idle op class, and the
+// percentile walk must not read past the bucket array doing it.
+TEST(LatencyHistogramTest, EmptyAndMergedEmptyQueriesReturnZero) {
+  LatencyHistogram a, b;
+  a.Merge(b);  // Merging empties keeps count() == 0.
+  EXPECT_EQ(a.count(), 0u);
+  for (double q : {0.0, 0.5, 0.999, 1.0}) {
+    EXPECT_EQ(a.Percentile(q), 0u) << q;
+  }
+  EXPECT_EQ(a.p999(), 0u);
+  EXPECT_EQ(a.CountAtOrBelow(0), 0u);
+  EXPECT_EQ(a.CountAtOrBelow(~uint64_t{0}), 0u);
+  EXPECT_EQ(a.min(), 0u);
+  EXPECT_EQ(a.max(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+// Degenerate quantiles and bounds must clamp, not index out of range: NaN
+// and out-of-[0,1] quantiles, and a cumulative bound in the top bucket.
+TEST(LatencyHistogramTest, DegenerateQuantilesAndBoundsClamp) {
+  LatencyHistogram h;
+  h.Record(7);
+  h.Record(~uint64_t{0});  // Top bucket: CountAtOrBelow must include it.
+  EXPECT_EQ(h.Percentile(std::numeric_limits<double>::quiet_NaN()),
+            h.Percentile(0.0));
+  EXPECT_EQ(h.Percentile(-1.0), h.Percentile(0.0));
+  EXPECT_EQ(h.Percentile(2.0), h.Percentile(1.0));
+  EXPECT_EQ(h.CountAtOrBelow(~uint64_t{0}), 2u);
+  EXPECT_EQ(h.CountAtOrBelow(6), 0u);
+  EXPECT_EQ(h.CountAtOrBelow(7), 1u);
 }
 
 // -------------------------------------------------------- MetricsRegistry
